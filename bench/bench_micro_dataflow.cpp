@@ -1,0 +1,128 @@
+// Microbenchmarks for the dataflow substrate: partitioning, aggregation,
+// the co-partitioned join fast path vs the shuffling slow path, and the
+// spill round trip.
+#include <benchmark/benchmark.h>
+
+#include "dataflow/rdd.hpp"
+#include "dataflow/spill.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace {
+
+EngineConfig bench_config() {
+  EngineConfig cfg;
+  cfg.num_executors = 4;
+  cfg.worker_threads = 2;
+  cfg.partitions_per_core = 4;
+  return cfg;
+}
+
+std::vector<std::pair<std::string, std::string>> make_pairs(std::size_t n,
+                                                            std::size_t keys) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(n);
+  Rng rng(11);
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs.emplace_back("key" + std::to_string(rng.below(keys)),
+                       "value-" + std::to_string(i));
+  }
+  return pairs;
+}
+
+void BM_PartitionBy(benchmark::State& state) {
+  Engine engine(bench_config());
+  const auto rdd = parallelize(
+      engine, make_pairs(static_cast<std::size_t>(state.range(0)), 100), 8);
+  const HashPartitioner part{32};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_by(engine, rdd, part));
+    engine.reset_metrics();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PartitionBy)->Arg(10000)->Arg(100000);
+
+void BM_AggregateByKey(benchmark::State& state) {
+  Engine engine(bench_config());
+  const auto rdd = parallelize(
+      engine, make_pairs(static_cast<std::size_t>(state.range(0)), 100), 8);
+  const HashPartitioner part{32};
+  for (auto _ : state) {
+    auto counts = aggregate_by_key(
+        engine, rdd, std::size_t{0},
+        [](std::size_t& agg, const std::string&) { ++agg; },
+        [](std::size_t& agg, std::size_t&& other) { agg += other; }, part);
+    benchmark::DoNotOptimize(counts);
+    engine.reset_metrics();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AggregateByKey)->Arg(10000)->Arg(100000);
+
+void BM_JoinCopartitioned(benchmark::State& state) {
+  Engine engine(bench_config());
+  const HashPartitioner part{16};
+  const auto left = partition_by(
+      engine,
+      parallelize(engine,
+                  make_pairs(static_cast<std::size_t>(state.range(0)), 500), 8),
+      part);
+  const auto right = partition_by(
+      engine, parallelize(engine, make_pairs(500, 500), 4), part);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(left_outer_join(engine, left, right, part));
+    engine.reset_metrics();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_JoinCopartitioned)->Arg(10000)->Arg(50000);
+
+void BM_JoinWithShuffle(benchmark::State& state) {
+  Engine engine(bench_config());
+  const HashPartitioner part{16};
+  const auto left = parallelize(
+      engine, make_pairs(static_cast<std::size_t>(state.range(0)), 500), 8);
+  const auto right = parallelize(engine, make_pairs(500, 500), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(left_outer_join(engine, left, right, part));
+    engine.reset_metrics();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_JoinWithShuffle)->Arg(10000)->Arg(50000);
+
+void BM_SpillRoundTrip(benchmark::State& state) {
+  EngineConfig cfg = bench_config();
+  cfg.executor_memory_bytes = 1;  // force the spill
+  cfg.num_executors = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine(cfg);
+    auto rdd = parallelize(
+        engine, make_pairs(static_cast<std::size_t>(state.range(0)), 100), 4);
+    state.ResumeTiming();
+    CachedStringRdd cached(engine, std::move(rdd), "bm");
+    benchmark::DoNotOptimize(cached.materialize());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SpillRoundTrip)->Arg(10000);
+
+void BM_StableHash(benchmark::State& state) {
+  const std::string key = "PALFA|56000.01|213.77|15.22|3";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stable_hash(key));
+  }
+}
+BENCHMARK(BM_StableHash);
+
+}  // namespace
+}  // namespace drapid
+
+BENCHMARK_MAIN();

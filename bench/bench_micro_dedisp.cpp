@@ -1,0 +1,99 @@
+// Microbenchmarks for the phase 1–3 substrate: dedispersion, matched-filter
+// detection, FFT and folding.
+#include <benchmark/benchmark.h>
+
+#include "dedisp/periodicity.hpp"
+#include "dedisp/single_pulse_search.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace {
+
+Filterbank bench_filterbank(std::size_t channels) {
+  FilterbankConfig cfg;
+  cfg.num_channels = channels;
+  cfg.sample_time_ms = 2.0;
+  cfg.obs_length_s = 10.0;
+  Filterbank fb(cfg);
+  Rng rng(1);
+  fb.add_noise(rng, 1.0);
+  fb.inject_pulse(3.0, 40.0, 3.0, 20.0);
+  return fb;
+}
+
+void BM_Dedisperse(benchmark::State& state) {
+  const auto fb = bench_filterbank(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dedisperse(fb, 40.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fb.num_samples()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Dedisperse)->Arg(32)->Arg(128);
+
+void BM_DetectEvents(benchmark::State& state) {
+  const auto fb = bench_filterbank(32);
+  const auto series = dedisperse(fb, 40.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detect_events(series, 40.0, 2.0, {}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(series.size()));
+}
+BENCHMARK(BM_DetectEvents);
+
+void BM_FullSinglePulseSearch(benchmark::State& state) {
+  const auto fb = bench_filterbank(32);
+  const DmGrid grid({{0.0, 100.0, 2.0}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(single_pulse_search(fb, grid, {}));
+  }
+}
+BENCHMARK(BM_FullSinglePulseSearch);
+
+void BM_Fft(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<std::complex<double>> a(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto& x : a) x = {rng.normal(), 0.0};
+  for (auto _ : state) {
+    auto copy = a;
+    fft_inplace(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(16384);
+
+void BM_PeriodicitySearch(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> series(16384);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t = static_cast<double>(i) * 1e-3;
+    series[i] = 2.0 * std::exp(-0.5 * std::pow(
+        (std::fmod(t, 0.5) - 0.25) / 0.01, 2.0)) + rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(periodicity_search(series, 1.0));
+  }
+}
+BENCHMARK(BM_PeriodicitySearch);
+
+void BM_Fold(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> series(16384);
+  for (auto& v : series) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fold(series, 1.0, 0.5, 64));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(series.size()));
+}
+BENCHMARK(BM_Fold);
+
+}  // namespace
+}  // namespace drapid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Microbenchmarks for the ML substrate: each Table 5 learner's training
+// cost, the Table 4 filters, and SMOTE.
+#include <benchmark/benchmark.h>
+
+#include "ml/classifier.hpp"
+#include "ml/feature_selection.hpp"
+#include "ml/smote.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace ml {
+namespace {
+
+/// Mildly overlapping blobs: positive classes around distinct centers.
+Dataset bench_dataset(std::size_t instances, std::size_t features,
+                      std::size_t classes) {
+  std::vector<std::string> feature_names, class_names;
+  for (std::size_t f = 0; f < features; ++f) {
+    feature_names.push_back("f" + std::to_string(f));
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    class_names.push_back("c" + std::to_string(c));
+  }
+  Dataset d(std::move(feature_names), std::move(class_names));
+  Rng rng(5);
+  std::vector<double> x(features);
+  for (std::size_t i = 0; i < instances; ++i) {
+    const auto y = static_cast<int>(rng.below(classes));
+    for (std::size_t f = 0; f < features; ++f) {
+      const double center =
+          static_cast<double>((static_cast<std::size_t>(y) * (f + 3)) % 7);
+      x[f] = rng.normal(center, 1.2);
+    }
+    d.add(x, y);
+  }
+  return d;
+}
+
+void train_learner(benchmark::State& state, LearnerType type) {
+  const auto d = bench_dataset(static_cast<std::size_t>(state.range(0)), 22,
+                               static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto c = make_classifier(type, 1);
+    c->train(d);
+    benchmark::DoNotOptimize(c->predict(d.instance(0)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+#define DRAPID_LEARNER_BENCH(name, type)                        \
+  void BM_Train_##name(benchmark::State& state) {               \
+    train_learner(state, type);                                 \
+  }                                                             \
+  BENCHMARK(BM_Train_##name)->Args({600, 2})->Args({600, 8})
+
+DRAPID_LEARNER_BENCH(J48, LearnerType::kJ48);
+DRAPID_LEARNER_BENCH(RF, LearnerType::kRandomForest);
+DRAPID_LEARNER_BENCH(PART, LearnerType::kPart);
+DRAPID_LEARNER_BENCH(JRip, LearnerType::kJrip);
+DRAPID_LEARNER_BENCH(SMO, LearnerType::kSmo);
+DRAPID_LEARNER_BENCH(MPN, LearnerType::kMpn);
+
+void BM_FilterScores(benchmark::State& state) {
+  const auto d = bench_dataset(2000, 22, 2);
+  const auto method = static_cast<FilterMethod>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(score_features(d, method));
+  }
+  state.SetLabel(filter_name(method));
+}
+BENCHMARK(BM_FilterScores)->DenseRange(0, 4);
+
+void BM_Smote(benchmark::State& state) {
+  auto d = bench_dataset(1000, 22, 2);
+  // Make class 1 the minority by dropping most of it.
+  std::vector<std::size_t> rows;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < d.num_instances(); ++i) {
+    if (d.label(i) == 0 || kept++ < 50) rows.push_back(i);
+  }
+  const Dataset imbalanced = d.subset(rows);
+  for (auto _ : state) {
+    Rng rng(3);
+    benchmark::DoNotOptimize(apply_smote(imbalanced, {}, rng));
+  }
+}
+BENCHMARK(BM_Smote);
+
+}  // namespace
+}  // namespace ml
+}  // namespace drapid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Testing (classification) times — the evaluation the paper explicitly
+// defers: "Testing times are not reported in this work. ... We hope to
+// evaluate testing times on a production environment in future work"
+// (§5.2.4). In production the classifier runs over every identified pulse
+// of a survey, so per-instance prediction latency is what bounds throughput.
+//
+// Reports, per learner × ALM scheme: per-instance prediction latency and
+// the implied classification throughput, plus how the ALM schemes move it
+// (more classes = more one-vs-one machines for SMO, wider output layer for
+// MPN, more votes per forest for RF...).
+#include <iostream>
+
+#include "exp/trial_runner.hpp"
+#include "util/options.hpp"
+#include "util/stopwatch.hpp"
+#include "util/text_table.hpp"
+
+using namespace drapid;
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv,
+               {{"positives", "250"}, {"negatives", "1500"}, {"seed", "2018"},
+                {"repeats", "5"}});
+  std::cout << "=== Testing times (the paper's deferred evaluation) ===\n";
+
+  BenchmarkConfig cfg;
+  cfg.survey = SurveyConfig::gbt350drift();
+  cfg.survey.obs_length_s = 70.0;
+  cfg.target_positives = static_cast<std::size_t>(opts.integer("positives"));
+  cfg.target_negatives = static_cast<std::size_t>(opts.integer("negatives"));
+  cfg.visibility = 0.10;
+  cfg.seed = static_cast<std::uint64_t>(opts.integer("seed"));
+  std::cerr << "building benchmark...\n";
+  const auto pulses = build_benchmark_pulses(cfg);
+  const auto repeats = static_cast<std::size_t>(opts.integer("repeats"));
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"learner", "scheme", "train(s)", "test µs/instance",
+                  "instances/s"});
+  for (ml::LearnerType learner : ml::all_learner_types()) {
+    for (ml::AlmScheme scheme :
+         {ml::AlmScheme::kBinary, ml::AlmScheme::kEight}) {
+      const auto data = make_alm_dataset(pulses, scheme);
+      auto classifier = ml::make_classifier(learner, 1);
+      Stopwatch train_watch;
+      classifier->train(data);
+      const double train_s = train_watch.elapsed_seconds();
+
+      Stopwatch test_watch;
+      std::size_t predictions = 0;
+      volatile int sink = 0;
+      for (std::size_t r = 0; r < repeats; ++r) {
+        for (std::size_t i = 0; i < data.num_instances(); ++i) {
+          sink += classifier->predict(data.instance(i));
+          ++predictions;
+        }
+      }
+      (void)sink;
+      const double test_s = test_watch.elapsed_seconds();
+      const double us_per =
+          predictions > 0 ? test_s * 1e6 / static_cast<double>(predictions)
+                          : 0.0;
+      rows.push_back({ml::learner_name(learner), ml::alm_scheme_name(scheme),
+                      format_number(train_s),
+                      format_number(us_per, 2),
+                      format_number(us_per > 0 ? 1e6 / us_per : 0.0, 0)});
+    }
+  }
+  std::cout << '\n' << render_table(rows)
+            << "\n(expected: trees/rules predict in well under a µs; SMO "
+               "grows with one-vs-one machine count under ALM; MPN with its "
+               "dense layers is the slowest per instance)\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Candidate classification (pipeline stage 4): build a labeled benchmark
+// from the synthetic survey, train the paper's recommended configuration —
+// RandomForest with ALM scheme 8 and InfoGain feature selection — and
+// report Recall / Precision / F-Measure against the binary baseline.
+//
+//   ./examples/classify_candidates [--positives N] [--negatives N] [--seed N]
+#include <iostream>
+
+#include "exp/trial_runner.hpp"
+#include "util/options.hpp"
+#include "util/text_table.hpp"
+
+using namespace drapid;
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv,
+               {{"positives", "150"}, {"negatives", "900"}, {"seed", "5"}});
+
+  BenchmarkConfig bench;
+  bench.survey = SurveyConfig::gbt350drift();
+  bench.survey.obs_length_s = 60.0;
+  bench.target_positives = static_cast<std::size_t>(opts.integer("positives"));
+  bench.target_negatives = static_cast<std::size_t>(opts.integer("negatives"));
+  bench.seed = static_cast<std::uint64_t>(opts.integer("seed"));
+  bench.visibility = 0.10;
+  std::cout << "building benchmark (" << bench.target_positives
+            << " positives + " << bench.target_negatives
+            << " negatives)...\n";
+  const auto pulses = build_benchmark_pulses(bench);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"configuration", "Recall", "Precision", "F-Measure",
+                  "train (s)"});
+  const auto add_row = [&](const TrialSpec& spec) {
+    const TrialResult r = run_trial(pulses, spec);
+    rows.push_back({spec.describe(), format_number(r.recall),
+                    format_number(r.precision), format_number(r.f_measure),
+                    format_number(r.train_seconds)});
+    return r;
+  };
+
+  TrialSpec binary;  // baseline: binary RF, all 22 features
+  binary.scheme = ml::AlmScheme::kBinary;
+  binary.learner = ml::LearnerType::kRandomForest;
+  const auto base = add_row(binary);
+
+  TrialSpec recommended = binary;  // paper §7: ALM-8 RF + InfoGain
+  recommended.scheme = ml::AlmScheme::kEight;
+  recommended.filter = ml::FilterMethod::kInfoGain;
+  const auto best = add_row(recommended);
+
+  TrialSpec alm_only = binary;
+  alm_only.scheme = ml::AlmScheme::kEight;
+  add_row(alm_only);
+
+  std::cout << '\n' << render_table(rows) << '\n';
+  const double speedup =
+      base.train_seconds > 0.0
+          ? (1.0 - best.train_seconds / base.train_seconds) * 100.0
+          : 0.0;
+  std::cout << "ALM-8 + IG trained " << format_number(speedup, 1)
+            << "% faster than the binary baseline, with Recall within "
+            << format_number((base.recall - best.recall) * 100.0, 1)
+            << " points (paper: ~54% faster, within ~2%).\n";
+  return 0;
+}

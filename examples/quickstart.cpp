@@ -1,0 +1,69 @@
+// Quickstart: simulate one observation, cluster its single pulse events,
+// run the RAPID search, and print the identified single pulses.
+//
+//   ./examples/quickstart [--seed N] [--snr X]
+#include <iostream>
+
+#include "clustering/dbscan.hpp"
+#include "rapid/multithreaded.hpp"
+#include "synth/survey.hpp"
+#include "util/options.hpp"
+#include "util/text_table.hpp"
+
+using namespace drapid;
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv, {{"seed", "42"}, {"snr", "18"}});
+
+  // 1. A synthetic GBT350Drift-style observation with one pulsar in beam.
+  SurveyConfig survey = SurveyConfig::gbt350drift();
+  survey.obs_length_s = 60.0;
+  SurveySimulator sim(survey, static_cast<std::uint64_t>(opts.integer("seed")));
+  SyntheticSource pulsar;
+  pulsar.name = "J1234+56";
+  pulsar.dm = 72.0;
+  pulsar.period_s = 3.0;
+  pulsar.width_ms = 12.0;
+  pulsar.median_snr = opts.number("snr");
+  pulsar.emission_rate = 0.8;
+  ObservationId id;
+  id.dataset = survey.name;
+  id.mjd = 56789.0;
+  const SimulatedObservation obs = sim.simulate(id, {pulsar});
+  std::cout << "observation: " << obs.data.events.size() << " single pulse "
+            << "events, " << obs.truth.size() << " injected pulses\n";
+
+  // 2. Cluster SPEs in DM-vs-time space (pipeline stage 2).
+  const auto clustering = dbscan_cluster(obs.data, *survey.grid, {});
+  std::cout << "clustering: " << clustering.clusters.size() << " clusters\n";
+
+  // 3. Search every cluster with Algorithm 1 and extract features.
+  const auto items = make_work_items(obs.data, clustering);
+  RapidRunStats stats;
+  const auto pulses =
+      run_rapid_multithreaded(items, RapidParams{}, *survey.grid, 2, &stats);
+  std::cout << "search: " << stats.pulses_found << " single pulses from "
+            << stats.spes_scanned << " SPEs in " << stats.wall_seconds
+            << " s\n\n";
+
+  // 4. Show the brightest identified pulses.
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"cluster", "rank", "SNRPeakDM", "SNRMax", "AvgSNR",
+                  "NumSpes", "SNRRatio"});
+  int shown = 0;
+  for (const auto& p : pulses) {
+    if (p.pulse_rank != 1 || p.features[kSnrMax] < 8.0) continue;
+    rows.push_back({std::to_string(p.cluster.cluster_id),
+                    std::to_string(p.pulse_rank),
+                    format_number(p.features[kSnrPeakDm]),
+                    format_number(p.features[kSnrMax]),
+                    format_number(p.features[kAvgSnr]),
+                    format_number(p.features[kNumSpes]),
+                    format_number(p.features[kSnrRatio])});
+    if (++shown >= 12) break;
+  }
+  std::cout << render_table(rows);
+  std::cout << "\n(peaks near DM " << pulsar.dm
+            << " are detections of " << pulsar.name << ")\n";
+  return 0;
+}

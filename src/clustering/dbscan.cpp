@@ -1,0 +1,230 @@
+#include "clustering/dbscan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+namespace drapid {
+
+namespace {
+
+/// Point view of one SPE in clustering space.
+struct Point {
+  double time = 0.0;
+  double trial = 0.0;  // DM position in trial-index units
+  std::size_t event_index = 0;
+};
+
+/// Neighbour finder over points sorted by time: binary-search the time
+/// window, then filter on the elliptical neighbourhood.
+class NeighbourIndex {
+ public:
+  NeighbourIndex(std::vector<Point> points, const DbscanParams& params)
+      : points_(std::move(points)), params_(params) {
+    std::sort(points_.begin(), points_.end(),
+              [](const Point& a, const Point& b) { return a.time < b.time; });
+  }
+
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Indices (into points()) within the ε-neighbourhood of points()[i],
+  /// including i itself.
+  void neighbours_of(std::size_t i, std::vector<std::size_t>& out) const {
+    out.clear();
+    const Point& p = points_[i];
+    const double t_lo = p.time - params_.eps_time_s;
+    const double t_hi = p.time + params_.eps_time_s;
+    auto lo = std::lower_bound(
+        points_.begin(), points_.end(), t_lo,
+        [](const Point& a, double t) { return a.time < t; });
+    for (auto it = lo; it != points_.end() && it->time <= t_hi; ++it) {
+      const double dt = (it->time - p.time) / params_.eps_time_s;
+      const double dd = (it->trial - p.trial) / params_.eps_dm_trials;
+      if (dt * dt + dd * dd <= 1.0) {
+        out.push_back(static_cast<std::size_t>(it - points_.begin()));
+      }
+    }
+  }
+
+ private:
+  std::vector<Point> points_;
+  const DbscanParams& params_;
+};
+
+struct Fragment {
+  std::vector<std::size_t> event_indices;
+  double trial_min = 0.0, trial_max = 0.0;
+  double time_centroid = 0.0;
+};
+
+/// Union-find for the fragment merge pass.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+ClusteringResult dbscan_cluster(const ObservationData& obs, const DmGrid& grid,
+                                const DbscanParams& params) {
+  ClusteringResult result;
+  result.labels.assign(obs.events.size(), -1);
+  if (obs.events.empty()) return result;
+
+  std::vector<Point> points;
+  points.reserve(obs.events.size());
+  for (std::size_t i = 0; i < obs.events.size(); ++i) {
+    points.push_back(Point{obs.events[i].time_s,
+                           static_cast<double>(grid.index_of(obs.events[i].dm)),
+                           i});
+  }
+  NeighbourIndex index(std::move(points), params);
+  const auto& pts = index.points();
+
+  // Standard DBSCAN: -2 = unvisited, -1 = noise, >=0 = cluster id.
+  std::vector<int> label(pts.size(), -2);
+  std::vector<std::size_t> neighbours, expansion;
+  int next_cluster = 0;
+  std::vector<Fragment> fragments;
+
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (label[i] != -2) continue;
+    index.neighbours_of(i, neighbours);
+    if (neighbours.size() < params.min_pts) {
+      label[i] = -1;
+      continue;
+    }
+    const int cid = next_cluster++;
+    label[i] = cid;
+    std::deque<std::size_t> queue(neighbours.begin(), neighbours.end());
+    Fragment frag;
+    frag.event_indices.push_back(pts[i].event_index);
+    double time_sum = pts[i].time;
+    frag.trial_min = frag.trial_max = pts[i].trial;
+    while (!queue.empty()) {
+      const std::size_t j = queue.front();
+      queue.pop_front();
+      if (label[j] == -1) label[j] = cid;  // border point adopted
+      if (label[j] != -2) continue;
+      label[j] = cid;
+      frag.event_indices.push_back(pts[j].event_index);
+      time_sum += pts[j].time;
+      frag.trial_min = std::min(frag.trial_min, pts[j].trial);
+      frag.trial_max = std::max(frag.trial_max, pts[j].trial);
+      index.neighbours_of(j, expansion);
+      if (expansion.size() >= params.min_pts) {
+        queue.insert(queue.end(), expansion.begin(), expansion.end());
+      }
+    }
+    frag.time_centroid =
+        time_sum / static_cast<double>(frag.event_indices.size());
+    fragments.push_back(std::move(frag));
+  }
+
+  // Merge pass: rejoin fragments split by processing artifacts — close in
+  // time, with only a small gap along the DM grid.
+  DisjointSets sets(fragments.size());
+  if (params.merge_fragments) {
+    for (std::size_t a = 0; a < fragments.size(); ++a) {
+      for (std::size_t b = a + 1; b < fragments.size(); ++b) {
+        const Fragment& fa = fragments[a];
+        const Fragment& fb = fragments[b];
+        if (std::abs(fa.time_centroid - fb.time_centroid) >
+            params.merge_time_gap_s) {
+          continue;
+        }
+        const double gap = std::max(fa.trial_min, fb.trial_min) -
+                           std::min(fa.trial_max, fb.trial_max);
+        if (gap <= params.merge_dm_gap_trials) sets.unite(a, b);
+      }
+    }
+  }
+
+  // Emit merged clusters with dense ids, in order of first appearance.
+  std::vector<int> root_to_cluster(fragments.size(), -1);
+  for (std::size_t f = 0; f < fragments.size(); ++f) {
+    const std::size_t root = sets.find(f);
+    if (root_to_cluster[root] == -1) {
+      root_to_cluster[root] = static_cast<int>(result.clusters.size());
+      result.clusters.push_back(SpeCluster{root_to_cluster[root], {}});
+    }
+    auto& members =
+        result.clusters[static_cast<std::size_t>(root_to_cluster[root])]
+            .members;
+    members.insert(members.end(), fragments[f].event_indices.begin(),
+                   fragments[f].event_indices.end());
+  }
+  for (auto& cluster : result.clusters) {
+    std::sort(cluster.members.begin(), cluster.members.end());
+    for (std::size_t e : cluster.members) result.labels[e] = cluster.id;
+  }
+  return result;
+}
+
+std::vector<ClusterRecord> make_cluster_records(
+    const ObservationData& obs, const ClusteringResult& result) {
+  std::vector<ClusterRecord> records;
+  records.reserve(result.clusters.size());
+  for (const auto& cluster : result.clusters) {
+    ClusterRecord rec;
+    rec.obs = obs.id;
+    rec.cluster_id = cluster.id;
+    rec.num_spes = static_cast<std::uint32_t>(cluster.members.size());
+    bool first = true;
+    for (std::size_t e : cluster.members) {
+      const auto& spe = obs.events[e];
+      if (first) {
+        rec.dm_min = rec.dm_max = spe.dm;
+        rec.time_min = rec.time_max = spe.time_s;
+        rec.snr_max = spe.snr;
+        first = false;
+      } else {
+        rec.dm_min = std::min(rec.dm_min, spe.dm);
+        rec.dm_max = std::max(rec.dm_max, spe.dm);
+        rec.time_min = std::min(rec.time_min, spe.time_s);
+        rec.time_max = std::max(rec.time_max, spe.time_s);
+        rec.snr_max = std::max(rec.snr_max, spe.snr);
+      }
+    }
+    records.push_back(rec);
+  }
+  // ClusterRank: 1 = brightest by SNR max (Table 1).
+  std::vector<std::size_t> order(records.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return records[a].snr_max > records[b].snr_max;
+  });
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    records[order[r]].rank = static_cast<int>(r + 1);
+  }
+  return records;
+}
+
+std::vector<SinglePulseEvent> cluster_events(const ObservationData& obs,
+                                             const SpeCluster& cluster) {
+  std::vector<SinglePulseEvent> events;
+  events.reserve(cluster.members.size());
+  for (std::size_t e : cluster.members) events.push_back(obs.events[e]);
+  std::sort(events.begin(), events.end(),
+            [](const SinglePulseEvent& a, const SinglePulseEvent& b) {
+              if (a.dm != b.dm) return a.dm < b.dm;
+              return a.time_s < b.time_s;
+            });
+  return events;
+}
+
+}  // namespace drapid

@@ -1,0 +1,111 @@
+#include "dataflow/block_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dataflow/rdd.hpp"  // stable_hash
+
+namespace drapid {
+
+BlockStore::BlockStore(std::size_t num_nodes, std::size_t block_size,
+                       std::size_t replication)
+    : num_nodes_(std::max<std::size_t>(1, num_nodes)),
+      block_size_(std::max<std::size_t>(1, block_size)),
+      replication_(std::clamp<std::size_t>(replication, 1, num_nodes_)) {}
+
+void BlockStore::put(const std::string& name, std::string contents) {
+  File file;
+  const std::size_t size = contents.size();
+  file.contents = std::move(contents);
+  // Deterministic replica placement: walk the node ring starting at a
+  // position derived from (file, block index).
+  const std::uint64_t base = stable_hash(name);
+  for (std::size_t offset = 0; offset < size || offset == 0;
+       offset += block_size_) {
+    BlockInfo block;
+    block.offset = offset;
+    block.size = std::min(block_size_, size - offset);
+    const auto start = static_cast<std::size_t>(
+        (base + offset / block_size_) % num_nodes_);
+    for (std::size_t r = 0; r < replication_; ++r) {
+      block.replicas.push_back(static_cast<int>((start + r) % num_nodes_));
+    }
+    file.layout.push_back(std::move(block));
+    if (size == 0) break;
+  }
+  files_[name] = std::move(file);
+}
+
+bool BlockStore::exists(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+void BlockStore::remove(const std::string& name) { files_.erase(name); }
+
+std::vector<std::string> BlockStore::list() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, _] : files_) names.push_back(name);
+  return names;
+}
+
+const BlockStore::File& BlockStore::file_or_throw(
+    const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) {
+    throw std::runtime_error("block store: no such file: " + name);
+  }
+  return it->second;
+}
+
+const std::string& BlockStore::get(const std::string& name) const {
+  return file_or_throw(name).contents;
+}
+
+std::size_t BlockStore::file_size(const std::string& name) const {
+  return file_or_throw(name).contents.size();
+}
+
+const std::vector<BlockStore::BlockInfo>& BlockStore::blocks(
+    const std::string& name) const {
+  return file_or_throw(name).layout;
+}
+
+std::string BlockStore::read_block(const std::string& name,
+                                   std::size_t block_index) const {
+  const File& file = file_or_throw(name);
+  if (block_index >= file.layout.size()) {
+    throw std::runtime_error("block store: block index out of range for " +
+                             name);
+  }
+  const BlockInfo& block = file.layout[block_index];
+  return file.contents.substr(block.offset, block.size);
+}
+
+std::vector<std::string> BlockStore::line_chunks(
+    const std::string& name) const {
+  const File& file = file_or_throw(name);
+  const std::string& text = file.contents;
+  std::vector<std::string> chunks;
+  std::size_t record_start = 0;  // first byte not yet assigned to a chunk
+  for (std::size_t b = 0; b < file.layout.size(); ++b) {
+    const std::size_t block_end = file.layout[b].offset + file.layout[b].size;
+    if (record_start >= block_end && b + 1 < file.layout.size()) {
+      chunks.emplace_back();  // a previous chunk consumed past this block
+      continue;
+    }
+    std::size_t end;
+    if (b + 1 == file.layout.size()) {
+      end = text.size();
+    } else {
+      const std::size_t nl = text.find('\n', block_end - 1);
+      end = (nl == std::string::npos) ? text.size() : nl + 1;
+    }
+    if (end < record_start) end = record_start;
+    chunks.push_back(text.substr(record_start, end - record_start));
+    record_start = end;
+  }
+  return chunks;
+}
+
+}  // namespace drapid

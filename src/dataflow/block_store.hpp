@@ -1,0 +1,70 @@
+// In-memory replicated block store — the HDFS stand-in.
+//
+// Files are split into fixed-size blocks, each replicated on `replication`
+// distinct data nodes (chosen deterministically from the file name). The
+// scheduler-facing part is the locality metadata: which nodes hold which
+// block, so a task reading a block can run where the data lives — the
+// property the paper's D-RAPID relies on when it reads the SPE and cluster
+// files out of HDFS (Figure 2).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace drapid {
+
+class BlockStore {
+ public:
+  struct BlockInfo {
+    std::size_t offset = 0;  ///< byte offset within the file
+    std::size_t size = 0;
+    std::vector<int> replicas;  ///< data-node ids holding this block
+  };
+
+  /// `num_nodes` data nodes (paper: 15), blocks of `block_size` bytes,
+  /// `replication` copies each (clamped to num_nodes).
+  BlockStore(std::size_t num_nodes, std::size_t block_size = 1u << 20,
+             std::size_t replication = 3);
+
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::size_t block_size() const { return block_size_; }
+
+  /// Stores `contents` under `name`, replacing any existing file.
+  void put(const std::string& name, std::string contents);
+
+  bool exists(const std::string& name) const;
+  void remove(const std::string& name);
+  std::vector<std::string> list() const;
+
+  /// Whole-file read; throws std::runtime_error if missing.
+  const std::string& get(const std::string& name) const;
+  std::size_t file_size(const std::string& name) const;
+
+  /// Block layout of a file; throws if missing.
+  const std::vector<BlockInfo>& blocks(const std::string& name) const;
+
+  /// Reads one block's bytes.
+  std::string read_block(const std::string& name, std::size_t block_index) const;
+
+  /// Splits a file into line-aligned chunks, one per block (a reader that
+  /// processes "its" block must see whole records, as Hadoop input formats
+  /// do: a chunk starts after the first newline at/after the block start and
+  /// runs through the first newline at/after the block end).
+  std::vector<std::string> line_chunks(const std::string& name) const;
+
+ private:
+  struct File {
+    std::string contents;
+    std::vector<BlockInfo> layout;
+  };
+  const File& file_or_throw(const std::string& name) const;
+
+  std::size_t num_nodes_;
+  std::size_t block_size_;
+  std::size_t replication_;
+  std::map<std::string, File> files_;
+};
+
+}  // namespace drapid

@@ -1,0 +1,149 @@
+#include "dataflow/cluster_model.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace drapid {
+
+ClusterSpec ClusterSpec::paper_beowulf(std::size_t num_executors) {
+  ClusterSpec spec;
+  spec.name = "beowulf-15";
+  spec.node.name = "i5-3470/core2duo-mix";
+  spec.node.clock_ghz = 3.2;
+  spec.node.physical_cores = 4;
+  spec.node.smt_throughput = 1.0;  // no hyperthreading on these parts
+  spec.node.memory_gb = 8.0;
+  spec.node.disk_mbps = 120.0;
+  spec.node.net_mbps = 110.0;
+  spec.num_executors = num_executors;
+  spec.cores_per_executor = 2;
+  spec.executor_memory_mb = 2560.0;
+  return spec;
+}
+
+MachineSpec ClusterSpec::paper_workstation() {
+  MachineSpec m;
+  m.name = "i7-7800K@4.5GHz";
+  m.clock_ghz = 4.5;
+  m.physical_cores = 6;
+  m.smt_throughput = 1.25;
+  m.memory_gb = 16.0;
+  m.disk_mbps = 180.0;  // SATA-era workstation storage
+  m.net_mbps = 110.0;
+  return m;
+}
+
+namespace {
+
+/// Earliest-available-slot list scheduling; returns the makespan given each
+/// task's duration in seconds.
+double list_schedule(const std::vector<double>& durations, std::size_t slots) {
+  if (durations.empty()) return 0.0;
+  slots = std::max<std::size_t>(1, slots);
+  std::priority_queue<double, std::vector<double>, std::greater<>> available;
+  for (std::size_t s = 0; s < slots; ++s) available.push(0.0);
+  double makespan = 0.0;
+  for (double d : durations) {
+    const double start = available.top();
+    available.pop();
+    const double finish = start + d;
+    available.push(finish);
+    makespan = std::max(makespan, finish);
+  }
+  return makespan;
+}
+
+}  // namespace
+
+SimResult simulate_cluster(const JobMetrics& job, const ClusterSpec& spec) {
+  SimResult result;
+  const std::size_t slots =
+      std::max<std::size_t>(1, spec.num_executors * spec.cores_per_executor);
+  const double unit_s = spec.ns_per_compute_unit * 1e-9 / spec.node.clock_ghz;
+  for (const auto& stage : job.stages) {
+    // A task transfers over its own node's uplink/disk, shared with the
+    // other core(s) of its executor; aggregate bandwidth therefore grows
+    // with the executor count (each executor ≈ one node on this testbed).
+    const double cores =
+        static_cast<double>(std::max<std::size_t>(1, spec.cores_per_executor));
+    const double net_bw_per_slot = spec.node.net_mbps * 1e6 / cores;
+    const double disk_bw_per_slot = spec.node.disk_mbps * 1e6 / cores;
+    std::vector<double> durations;
+    durations.reserve(stage.tasks.size());
+    for (const auto& task : stage.tasks) {
+      durations.push_back(
+          spec.per_task_overhead_ms * 1e-3 +
+          static_cast<double>(task.compute_cost) * unit_s +
+          static_cast<double>(task.shuffle_bytes) / net_bw_per_slot +
+          static_cast<double>(task.spill_bytes) / disk_bw_per_slot);
+    }
+    const double seconds =
+        spec.per_stage_overhead_s + list_schedule(durations, slots);
+    result.stages.push_back({stage.name, seconds});
+    result.total_seconds += seconds;
+  }
+  return result;
+}
+
+SimResult simulate_workstation(const std::vector<std::size_t>& task_costs,
+                               std::size_t input_bytes,
+                               std::size_t resident_bytes,
+                               const MachineSpec& machine, std::size_t threads,
+                               double ns_per_compute_unit) {
+  SimResult result;
+  threads = std::max<std::size_t>(1, threads);
+  // Oversubscription: beyond physical cores (+SMT headroom) extra threads
+  // add no throughput, so scale each task's effective duration.
+  const double effective_parallelism =
+      std::min(static_cast<double>(threads),
+               static_cast<double>(machine.physical_cores) *
+                   machine.smt_throughput);
+  const double slowdown = static_cast<double>(threads) / effective_parallelism;
+  const double unit_s = ns_per_compute_unit * 1e-9 / machine.clock_ghz;
+
+  const double scan_s =
+      static_cast<double>(input_bytes) / (machine.disk_mbps * 1e6);
+  result.stages.push_back({"scan-input", scan_s});
+
+  // Memory pressure: the portion of the working set beyond RAM swaps in and
+  // out once, at disk speed.
+  const double ram_bytes = machine.memory_gb * 1e9;
+  double swap_s = 0.0;
+  if (static_cast<double>(resident_bytes) > ram_bytes) {
+    swap_s = 2.0 * (static_cast<double>(resident_bytes) - ram_bytes) /
+             (machine.disk_mbps * 1e6);
+  }
+  if (swap_s > 0.0) result.stages.push_back({"swap", swap_s});
+
+  std::vector<double> durations;
+  durations.reserve(task_costs.size());
+  for (std::size_t cost : task_costs) {
+    durations.push_back(static_cast<double>(cost) * unit_s * slowdown);
+  }
+  const double compute_s = list_schedule(durations, threads);
+  result.stages.push_back({"search", compute_s});
+  result.total_seconds = scan_s + swap_s + compute_s;
+  return result;
+}
+
+
+JobMetrics scale_metrics(const JobMetrics& job, double factor) {
+  JobMetrics scaled = job;
+  const auto mul = [factor](std::size_t v) {
+    return static_cast<std::size_t>(static_cast<double>(v) * factor);
+  };
+  for (auto& stage : scaled.stages) {
+    for (auto& task : stage.tasks) {
+      task.records_in = mul(task.records_in);
+      task.bytes_in = mul(task.bytes_in);
+      task.records_out = mul(task.records_out);
+      task.bytes_out = mul(task.bytes_out);
+      task.shuffle_bytes = mul(task.shuffle_bytes);
+      task.spill_bytes = mul(task.spill_bytes);
+      task.compute_cost = mul(task.compute_cost);
+    }
+  }
+  return scaled;
+}
+
+}  // namespace drapid

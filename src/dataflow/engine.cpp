@@ -1,0 +1,101 @@
+#include "dataflow/engine.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/text_table.hpp"
+
+namespace drapid {
+
+namespace {
+std::size_t sum_tasks(const StageMetrics& stage,
+                      std::size_t TaskMetrics::*field) {
+  std::size_t total = 0;
+  for (const auto& t : stage.tasks) total += t.*field;
+  return total;
+}
+}  // namespace
+
+std::size_t StageMetrics::total_records_in() const {
+  return sum_tasks(*this, &TaskMetrics::records_in);
+}
+std::size_t StageMetrics::total_bytes_in() const {
+  return sum_tasks(*this, &TaskMetrics::bytes_in);
+}
+std::size_t StageMetrics::total_shuffle_bytes() const {
+  return sum_tasks(*this, &TaskMetrics::shuffle_bytes);
+}
+std::size_t StageMetrics::total_spill_bytes() const {
+  return sum_tasks(*this, &TaskMetrics::spill_bytes);
+}
+std::size_t StageMetrics::total_compute_cost() const {
+  return sum_tasks(*this, &TaskMetrics::compute_cost);
+}
+
+std::size_t JobMetrics::total_shuffle_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : stages) total += s.total_shuffle_bytes();
+  return total;
+}
+std::size_t JobMetrics::total_spill_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : stages) total += s.total_spill_bytes();
+  return total;
+}
+std::size_t JobMetrics::total_compute_cost() const {
+  std::size_t total = 0;
+  for (const auto& s : stages) total += s.total_compute_cost();
+  return total;
+}
+
+std::string JobMetrics::summary() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"stage", "tasks", "records_in", "bytes_in", "shuffle_bytes",
+                  "spill_bytes", "compute_cost"});
+  for (const auto& s : stages) {
+    rows.push_back({s.name, std::to_string(s.tasks.size()),
+                    std::to_string(s.total_records_in()),
+                    std::to_string(s.total_bytes_in()),
+                    std::to_string(s.total_shuffle_bytes()),
+                    std::to_string(s.total_spill_bytes()),
+                    std::to_string(s.total_compute_cost())});
+  }
+  return render_table(rows);
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(config),
+      pool_(config.worker_threads == 0 ? 1 : config.worker_threads) {
+  namespace fs = std::filesystem;
+  fs::path dir = config_.spill_dir.empty()
+                     ? fs::temp_directory_path() / "drapid_spill"
+                     : fs::path(config_.spill_dir);
+  fs::create_directories(dir);
+  // Isolate engines from one another with a per-instance subdirectory.
+  std::ostringstream unique;
+  unique << "engine_" << reinterpret_cast<std::uintptr_t>(this);
+  spill_dir_ = (dir / unique.str()).string();
+  fs::create_directories(spill_dir_);
+}
+
+Engine::~Engine() {
+  std::error_code ec;  // best-effort cleanup; never throw from a destructor
+  std::filesystem::remove_all(spill_dir_, ec);
+}
+
+StageMetrics& Engine::begin_stage(const std::string& name, std::size_t tasks) {
+  StageMetrics stage;
+  stage.name = name;
+  stage.tasks.resize(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) stage.tasks[i].partition = i;
+  metrics_.stages.push_back(std::move(stage));
+  return metrics_.stages.back();
+}
+
+std::string Engine::next_spill_path() {
+  std::ostringstream name;
+  name << "spill_" << spill_counter_.fetch_add(1) << ".bin";
+  return (std::filesystem::path(spill_dir_) / name.str()).string();
+}
+
+}  // namespace drapid

@@ -1,0 +1,75 @@
+// Execution engine for the mini-dataflow library (the Spark stand-in).
+//
+// The engine owns the worker pool that runs one task per partition, the
+// running job metrics, and the spill directory used when a dataset exceeds
+// the configured executor memory (the mechanism behind the paper's
+// one-executor cliff in Figure 4: "portions of the RDDs must be frequently
+// swapped out to disk").
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "dataflow/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace drapid {
+
+struct EngineConfig {
+  /// Modeled executors; partition counts and memory scale with this.
+  std::size_t num_executors = 4;
+  /// Virtual cores per executor (paper: 2).
+  std::size_t cores_per_executor = 2;
+  /// In-memory budget per executor for cached RDDs. When a dataset exceeds
+  /// num_executors * this, the driver spills it to disk (real file I/O).
+  std::size_t executor_memory_bytes = 256ull << 20;
+  /// Partitions assigned per core (paper's custom partitioner used 32).
+  std::size_t partitions_per_core = 32;
+  /// Worker threads actually used on this machine (independent of the
+  /// modeled executor count; capped by hardware).
+  std::size_t worker_threads = 4;
+  /// Directory for spill files; empty selects the system temp directory.
+  std::string spill_dir;
+
+  std::size_t total_cores() const { return num_executors * cores_per_executor; }
+  std::size_t total_memory_bytes() const {
+    return num_executors * executor_memory_bytes;
+  }
+  std::size_t default_partitions() const {
+    return total_cores() * partitions_per_core;
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineConfig& config() const { return config_; }
+  ThreadPool& pool() { return pool_; }
+
+  const JobMetrics& metrics() const { return metrics_; }
+  JobMetrics& metrics() { return metrics_; }
+  void reset_metrics() { metrics_.stages.clear(); }
+
+  /// Appends a stage with `tasks` zeroed task slots and returns it. The
+  /// reference stays valid until the next begin_stage (deque storage is not
+  /// needed: transformations finish a stage before starting another).
+  StageMetrics& begin_stage(const std::string& name, std::size_t tasks);
+
+  /// Unique path for one spill file; files live until the engine dies.
+  std::string next_spill_path();
+
+ private:
+  EngineConfig config_;
+  ThreadPool pool_;
+  JobMetrics metrics_;
+  std::string spill_dir_;
+  std::atomic<std::size_t> spill_counter_{0};
+};
+
+}  // namespace drapid

@@ -1,0 +1,55 @@
+// Work metrics recorded by the dataflow engine.
+//
+// Every transformation executed by the engine appends one StageMetrics with
+// one TaskMetrics per partition. The counters are *measured from the real
+// execution* (records moved, bytes shuffled between partitions, bytes spilled
+// to disk, domain compute units) — the cluster cost model then prices this
+// measured work against a hardware spec to obtain deterministic elapsed-time
+// estimates for the paper's testbeds (see cluster_model.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace drapid {
+
+/// Counters for one task (one partition of one stage).
+struct TaskMetrics {
+  std::size_t partition = 0;
+  std::size_t records_in = 0;
+  std::size_t bytes_in = 0;
+  std::size_t records_out = 0;
+  std::size_t bytes_out = 0;
+  /// Bytes that moved to a *different* partition during a shuffle (network
+  /// traffic on a cluster; zero for narrow transformations).
+  std::size_t shuffle_bytes = 0;
+  /// Bytes written to + read back from disk due to memory pressure.
+  std::size_t spill_bytes = 0;
+  /// Domain compute units (defaults to records_in; the D-RAPID search stage
+  /// reports SPEs scanned by Algorithm 1).
+  std::size_t compute_cost = 0;
+};
+
+struct StageMetrics {
+  std::string name;
+  std::vector<TaskMetrics> tasks;
+
+  std::size_t total_records_in() const;
+  std::size_t total_bytes_in() const;
+  std::size_t total_shuffle_bytes() const;
+  std::size_t total_spill_bytes() const;
+  std::size_t total_compute_cost() const;
+};
+
+struct JobMetrics {
+  std::vector<StageMetrics> stages;
+
+  std::size_t total_shuffle_bytes() const;
+  std::size_t total_spill_bytes() const;
+  std::size_t total_compute_cost() const;
+  /// Human-readable per-stage summary table.
+  std::string summary() const;
+};
+
+}  // namespace drapid

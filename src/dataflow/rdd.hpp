@@ -1,0 +1,471 @@
+// Key-value-pair RDDs and their transformations (the Spark stand-in).
+//
+// An Rdd<K, V> is a dataset physically split into partitions. Transformations
+// execute eagerly on the engine's worker pool — one task per partition — and
+// record measured work (records, bytes, shuffle traffic) into the engine's
+// job metrics. The three mechanisms the paper's D-RAPID design leans on are
+// all implemented for real:
+//
+//   * HashPartitioner — deterministic key → partition mapping, shared between
+//     datasets so matching keys are colocated ("uniform partitioning",
+//     Figure 3), which makes the join below shuffle-free;
+//   * aggregate_by_key — map-side combining that collapses duplicate keys
+//     before the expensive join ("key aggregation", Figure 3);
+//   * left_outer_join — co-partitioned fast path joins partition i of the
+//     left dataset against partition i of the right locally; inputs with
+//     unknown or mismatched partitioning are shuffled first and the extra
+//     bytes show up in the metrics (the ablation benchmark measures exactly
+//     this difference).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dataflow/engine.hpp"
+
+namespace drapid {
+
+// --- Stable hashing (independent of std::hash, for reproducible layouts) ----
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t stable_hash(const std::string& key) {
+  return fnv1a64(key.data(), key.size());
+}
+
+template <typename T>
+  requires std::is_integral_v<T>
+std::uint64_t stable_hash(T key) {
+  auto x = static_cast<std::uint64_t>(key);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// --- In-memory size estimation (for memory budgets and shuffle byte counts) -
+
+inline std::size_t byte_size(const std::string& s) {
+  return s.size() + sizeof(std::string);
+}
+template <typename T>
+  requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+std::size_t byte_size(T) {
+  return sizeof(T);
+}
+/// Fallback for flat user structs (no owned heap memory to account for).
+template <typename T>
+  requires(std::is_trivially_copyable_v<T> && !std::is_arithmetic_v<T> &&
+           !std::is_enum_v<T>)
+std::size_t byte_size(const T&) {
+  return sizeof(T);
+}
+template <typename A, typename B>
+std::size_t byte_size(const std::pair<A, B>& p);
+template <typename T>
+std::size_t byte_size(const std::vector<T>& v);
+template <typename T>
+std::size_t byte_size(const std::optional<T>& o);
+
+template <typename A, typename B>
+std::size_t byte_size(const std::pair<A, B>& p) {
+  return byte_size(p.first) + byte_size(p.second);
+}
+template <typename T>
+std::size_t byte_size(const std::vector<T>& v) {
+  std::size_t total = sizeof(std::vector<T>);
+  for (const auto& e : v) total += byte_size(e);
+  return total;
+}
+template <typename T>
+std::size_t byte_size(const std::optional<T>& o) {
+  return sizeof(bool) + (o ? byte_size(*o) : 0);
+}
+
+// --- Partitioner -------------------------------------------------------------
+
+/// Deterministic hash partitioner. Two instances with the same partition
+/// count and salt produce identical layouts — datasets partitioned by them
+/// are co-partitioned, and id() encodes that equivalence.
+struct HashPartitioner {
+  std::size_t num_partitions = 1;
+  std::uint64_t salt = 0x9e3779b97f4a7c15ULL;
+
+  template <typename K>
+  std::size_t of(const K& key) const {
+    return static_cast<std::size_t>((stable_hash(key) ^ salt) %
+                                    num_partitions);
+  }
+  /// Nonzero identity; equal iff layouts are identical.
+  std::uint64_t id() const {
+    return (static_cast<std::uint64_t>(num_partitions) * 0x9e3779b97f4a7c15ULL) ^
+           salt ^ 1ULL;
+  }
+};
+
+// --- Rdd ---------------------------------------------------------------------
+
+template <typename K, typename V>
+struct Rdd {
+  using Pair = std::pair<K, V>;
+  std::vector<std::vector<Pair>> partitions;
+  /// id() of the HashPartitioner that laid this dataset out; 0 = unknown.
+  std::uint64_t partitioner_id = 0;
+
+  std::size_t num_partitions() const { return partitions.size(); }
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& p : partitions) total += p.size();
+    return total;
+  }
+  std::size_t estimated_bytes() const {
+    std::size_t total = 0;
+    for (const auto& p : partitions) {
+      for (const auto& kv : p) total += byte_size(kv);
+    }
+    return total;
+  }
+  /// All pairs, partition by partition (deterministic).
+  std::vector<Pair> collect() const {
+    std::vector<Pair> all;
+    all.reserve(size());
+    for (const auto& p : partitions) all.insert(all.end(), p.begin(), p.end());
+    return all;
+  }
+};
+
+// --- Transformations ---------------------------------------------------------
+
+/// Distributes `pairs` round-robin into `num_partitions` chunks.
+template <typename K, typename V>
+Rdd<K, V> parallelize(Engine& engine, std::vector<std::pair<K, V>> pairs,
+                      std::size_t num_partitions) {
+  if (num_partitions == 0) num_partitions = 1;
+  Rdd<K, V> rdd;
+  rdd.partitions.resize(num_partitions);
+  const std::size_t chunk = (pairs.size() + num_partitions - 1) /
+                            std::max<std::size_t>(1, num_partitions);
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    const std::size_t begin = p * chunk;
+    const std::size_t end = std::min(begin + chunk, pairs.size());
+    if (begin >= end) continue;
+    rdd.partitions[p].assign(std::make_move_iterator(pairs.begin() + begin),
+                             std::make_move_iterator(pairs.begin() + end));
+  }
+  auto& stage = engine.begin_stage("parallelize", num_partitions);
+  for (std::size_t p = 0; p < num_partitions; ++p) {
+    stage.tasks[p].records_out = rdd.partitions[p].size();
+  }
+  return rdd;
+}
+
+namespace detail {
+template <typename K, typename V>
+void record_input(TaskMetrics& task, const std::vector<std::pair<K, V>>& part) {
+  task.records_in = part.size();
+  for (const auto& kv : part) task.bytes_in += byte_size(kv);
+  task.compute_cost = task.records_in;
+}
+template <typename K, typename V>
+void record_output(TaskMetrics& task,
+                   const std::vector<std::pair<K, V>>& part) {
+  task.records_out = part.size();
+  for (const auto& kv : part) task.bytes_out += byte_size(kv);
+}
+}  // namespace detail
+
+/// 1:1 transformation of whole pairs. Set `preserves_partitioning` only when
+/// `fn` never changes keys.
+template <typename K, typename V, typename Fn>
+auto map_pairs(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
+               const std::string& name = "map_pairs",
+               bool preserves_partitioning = false) {
+  using OutPair = decltype(fn(std::declval<const std::pair<K, V>&>()));
+  Rdd<typename OutPair::first_type, typename OutPair::second_type> out;
+  out.partitions.resize(in.num_partitions());
+  out.partitioner_id = preserves_partitioning ? in.partitioner_id : 0;
+  auto& stage = engine.begin_stage(name, in.num_partitions());
+  engine.pool().parallel_for(in.num_partitions(), [&](std::size_t p) {
+    auto& task = stage.tasks[p];
+    detail::record_input(task, in.partitions[p]);
+    out.partitions[p].reserve(in.partitions[p].size());
+    for (const auto& kv : in.partitions[p]) out.partitions[p].push_back(fn(kv));
+    detail::record_output(task, out.partitions[p]);
+  });
+  return out;
+}
+
+/// Value-only transformation; always preserves partitioning.
+template <typename K, typename V, typename Fn>
+auto map_values(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
+                const std::string& name = "map_values") {
+  using V2 = decltype(fn(std::declval<const V&>()));
+  Rdd<K, V2> out;
+  out.partitions.resize(in.num_partitions());
+  out.partitioner_id = in.partitioner_id;
+  auto& stage = engine.begin_stage(name, in.num_partitions());
+  engine.pool().parallel_for(in.num_partitions(), [&](std::size_t p) {
+    auto& task = stage.tasks[p];
+    detail::record_input(task, in.partitions[p]);
+    out.partitions[p].reserve(in.partitions[p].size());
+    for (const auto& kv : in.partitions[p]) {
+      out.partitions[p].emplace_back(kv.first, fn(kv.second));
+    }
+    detail::record_output(task, out.partitions[p]);
+  });
+  return out;
+}
+
+/// Keeps pairs where `pred(pair)` is true; preserves partitioning.
+template <typename K, typename V, typename Pred>
+Rdd<K, V> filter_pairs(Engine& engine, const Rdd<K, V>& in, Pred&& pred,
+                       const std::string& name = "filter") {
+  Rdd<K, V> out;
+  out.partitions.resize(in.num_partitions());
+  out.partitioner_id = in.partitioner_id;
+  auto& stage = engine.begin_stage(name, in.num_partitions());
+  engine.pool().parallel_for(in.num_partitions(), [&](std::size_t p) {
+    auto& task = stage.tasks[p];
+    detail::record_input(task, in.partitions[p]);
+    for (const auto& kv : in.partitions[p]) {
+      if (pred(kv)) out.partitions[p].push_back(kv);
+    }
+    detail::record_output(task, out.partitions[p]);
+  });
+  return out;
+}
+
+/// 1:many transformation with caller-reported compute cost:
+/// fn(key, value, cost_inout) -> vector<pair<K2, V2>>.
+template <typename K, typename V, typename Fn>
+auto flat_map_metered(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
+                      const std::string& name = "flat_map") {
+  using OutVec = decltype(fn(std::declval<const K&>(), std::declval<const V&>(),
+                             std::declval<std::size_t&>()));
+  using OutPair = typename OutVec::value_type;
+  Rdd<typename OutPair::first_type, typename OutPair::second_type> out;
+  out.partitions.resize(in.num_partitions());
+  auto& stage = engine.begin_stage(name, in.num_partitions());
+  engine.pool().parallel_for(in.num_partitions(), [&](std::size_t p) {
+    auto& task = stage.tasks[p];
+    detail::record_input(task, in.partitions[p]);
+    task.compute_cost = 0;  // reported by fn instead of records_in
+    for (const auto& kv : in.partitions[p]) {
+      std::size_t cost = 0;
+      auto produced = fn(kv.first, kv.second, cost);
+      task.compute_cost += cost;
+      for (auto& item : produced) {
+        out.partitions[p].push_back(std::move(item));
+      }
+    }
+    detail::record_output(task, out.partitions[p]);
+  });
+  return out;
+}
+
+/// Wide transformation: re-buckets every pair by `partitioner`. Bytes that
+/// land on a different modeled executor than they started on are counted as
+/// shuffle traffic (partition p lives on executor p mod num_executors).
+template <typename K, typename V>
+Rdd<K, V> partition_by(Engine& engine, const Rdd<K, V>& in,
+                       const HashPartitioner& partitioner,
+                       const std::string& name = "partition_by") {
+  const std::size_t sources = std::max<std::size_t>(1, in.num_partitions());
+  const std::size_t targets = partitioner.num_partitions;
+  const std::size_t executors = std::max<std::size_t>(
+      1, engine.config().num_executors);
+  Rdd<K, V> out;
+  out.partitions.resize(targets);
+  out.partitioner_id = partitioner.id();
+
+  std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(sources);
+  auto& stage = engine.begin_stage(name, sources);
+  engine.pool().parallel_for(in.num_partitions(), [&](std::size_t p) {
+    auto& task = stage.tasks[p];
+    detail::record_input(task, in.partitions[p]);
+    // Bucketing is a hash + pointer move per record — far cheaper than a
+    // parse or search step; the bytes cost is paid at the network term.
+    task.compute_cost = task.records_in / 4;
+    buckets[p].resize(targets);
+    for (const auto& kv : in.partitions[p]) {
+      const std::size_t target = partitioner.of(kv.first);
+      if (target % executors != p % executors) {
+        task.shuffle_bytes += byte_size(kv);
+      }
+      buckets[p][target].push_back(kv);
+    }
+    task.records_out = task.records_in;
+    task.bytes_out = task.bytes_in;
+  });
+  engine.pool().parallel_for(targets, [&](std::size_t t) {
+    for (std::size_t s = 0; s < sources; ++s) {
+      auto& bucket = buckets[s][t];
+      out.partitions[t].insert(out.partitions[t].end(),
+                               std::make_move_iterator(bucket.begin()),
+                               std::make_move_iterator(bucket.end()));
+    }
+  });
+  return out;
+}
+
+/// Map-side combine + (if needed) shuffle + final merge. `fold(agg, v)`
+/// folds one value into a per-key accumulator initialized with `init`;
+/// `merge(agg, other)` combines accumulators from different partitions.
+/// The result is partitioned by `partitioner`; if `in` already is, the
+/// aggregation is purely local (zero shuffle — the Figure 3 optimization).
+template <typename K, typename V, typename Agg, typename Fold, typename Merge>
+Rdd<K, Agg> aggregate_by_key(Engine& engine, const Rdd<K, V>& in,
+                             const Agg& init, Fold&& fold, Merge&& merge,
+                             const HashPartitioner& partitioner,
+                             const std::string& name = "aggregate_by_key") {
+  // Map-side combine per partition.
+  Rdd<K, Agg> combined;
+  combined.partitions.resize(in.num_partitions());
+  combined.partitioner_id = in.partitioner_id;
+  auto& stage = engine.begin_stage(name + ":combine", in.num_partitions());
+  engine.pool().parallel_for(in.num_partitions(), [&](std::size_t p) {
+    auto& task = stage.tasks[p];
+    detail::record_input(task, in.partitions[p]);
+    task.compute_cost = task.records_in / 4;  // hash-fold per record
+    std::unordered_map<K, Agg> local;
+    for (const auto& kv : in.partitions[p]) {
+      auto [it, inserted] = local.try_emplace(kv.first, init);
+      fold(it->second, kv.second);
+    }
+    combined.partitions[p].reserve(local.size());
+    for (auto& [k, agg] : local) {
+      combined.partitions[p].emplace_back(k, std::move(agg));
+    }
+    detail::record_output(task, combined.partitions[p]);
+  });
+
+  const bool copartitioned =
+      combined.partitioner_id == partitioner.id() &&
+      combined.num_partitions() == partitioner.num_partitions;
+  Rdd<K, Agg> shuffled =
+      copartitioned ? std::move(combined)
+                    : partition_by(engine, combined, partitioner,
+                                   name + ":shuffle");
+
+  // Final merge of accumulators that met in the same partition.
+  Rdd<K, Agg> out;
+  out.partitions.resize(shuffled.num_partitions());
+  out.partitioner_id = partitioner.id();
+  auto& merge_stage =
+      engine.begin_stage(name + ":merge", shuffled.num_partitions());
+  engine.pool().parallel_for(shuffled.num_partitions(), [&](std::size_t p) {
+    auto& task = merge_stage.tasks[p];
+    detail::record_input(task, shuffled.partitions[p]);
+    task.compute_cost = task.records_in / 4;  // hash-merge per record
+    std::unordered_map<K, Agg> local;
+    for (auto& kv : shuffled.partitions[p]) {
+      auto [it, inserted] = local.try_emplace(kv.first, std::move(kv.second));
+      if (!inserted) merge(it->second, std::move(kv.second));
+    }
+    out.partitions[p].reserve(local.size());
+    for (auto& [k, agg] : local) {
+      out.partitions[p].emplace_back(k, std::move(agg));
+    }
+    detail::record_output(task, out.partitions[p]);
+  });
+  return out;
+}
+
+/// reduce_by_key specialization of aggregate_by_key.
+template <typename K, typename V, typename Reduce>
+Rdd<K, V> reduce_by_key(Engine& engine, const Rdd<K, V>& in, Reduce&& reduce,
+                        const HashPartitioner& partitioner,
+                        const std::string& name = "reduce_by_key") {
+  auto wrapped = aggregate_by_key(
+      engine, in, std::optional<V>{},
+      [&reduce](std::optional<V>& agg, const V& v) {
+        if (agg) {
+          *agg = reduce(*agg, v);
+        } else {
+          agg = v;
+        }
+      },
+      [&reduce](std::optional<V>& agg, std::optional<V>&& other) {
+        if (agg && other) {
+          *agg = reduce(*agg, *other);
+        } else if (other) {
+          agg = std::move(other);
+        }
+      },
+      partitioner, name);
+  // Unwrap the optional: every surviving key folded at least one value.
+  return map_values(
+      engine, wrapped, [](const std::optional<V>& v) { return *v; },
+      name + ":unwrap");
+}
+
+/// Left outer join. Every left pair yields (v, matching right value or
+/// nullopt). If both inputs are already laid out by `partitioner`, the join
+/// is partition-local with zero shuffle; otherwise the non-conforming side(s)
+/// are shuffled first and the traffic is recorded (the ablation measures
+/// this difference).
+template <typename K, typename V, typename W>
+Rdd<K, std::pair<V, std::optional<W>>> left_outer_join(
+    Engine& engine, const Rdd<K, V>& left, const Rdd<K, W>& right,
+    const HashPartitioner& partitioner,
+    const std::string& name = "left_outer_join") {
+  const auto conforms = [&](std::uint64_t pid, std::size_t parts) {
+    return pid == partitioner.id() && parts == partitioner.num_partitions;
+  };
+  const Rdd<K, V>* lhs = &left;
+  Rdd<K, V> lhs_shuffled;
+  if (!conforms(left.partitioner_id, left.num_partitions())) {
+    lhs_shuffled = partition_by(engine, left, partitioner, name + ":shuffleL");
+    lhs = &lhs_shuffled;
+  }
+  const Rdd<K, W>* rhs = &right;
+  Rdd<K, W> rhs_shuffled;
+  if (!conforms(right.partitioner_id, right.num_partitions())) {
+    rhs_shuffled = partition_by(engine, right, partitioner, name + ":shuffleR");
+    rhs = &rhs_shuffled;
+  }
+
+  Rdd<K, std::pair<V, std::optional<W>>> out;
+  out.partitions.resize(partitioner.num_partitions);
+  out.partitioner_id = partitioner.id();
+  auto& stage = engine.begin_stage(name, partitioner.num_partitions);
+  engine.pool().parallel_for(partitioner.num_partitions, [&](std::size_t p) {
+    auto& task = stage.tasks[p];
+    detail::record_input(task, lhs->partitions[p]);
+    std::unordered_multimap<K, const W*> index;
+    index.reserve(rhs->partitions[p].size());
+    for (const auto& kv : rhs->partitions[p]) {
+      index.emplace(kv.first, &kv.second);
+      task.bytes_in += byte_size(kv);
+    }
+    task.records_in += rhs->partitions[p].size();
+    for (const auto& kv : lhs->partitions[p]) {
+      auto [lo, hi] = index.equal_range(kv.first);
+      if (lo == hi) {
+        out.partitions[p].emplace_back(
+            kv.first, std::make_pair(kv.second, std::optional<W>{}));
+      } else {
+        for (auto it = lo; it != hi; ++it) {
+          out.partitions[p].emplace_back(
+              kv.first, std::make_pair(kv.second, std::optional<W>(*it->second)));
+        }
+      }
+    }
+    detail::record_output(task, out.partitions[p]);
+  });
+  return out;
+}
+
+}  // namespace drapid

@@ -1,0 +1,84 @@
+#include "dataflow/spill.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace drapid {
+
+namespace {
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+CachedStringRdd::CachedStringRdd(Engine& engine, StringRdd rdd,
+                                 const std::string& name)
+    : engine_(engine), name_(name) {
+  bytes_ = rdd.estimated_bytes();
+  partitioner_id_ = rdd.partitioner_id;
+  auto& stage = engine_.begin_stage(name_ + ":cache", rdd.num_partitions());
+  if (bytes_ <= engine_.config().total_memory_bytes()) {
+    in_memory_ = std::move(rdd);
+    for (std::size_t p = 0; p < in_memory_.num_partitions(); ++p) {
+      stage.tasks[p].records_in = in_memory_.partitions[p].size();
+    }
+    return;
+  }
+  spilled_ = true;
+  files_.resize(rdd.num_partitions());
+  engine_.pool().parallel_for(rdd.num_partitions(), [&](std::size_t p) {
+    files_[p] = engine_.next_spill_path();
+    std::ofstream out(files_[p], std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open spill file " + files_[p]);
+    auto& task = stage.tasks[p];
+    write_u64(out, rdd.partitions[p].size());
+    for (const auto& [k, v] : rdd.partitions[p]) {
+      write_u64(out, k.size());
+      out.write(k.data(), static_cast<std::streamsize>(k.size()));
+      write_u64(out, v.size());
+      out.write(v.data(), static_cast<std::streamsize>(v.size()));
+      task.spill_bytes += k.size() + v.size() + 16;
+    }
+    task.records_in = rdd.partitions[p].size();
+    if (!out) throw std::runtime_error("spill write failed: " + files_[p]);
+    rdd.partitions[p].clear();
+    rdd.partitions[p].shrink_to_fit();
+  });
+}
+
+CachedStringRdd::StringRdd CachedStringRdd::materialize() {
+  if (!spilled_) return in_memory_;
+  StringRdd rdd;
+  rdd.partitions.resize(files_.size());
+  rdd.partitioner_id = partitioner_id_;
+  auto& stage = engine_.begin_stage(name_ + ":materialize", files_.size());
+  engine_.pool().parallel_for(files_.size(), [&](std::size_t p) {
+    std::ifstream in(files_[p], std::ios::binary);
+    if (!in) throw std::runtime_error("cannot reopen spill file " + files_[p]);
+    auto& task = stage.tasks[p];
+    const std::uint64_t count = read_u64(in);
+    rdd.partitions[p].reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string k(read_u64(in), '\0');
+      in.read(k.data(), static_cast<std::streamsize>(k.size()));
+      std::string v(read_u64(in), '\0');
+      in.read(v.data(), static_cast<std::streamsize>(v.size()));
+      task.spill_bytes += k.size() + v.size() + 16;
+      rdd.partitions[p].emplace_back(std::move(k), std::move(v));
+    }
+    if (!in) throw std::runtime_error("spill read failed: " + files_[p]);
+    task.records_out = rdd.partitions[p].size();
+  });
+  return rdd;
+}
+
+}  // namespace drapid

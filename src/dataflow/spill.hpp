@@ -1,0 +1,44 @@
+// Memory-budgeted caching of string-pair RDDs with real spill-to-disk.
+//
+// Spark keeps RDDs in executor memory and swaps partitions to disk when they
+// do not fit; the paper's one-executor run fell off a cliff for exactly this
+// reason (§6.1, RQ2). CachedStringRdd reproduces the mechanism: if the
+// dataset's estimated size exceeds the engine's total executor memory, every
+// partition is serialized to a spill file (real file I/O) and read back on
+// access. The written and re-read bytes are recorded in the job metrics,
+// which is what the cluster cost model prices as disk traffic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/rdd.hpp"
+
+namespace drapid {
+
+class CachedStringRdd {
+ public:
+  using StringRdd = Rdd<std::string, std::string>;
+
+  /// Takes ownership of `rdd`; spills it if it exceeds the engine's memory
+  /// budget. Records a "<name>:cache" stage with the spill write bytes.
+  CachedStringRdd(Engine& engine, StringRdd rdd, const std::string& name);
+
+  bool spilled() const { return spilled_; }
+  std::size_t estimated_bytes() const { return bytes_; }
+
+  /// Returns the dataset, reading partitions back from disk if spilled
+  /// (records a "<name>:materialize" stage with the read bytes).
+  StringRdd materialize();
+
+ private:
+  Engine& engine_;
+  std::string name_;
+  StringRdd in_memory_;       // valid when !spilled_
+  std::vector<std::string> files_;  // one per partition when spilled_
+  std::uint64_t partitioner_id_ = 0;
+  std::size_t bytes_ = 0;
+  bool spilled_ = false;
+};
+
+}  // namespace drapid

@@ -1,0 +1,77 @@
+#include "dedisp/filterbank.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "synth/dispersion.hpp"
+
+namespace drapid {
+
+Filterbank::Filterbank(FilterbankConfig config) : config_(config) {
+  if (config_.num_channels == 0 || config_.sample_time_ms <= 0.0 ||
+      config_.obs_length_s <= 0.0 || config_.bandwidth_mhz <= 0.0) {
+    throw std::invalid_argument("invalid filterbank configuration");
+  }
+  num_samples_ = static_cast<std::size_t>(config_.obs_length_s * 1e3 /
+                                          config_.sample_time_ms);
+  if (num_samples_ == 0) {
+    throw std::invalid_argument("observation shorter than one sample");
+  }
+  data_.assign(config_.num_channels * num_samples_, 0.0f);
+}
+
+double Filterbank::channel_freq_mhz(std::size_t channel) const {
+  // Channel 0 at the top of the band, descending.
+  const double chan_bw = config_.bandwidth_mhz /
+                         static_cast<double>(config_.num_channels);
+  return config_.center_freq_mhz + config_.bandwidth_mhz / 2.0 -
+         (static_cast<double>(channel) + 0.5) * chan_bw;
+}
+
+void Filterbank::add_noise(Rng& rng, double sigma) {
+  for (auto& v : data_) v += static_cast<float>(rng.normal(0.0, sigma));
+}
+
+void Filterbank::inject_pulse(double t0_s, double dm, double amplitude,
+                              double width_ms) {
+  const double sigma_s = std::max(1e-6, width_ms * 1e-3 / 2.355);  // FWHM→σ
+  for (std::size_t c = 0; c < num_channels(); ++c) {
+    const double arrival = t0_s + dispersion_delay_s(dm, channel_freq_mhz(c));
+    // Paint the profile over ±4σ around the arrival time.
+    const double t_lo = arrival - 4.0 * sigma_s;
+    const double t_hi = arrival + 4.0 * sigma_s;
+    const auto s_lo = static_cast<long>(t_lo * 1e3 / config_.sample_time_ms);
+    const auto s_hi = static_cast<long>(t_hi * 1e3 / config_.sample_time_ms);
+    for (long s = std::max(0l, s_lo);
+         s <= s_hi && s < static_cast<long>(num_samples_); ++s) {
+      const double t = static_cast<double>(s) * config_.sample_time_ms * 1e-3;
+      const double d = (t - arrival) / sigma_s;
+      at(c, static_cast<std::size_t>(s)) +=
+          static_cast<float>(amplitude * std::exp(-0.5 * d * d));
+    }
+  }
+}
+
+void Filterbank::inject_rfi_tone(std::size_t channel, double amplitude,
+                                 double t_begin_s, double t_end_s) {
+  if (channel >= num_channels()) {
+    throw std::invalid_argument("RFI channel out of range");
+  }
+  const auto s_lo = static_cast<long>(t_begin_s * 1e3 / config_.sample_time_ms);
+  const auto s_hi = static_cast<long>(t_end_s * 1e3 / config_.sample_time_ms);
+  for (long s = std::max(0l, s_lo);
+       s <= s_hi && s < static_cast<long>(num_samples_); ++s) {
+    at(channel, static_cast<std::size_t>(s)) += static_cast<float>(amplitude);
+  }
+}
+
+void Filterbank::inject_broadband_impulse(double t0_s, double amplitude) {
+  const auto s = static_cast<long>(t0_s * 1e3 / config_.sample_time_ms);
+  if (s < 0 || s >= static_cast<long>(num_samples_)) return;
+  for (std::size_t c = 0; c < num_channels(); ++c) {
+    at(c, static_cast<std::size_t>(s)) += static_cast<float>(amplitude);
+  }
+}
+
+}  // namespace drapid

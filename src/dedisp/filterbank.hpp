@@ -1,0 +1,72 @@
+// Filterbank data model — the raw telescope voltage-power data that phases
+// 1–3 of a single-pulse search consume (§3 of the paper).
+//
+// A filterbank is a (channel × time-sample) power matrix: the receiver's
+// band is split into frequency channels, each sampled at the native time
+// resolution. A dispersed pulse appears as a quadratic sweep across
+// channels (lower frequencies later); narrowband RFI as a hot channel;
+// broadband impulses as a hot time sample across every channel.
+//
+// Everything upstream of the paper's pipeline can be synthesized here and
+// pushed through the dedispersion + matched-filter search in
+// single_pulse_search.hpp to produce PRESTO-style SPE lists from first
+// principles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace drapid {
+
+struct FilterbankConfig {
+  double center_freq_mhz = 350.0;
+  double bandwidth_mhz = 100.0;
+  std::size_t num_channels = 64;
+  double sample_time_ms = 1.0;
+  double obs_length_s = 8.0;
+};
+
+class Filterbank {
+ public:
+  explicit Filterbank(FilterbankConfig config);
+
+  const FilterbankConfig& config() const { return config_; }
+  std::size_t num_channels() const { return config_.num_channels; }
+  std::size_t num_samples() const { return num_samples_; }
+
+  /// Center frequency of channel `c`; channel 0 is the highest frequency
+  /// (the filterbank convention).
+  double channel_freq_mhz(std::size_t channel) const;
+
+  float at(std::size_t channel, std::size_t sample) const {
+    return data_[channel * num_samples_ + sample];
+  }
+  float& at(std::size_t channel, std::size_t sample) {
+    return data_[channel * num_samples_ + sample];
+  }
+
+  /// Adds zero-mean Gaussian radiometer noise of the given sigma.
+  void add_noise(Rng& rng, double sigma = 1.0);
+
+  /// Injects a dispersed pulse: a Gaussian profile of full width `width_ms`
+  /// and per-channel amplitude `amplitude`, arriving at `t0_s` at infinite
+  /// frequency and swept across channels by the dispersion delay of `dm`.
+  void inject_pulse(double t0_s, double dm, double amplitude, double width_ms);
+
+  /// Narrowband RFI: raises one channel's level for a time span.
+  void inject_rfi_tone(std::size_t channel, double amplitude,
+                       double t_begin_s, double t_end_s);
+
+  /// Broadband impulse (lightning/sparking): one hot time sample across all
+  /// channels — undispersed, so it peaks at DM 0.
+  void inject_broadband_impulse(double t0_s, double amplitude);
+
+ private:
+  FilterbankConfig config_;
+  std::size_t num_samples_;
+  std::vector<float> data_;  // channel-major
+};
+
+}  // namespace drapid

@@ -1,0 +1,171 @@
+#include "dedisp/periodicity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace drapid {
+
+void fft_inplace(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n == 0) return;
+  if ((n & (n - 1)) != 0) {
+    throw std::invalid_argument("FFT size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * 3.14159265358979323846 /
+                         static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<double> power_spectrum(const std::vector<double>& series) {
+  if (series.empty()) return {};
+  std::size_t n = 1;
+  while (n < series.size()) n <<= 1;
+  const double m = mean(series);
+  std::vector<std::complex<double>> a(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < series.size(); ++i) a[i] = series[i] - m;
+  fft_inplace(a);
+  std::vector<double> power;
+  power.reserve(n / 2);
+  for (std::size_t k = 1; k <= n / 2; ++k) {
+    power.push_back(std::norm(a[k]));
+  }
+  return power;
+}
+
+std::vector<PeriodicityCandidate> periodicity_search(
+    const std::vector<double>& series, double sample_time_ms,
+    const PeriodicitySearchParams& params) {
+  std::vector<PeriodicityCandidate> candidates;
+  const auto power = power_spectrum(series);
+  if (power.empty()) return candidates;
+  std::size_t padded = 1;
+  while (padded < series.size()) padded <<= 1;
+  const double dt_s = sample_time_ms * 1e-3;
+  const double df_hz = 1.0 / (static_cast<double>(padded) * dt_s);
+
+  // Normalize against the typical (median) spectral power so snr is in
+  // units of the noise floor; chi^2_2 noise makes median ≈ 0.69 mean.
+  std::vector<double> sorted = power;
+  std::nth_element(sorted.begin(), sorted.begin() +
+                   static_cast<long>(sorted.size() / 2), sorted.end());
+  const double floor = std::max(1e-12, sorted[sorted.size() / 2] / 0.693);
+
+  const auto min_bin = static_cast<std::size_t>(
+      std::max(1.0, params.min_frequency_hz / df_hz));
+
+  // Harmonic summing: for each fundamental bin, sum power at k·f for
+  // k = 1..H; significance normalizes by sqrt(H) (incoherent sum).
+  for (std::size_t bin = min_bin; bin < power.size(); ++bin) {
+    double best_snr = 0.0;
+    int best_h = 1;
+    double summed = 0.0;
+    int h = 0;
+    for (int stage = 1; stage <= params.max_harmonics; stage *= 2) {
+      for (; h < stage; ++h) {
+        const std::size_t hb = bin * static_cast<std::size_t>(h + 1) - 1;
+        if (hb < power.size()) summed += power[hb];
+      }
+      // Excess of the summed power over its noise expectation (H·floor),
+      // in units of the sum's standard deviation (√H·floor for χ²₂ bins).
+      const double snr = (summed - static_cast<double>(stage) * floor) /
+                         (std::sqrt(static_cast<double>(stage)) * floor);
+      if (snr > best_snr) {
+        best_snr = snr;
+        best_h = stage;
+      }
+    }
+    if (best_snr < params.snr_threshold) continue;
+    PeriodicityCandidate cand;
+    cand.frequency_hz = static_cast<double>(bin + 1) * df_hz;
+    cand.period_s = 1.0 / cand.frequency_hz;
+    cand.snr = best_snr;
+    cand.harmonics = best_h;
+    candidates.push_back(cand);
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.snr > b.snr; });
+
+  // Harmonic de-duplication: drop candidates whose frequency is (nearly) an
+  // integer multiple or fraction of a stronger one.
+  std::vector<PeriodicityCandidate> unique;
+  for (const auto& cand : candidates) {
+    bool related = false;
+    for (const auto& kept : unique) {
+      const double ratio = cand.frequency_hz / kept.frequency_hz;
+      const double r = ratio >= 1.0 ? ratio : 1.0 / ratio;
+      // Tolerance covers bin-quantization error on both frequencies.
+      if (std::abs(r - std::round(r)) < 0.05) {
+        related = true;
+        break;
+      }
+    }
+    if (!related) unique.push_back(cand);
+    if (unique.size() >= params.max_candidates) break;
+  }
+  return unique;
+}
+
+std::vector<double> fold(const std::vector<double>& series,
+                         double sample_time_ms, double period_s,
+                         std::size_t bins) {
+  if (bins == 0 || period_s <= 0.0) {
+    throw std::invalid_argument("fold needs bins > 0 and a positive period");
+  }
+  std::vector<double> profile(bins, 0.0);
+  std::vector<std::size_t> counts(bins, 0);
+  const double dt_s = sample_time_ms * 1e-3;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const double phase =
+        std::fmod(static_cast<double>(s) * dt_s, period_s) / period_s;
+    const auto bin = std::min(
+        bins - 1, static_cast<std::size_t>(phase * static_cast<double>(bins)));
+    profile[bin] += series[s];
+    ++counts[bin];
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (counts[b] > 0) profile[b] /= static_cast<double>(counts[b]);
+  }
+  return profile;
+}
+
+double profile_significance(const std::vector<double>& profile) {
+  if (profile.size() < 4) return 0.0;
+  const double peak = *std::max_element(profile.begin(), profile.end());
+  // Off-pulse statistics: exclude the top quartile of bins so a strong
+  // pulse does not inflate its own baseline noise estimate.
+  std::vector<double> sorted(profile.begin(), profile.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::span<const double> off(sorted.data(), sorted.size() * 3 / 4);
+  const double m = mean(off);
+  const double sd = stddev(off, /*sample=*/false);
+  return sd > 1e-12 ? (peak - m) / sd : 0.0;
+}
+
+}  // namespace drapid

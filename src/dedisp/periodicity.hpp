@@ -1,0 +1,64 @@
+// Periodicity search — the other phase-3 search mode of §3: "periodicity
+// searches involve transforming and 'folding' the dedispersed data to
+// identify signals with regular periods" (vs single-pulse searches, which
+// skip these steps to stay sensitive to sporadic emitters like RRATs).
+//
+// Pipeline: dedispersed time series → FFT power spectrum → incoherent
+// harmonic summing (a pulsar's pulse train puts power into many harmonics
+// of the spin frequency) → candidate frequencies → epoch folding for the
+// pulse profile.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace drapid {
+
+/// In-place iterative radix-2 FFT; size must be a power of two (throws
+/// std::invalid_argument otherwise). `inverse` applies the 1/N-normalized
+/// inverse transform.
+void fft_inplace(std::vector<std::complex<double>>& a, bool inverse = false);
+
+/// Power spectrum of a real series: mean-subtracted, zero-padded to the
+/// next power of two, |FFT|² for the positive frequencies (bins 1..N/2).
+/// Bin k corresponds to frequency k / (N · dt).
+std::vector<double> power_spectrum(const std::vector<double>& series);
+
+struct PeriodicityCandidate {
+  double frequency_hz = 0.0;
+  double period_s = 0.0;
+  /// Significance of the (harmonic-summed) power against the local noise.
+  double snr = 0.0;
+  /// Number of harmonics summed when this candidate scored best (1, 2, 4…).
+  int harmonics = 1;
+};
+
+struct PeriodicitySearchParams {
+  /// Harmonic-sum stages: 1, 2, 4, ... up to this many harmonics.
+  int max_harmonics = 8;
+  double snr_threshold = 5.0;
+  std::size_t max_candidates = 16;
+  /// Ignore bins below this frequency (red noise / DC region).
+  double min_frequency_hz = 0.1;
+};
+
+/// Searches a dedispersed series for periodic signals. Candidates come back
+/// sorted by S/N, de-duplicated against their own harmonics (a candidate at
+/// an integer multiple/fraction of a stronger one is dropped).
+std::vector<PeriodicityCandidate> periodicity_search(
+    const std::vector<double>& series, double sample_time_ms,
+    const PeriodicitySearchParams& params = {});
+
+/// Epoch folding: co-adds the series modulo `period_s` into `bins` phase
+/// bins (each bin averaged). A real pulsar shows a distinct profile peak.
+std::vector<double> fold(const std::vector<double>& series,
+                         double sample_time_ms, double period_s,
+                         std::size_t bins);
+
+/// Peak-to-rms contrast of a folded profile — the paper's "candidate
+/// inspection" heuristic in number form (≫1 for a real pulsar at the right
+/// period, ≈ a few for noise).
+double profile_significance(const std::vector<double>& profile);
+
+}  // namespace drapid

@@ -1,0 +1,132 @@
+#include "dedisp/single_pulse_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/dispersion.hpp"
+
+namespace drapid {
+
+std::vector<double> dedisperse(const Filterbank& fb, double dm) {
+  const std::size_t n = fb.num_samples();
+  const double dt_s = fb.config().sample_time_ms * 1e-3;
+  std::vector<double> series(n, 0.0);
+  std::vector<std::size_t> contributors(n, 0);
+  // Shifts are relative to the highest-frequency channel (channel 0).
+  const double ref_delay = dispersion_delay_s(dm, fb.channel_freq_mhz(0));
+  for (std::size_t c = 0; c < fb.num_channels(); ++c) {
+    const double delay =
+        dispersion_delay_s(dm, fb.channel_freq_mhz(c)) - ref_delay;
+    const auto shift = static_cast<std::size_t>(delay / dt_s + 0.5);
+    for (std::size_t s = 0; s + shift < n; ++s) {
+      series[s] += fb.at(c, s + shift);
+      ++contributors[s];
+    }
+  }
+  // Normalize partial sums at the tail so the noise level stays uniform.
+  const double full = static_cast<double>(fb.num_channels());
+  for (std::size_t s = 0; s < n; ++s) {
+    if (contributors[s] > 0 && contributors[s] < fb.num_channels()) {
+      series[s] *= full / static_cast<double>(contributors[s]);
+    }
+  }
+  return series;
+}
+
+namespace {
+
+/// Robust location/scale from the median and the median absolute deviation.
+std::pair<double, double> robust_stats(std::vector<double> values) {
+  if (values.empty()) return {0.0, 1.0};
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid),
+                   values.end());
+  const double median = values[mid];
+  for (auto& v : values) v = std::abs(v - median);
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid),
+                   values.end());
+  const double mad = values[mid];
+  const double sigma = mad > 1e-12 ? mad * 1.4826 : 1.0;
+  return {median, sigma};
+}
+
+}  // namespace
+
+std::vector<SinglePulseEvent> detect_events(
+    const std::vector<double>& series, double dm, double sample_time_ms,
+    const SinglePulseSearchParams& params) {
+  std::vector<SinglePulseEvent> events;
+  const std::size_t n = series.size();
+  if (n == 0) return events;
+  const auto [median, sigma] = robust_stats(series);
+
+  // best S/N and width per sample across boxcars
+  std::vector<double> best_snr(n, 0.0);
+  std::vector<int> best_width(n, 1);
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    prefix[s + 1] = prefix[s] + (series[s] - median);
+  }
+  for (int w : params.boxcar_widths) {
+    if (w <= 0 || static_cast<std::size_t>(w) > n) continue;
+    const double norm = sigma * std::sqrt(static_cast<double>(w));
+    for (std::size_t s = 0; s + static_cast<std::size_t>(w) <= n; ++s) {
+      const double snr = (prefix[s + static_cast<std::size_t>(w)] - prefix[s]) /
+                         norm;
+      // Attribute the detection to the boxcar's central sample.
+      const std::size_t center = s + static_cast<std::size_t>(w) / 2;
+      if (snr > best_snr[center]) {
+        best_snr[center] = snr;
+        best_width[center] = w;
+      }
+    }
+  }
+
+  // Local maxima above threshold, merging anything within the detecting
+  // width (one event per pulse, PRESTO-style).
+  std::size_t s = 0;
+  while (s < n) {
+    if (best_snr[s] < params.snr_threshold) {
+      ++s;
+      continue;
+    }
+    // Extend over the contiguous above-threshold island; keep the peak.
+    std::size_t peak = s;
+    std::size_t end = s;
+    while (end < n && best_snr[end] >= params.snr_threshold) {
+      if (best_snr[end] > best_snr[peak]) peak = end;
+      ++end;
+    }
+    SinglePulseEvent e;
+    e.dm = dm;
+    e.snr = best_snr[peak];
+    e.sample = static_cast<std::int64_t>(peak);
+    e.time_s = static_cast<double>(peak) * sample_time_ms * 1e-3;
+    e.downfact = best_width[peak];
+    events.push_back(e);
+    s = end;
+  }
+  return events;
+}
+
+std::vector<SinglePulseEvent> single_pulse_search(
+    const Filterbank& fb, const DmGrid& grid,
+    const SinglePulseSearchParams& params) {
+  std::vector<SinglePulseEvent> events;
+  const std::size_t stride = std::max<std::size_t>(1, params.dm_stride);
+  for (std::size_t trial = 0; trial < grid.size(); trial += stride) {
+    const double dm = grid.dm_at(trial);
+    const auto series = dedisperse(fb, dm);
+    const auto found =
+        detect_events(series, dm, fb.config().sample_time_ms, params);
+    events.insert(events.end(), found.begin(), found.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SinglePulseEvent& a, const SinglePulseEvent& b) {
+              if (a.dm != b.dm) return a.dm < b.dm;
+              return a.time_s < b.time_s;
+            });
+  return events;
+}
+
+}  // namespace drapid

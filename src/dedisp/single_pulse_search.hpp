@@ -1,0 +1,50 @@
+// Phases 2–3 of a single-pulse search (§3): dedispersion and matched-filter
+// detection — the PRESTO `single_pulse_search.py` stand-in that produces
+// the SPE lists the rest of the pipeline consumes.
+//
+// Dedispersion shifts each filterbank channel by its dispersion delay at a
+// trial DM and sums across channels. The summed series is normalized and
+// convolved with boxcars of increasing width (matched filtering for pulses
+// wider than one sample); every local maximum above the S/N threshold
+// becomes a SinglePulseEvent at that trial DM.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dedisp/filterbank.hpp"
+#include "spe/dm_grid.hpp"
+#include "spe/spe.hpp"
+
+namespace drapid {
+
+/// Dedisperses at one trial DM: per-channel integer-sample shifts relative
+/// to the highest-frequency channel, summed. The result has num_samples()
+/// entries; trailing samples where channels ran out of data are summed over
+/// fewer channels (and normalized accordingly by the caller via detection).
+std::vector<double> dedisperse(const Filterbank& fb, double dm);
+
+struct SinglePulseSearchParams {
+  double snr_threshold = 5.0;
+  /// Boxcar widths in samples (PRESTO's downfacts).
+  std::vector<int> boxcar_widths = {1, 2, 4, 8, 16, 32};
+  /// Trial stride over the grid (1 = every trial; larger = faster scans).
+  std::size_t dm_stride = 1;
+};
+
+/// Matched-filter detection on one dedispersed series: the series is
+/// standardized (median/robust sigma), each boxcar width is scanned, and
+/// local maxima above threshold are reported with the best width. Events
+/// closer than the detecting boxcar width are merged (highest S/N wins).
+std::vector<SinglePulseEvent> detect_events(
+    const std::vector<double>& series, double dm, double sample_time_ms,
+    const SinglePulseSearchParams& params);
+
+/// The full phase-2+3 search: dedisperse at every (strided) grid trial and
+/// collect events. Output is sorted by (dm, time) like the survey
+/// simulator's SPE lists, ready for DBSCAN + RAPID.
+std::vector<SinglePulseEvent> single_pulse_search(
+    const Filterbank& fb, const DmGrid& grid,
+    const SinglePulseSearchParams& params = {});
+
+}  // namespace drapid

@@ -1,0 +1,268 @@
+#include "drapid/driver.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dataflow/rdd.hpp"
+#include "dataflow/spill.hpp"
+#include "spe/spe_io.hpp"
+#include "util/stopwatch.hpp"
+
+namespace drapid {
+
+namespace {
+
+using StringRdd = Rdd<std::string, std::string>;
+
+/// Splits a CSV data/cluster row into the observation-descriptor key (the
+/// first five fields, verbatim) and the per-record remainder — the KVP
+/// mapping of Figure 3's "Map to KVPRDD" phase.
+std::pair<std::string, std::string> split_key_value(const std::string& line) {
+  std::size_t pos = 0;
+  int commas = 0;
+  for (; pos < line.size(); ++pos) {
+    if (line[pos] == ',' && ++commas == 5) break;
+  }
+  if (commas < 5) {
+    throw std::runtime_error("row with fewer than 6 fields: " + line);
+  }
+  return {line.substr(0, pos), line.substr(pos + 1)};
+}
+
+/// Loads a keyed CSV file from the block store as one RDD partition per
+/// block chunk (data locality granularity), stripping the header.
+StringRdd load_keyed_file(Engine& engine, BlockStore& store,
+                          const std::string& name) {
+  const auto chunks = store.line_chunks(name);
+  StringRdd rdd;
+  rdd.partitions.resize(chunks.size());
+  auto& stage = engine.begin_stage("load:" + name, chunks.size());
+  engine.pool().parallel_for(chunks.size(), [&](std::size_t c) {
+    auto& task = stage.tasks[c];
+    task.bytes_in = chunks[c].size();
+    std::istringstream in(chunks[c]);
+    std::string line;
+    bool first_line_of_file = (c == 0);
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (first_line_of_file) {
+        first_line_of_file = false;  // drop the CSV header
+        continue;
+      }
+      rdd.partitions[c].push_back(split_key_value(line));
+      ++task.records_in;
+    }
+    // Parsing dominates the load stage: a per-record cost plus a per-byte
+    // scan cost (the cluster cost model prices these as CPU work).
+    task.compute_cost = task.records_in + task.bytes_in / 32;
+    detail::record_output(task, rdd.partitions[c]);
+  });
+  return rdd;
+}
+
+/// Joins per-key record lines into one blob ("Aggregate" phase of Figure 3).
+StringRdd aggregate_lines(Engine& engine, const StringRdd& in,
+                          const HashPartitioner& part,
+                          const std::string& name) {
+  return aggregate_by_key(
+      engine, in, std::string{},
+      [](std::string& agg, const std::string& line) {
+        if (!agg.empty()) agg.push_back('\n');
+        agg += line;
+      },
+      [](std::string& agg, std::string&& other) {
+        if (other.empty()) return;
+        if (!agg.empty()) agg.push_back('\n');
+        agg += other;
+      },
+      part, name);
+}
+
+std::vector<std::string> split_lines(const std::string& blob) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= blob.size()) {
+    const auto nl = blob.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < blob.size()) lines.push_back(blob.substr(start));
+      break;
+    }
+    lines.push_back(blob.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Search phase: runs Algorithm 1 for every cluster against the SPEs
+/// colocated with it by the join, emitting ML-file rows.
+std::vector<std::pair<std::string, std::string>> search_key(
+    const std::string& key, const std::vector<std::string>& cluster_lines,
+    const std::string& spe_blob, const DmGrid& grid,
+    const RapidParams& params, std::size_t& cost) {
+  std::vector<std::pair<std::string, std::string>> out;
+  // Parse and DM-sort the observation's SPEs once per *pair*. With key
+  // aggregation on, that is once per observation; without it, every cluster
+  // drags its own copy of the blob through this parse — the measured cost
+  // of the duplicate-key join inflation the paper warns about.
+  std::vector<SinglePulseEvent> events;
+  ObservationId obs;
+  for (const auto& line : split_lines(spe_blob)) {
+    SinglePulseEvent spe;
+    parse_data_row(parse_csv_line(key + ',' + line), obs, spe);
+    events.push_back(spe);
+  }
+  cost += events.size() + spe_blob.size() / 32;
+  std::sort(events.begin(), events.end(),
+            [](const SinglePulseEvent& a, const SinglePulseEvent& b) {
+              if (a.dm != b.dm) return a.dm < b.dm;
+              return a.time_s < b.time_s;
+            });
+
+  for (const auto& cluster_line : cluster_lines) {
+    const ClusterRecord rec =
+        parse_cluster_row(parse_csv_line(key + ',' + cluster_line));
+    // Select the SPEs inside the cluster's bounding box: binary-search the
+    // DM range, filter the time range.
+    const auto lo = std::lower_bound(
+        events.begin(), events.end(), rec.dm_min - 1e-9,
+        [](const SinglePulseEvent& e, double dm) { return e.dm < dm; });
+    std::vector<SinglePulseEvent> selected;
+    for (auto it = lo; it != events.end() && it->dm <= rec.dm_max + 1e-9;
+         ++it) {
+      if (it->time_s >= rec.time_min - 1e-9 &&
+          it->time_s <= rec.time_max + 1e-9) {
+        selected.push_back(*it);
+      }
+    }
+    cost += rapid_search_cost(selected.size());
+    const auto pulses = rapid_search(selected, params);
+    // PulseRank: 1 = brightest peak of this cluster.
+    std::vector<std::size_t> order(pulses.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return selected[pulses[a].peak].snr > selected[pulses[b].peak].snr;
+    });
+    std::vector<int> rank(pulses.size());
+    for (std::size_t r = 0; r < order.size(); ++r) {
+      rank[order[r]] = static_cast<int>(r + 1);
+    }
+    for (std::size_t p = 0; p < pulses.size(); ++p) {
+      MlRecord ml;
+      ml.obs = rec.obs;
+      ml.cluster_id = rec.cluster_id;
+      ml.pulse_index = static_cast<int>(p);
+      ml.features = extract_features(selected, pulses[p], rec, grid, rank[p]);
+      out.emplace_back(key, format_csv_row(format_ml_row(ml)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DrapidResult run_drapid(Engine& engine, BlockStore& store,
+                        const std::string& data_file,
+                        const std::string& cluster_file,
+                        const std::string& output_file, const DmGrid& grid,
+                        const DrapidConfig& config) {
+  Stopwatch watch;
+  engine.reset_metrics();
+  DrapidResult result;
+
+  const std::size_t num_partitions = config.num_partitions != 0
+                                         ? config.num_partitions
+                                         : engine.config().default_partitions();
+  // The shared partitioner the join runs under. With copartitioning on,
+  // every upstream stage lays data out with it, so the join is local; with
+  // it off, upstream stages use an incompatible layout (different salt) and
+  // the join must shuffle both sides again — the traffic the paper's
+  // "uniform partitioning" eliminates.
+  const HashPartitioner join_part{num_partitions};
+  const HashPartitioner upstream_part =
+      config.copartition ? join_part
+                         : HashPartitioner{num_partitions, 0x5ca1ab1edeadbeefULL};
+
+  // Stage 1 & 2: load and prepare the two input files.
+  StringRdd data_kvp = load_keyed_file(engine, store, data_file);
+  StringRdd cluster_kvp = load_keyed_file(engine, store, cluster_file);
+
+  // Stage 3a: uniform partitioning (Figure 3 "Partition" phase).
+  if (config.copartition) {
+    data_kvp = partition_by(engine, data_kvp, join_part, "partition:data");
+    cluster_kvp =
+        partition_by(engine, cluster_kvp, join_part, "partition:clusters");
+  }
+
+  // Stage 3b: key aggregation. The data side is always aggregated (one SPE
+  // blob per observation); the cluster side only when the optimization is
+  // on — turning it off reproduces the duplicate-key join inflation the
+  // paper warns about, measurably.
+  StringRdd data_agg =
+      aggregate_lines(engine, data_kvp, upstream_part, "aggregate:data");
+  data_kvp.partitions.clear();
+
+  StringRdd cluster_side =
+      config.aggregate_before_join
+          ? aggregate_lines(engine, cluster_kvp, upstream_part,
+                            "aggregate:clusters")
+          : std::move(cluster_kvp);
+
+  // The big SPE RDD is cached under the executor-memory budget; if it does
+  // not fit it spills to disk here and is read back for the join — the
+  // Figure 4 one-executor mechanism.
+  CachedStringRdd cached_data(engine, std::move(data_agg), "data");
+  StringRdd data_for_join = cached_data.materialize();
+
+  // Stage 3c: the co-located left outer join.
+  auto joined = left_outer_join(engine, cluster_side, data_for_join, join_part,
+                                "join:clusters+data");
+
+  // Stage 3d: the search phase.
+  const RapidParams rapid_params = config.rapid;
+  const DmGrid* grid_ptr = &grid;
+  auto ml_rows = flat_map_metered(
+      engine, joined,
+      [grid_ptr, &rapid_params](const std::string& key,
+                                const std::pair<std::string,
+                                                std::optional<std::string>>& v,
+                                std::size_t& cost)
+          -> std::vector<std::pair<std::string, std::string>> {
+        if (!v.second || v.second->empty() || v.first.empty()) return {};
+        return search_key(key, split_lines(v.first), *v.second, *grid_ptr,
+                          rapid_params, cost);
+      },
+      "search");
+
+  // Collect, order deterministically, and write the ML file back.
+  for (const auto& [key, row] : ml_rows.collect()) {
+    result.records.push_back(parse_ml_row(parse_csv_line(row)));
+  }
+  std::sort(result.records.begin(), result.records.end(),
+            [](const MlRecord& a, const MlRecord& b) {
+              const auto ka = a.obs.key(), kb = b.obs.key();
+              if (ka != kb) return ka < kb;
+              if (a.cluster_id != b.cluster_id) {
+                return a.cluster_id < b.cluster_id;
+              }
+              return a.pulse_index < b.pulse_index;
+            });
+  if (!output_file.empty()) {
+    std::ostringstream out;
+    write_ml_file(out, result.records);
+    store.put(output_file, out.str());
+  }
+
+  for (const auto& stage : engine.metrics().stages) {
+    if (stage.name == "search") {
+      result.spes_scanned = stage.total_compute_cost();
+    }
+    if (stage.name.rfind("load:" + std::string(cluster_file), 0) == 0) {
+      result.clusters_searched = stage.total_records_in();
+    }
+  }
+  result.metrics = engine.metrics();
+  result.wall_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace drapid

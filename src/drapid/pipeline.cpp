@@ -1,0 +1,104 @@
+#include "drapid/pipeline.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "spe/spe_io.hpp"
+
+namespace drapid {
+
+std::vector<double> PipelineData::cluster_sizes() const {
+  std::vector<double> sizes;
+  sizes.reserve(clusters.size());
+  for (const auto& c : clusters) sizes.push_back(static_cast<double>(c.num_spes));
+  return sizes;
+}
+
+PipelineData prepare_pipeline_data(const PipelineConfig& config) {
+  PipelineData data;
+  SurveySimulator sim(config.survey, config.seed);
+  data.sources = sim.draw_sources();
+  data.observations = sim.simulate_many(config.num_observations, data.sources,
+                                        config.visibility);
+
+  std::ostringstream data_out, cluster_out;
+  data_out << kDataFileHeader << '\n';
+  cluster_out << kClusterFileHeader << '\n';
+  for (const auto& obs : data.observations) {
+    data.total_spes += obs.data.events.size();
+    for (const auto& spe : obs.data.events) {
+      data_out << format_csv_row(format_data_row(obs.data.id, spe)) << '\n';
+    }
+    const auto clustering =
+        dbscan_cluster(obs.data, *config.survey.grid, config.dbscan);
+    for (const auto& rec : make_cluster_records(obs.data, clustering)) {
+      cluster_out << format_csv_row(format_cluster_row(rec)) << '\n';
+      data.clusters.push_back(rec);
+    }
+  }
+  data.data_csv = data_out.str();
+  data.cluster_csv = cluster_out.str();
+  return data;
+}
+
+void label_records(std::vector<MlRecord>& records,
+                   const std::vector<SimulatedObservation>& observations,
+                   double dm_tolerance, double time_tolerance_s) {
+  std::map<std::string, std::vector<GroundTruthPulse>> truth;
+  for (const auto& obs : observations) {
+    truth[obs.data.id.key()] = obs.truth;
+  }
+  label_records(records, truth, dm_tolerance, time_tolerance_s);
+}
+
+void label_records(std::vector<MlRecord>& records,
+                   const std::map<std::string, std::vector<GroundTruthPulse>>&
+                       truth_by_observation,
+                   double dm_tolerance, double time_tolerance_s) {
+  for (auto& rec : records) {
+    rec.truth_label.clear();
+    const auto it = truth_by_observation.find(rec.obs.key());
+    if (it == truth_by_observation.end()) continue;
+    const double peak_dm = rec.features[kSnrPeakDm];
+    const double t_lo = rec.features[kStartTime] - time_tolerance_s;
+    const double t_hi = rec.features[kStopTime] + time_tolerance_s;
+    for (const auto& gt : it->second) {
+      if (std::abs(gt.dm - peak_dm) <= dm_tolerance && gt.time_s >= t_lo &&
+          gt.time_s <= t_hi) {
+        rec.truth_label = gt.type == SourceType::kRrat ? "rrat" : "pulsar";
+        break;
+      }
+    }
+  }
+}
+
+void label_records_by_catalog(std::vector<MlRecord>& records,
+                              const SourceCatalog& catalog,
+                              double beam_radius_deg, double dm_tolerance) {
+  for (auto& rec : records) {
+    rec.truth_label.clear();
+    const auto hit =
+        catalog.crossmatch(rec.obs.ra_deg, rec.obs.dec_deg,
+                           rec.features[kSnrPeakDm], beam_radius_deg,
+                           dm_tolerance);
+    if (hit) rec.truth_label = hit->is_rrat ? "rrat" : "pulsar";
+  }
+}
+
+PipelineRun run_full_pipeline(Engine& engine, BlockStore& store,
+                              const PipelineConfig& config) {
+  PipelineRun run;
+  run.data = prepare_pipeline_data(config);
+  const std::string data_file = config.survey.name + ".data.csv";
+  const std::string cluster_file = config.survey.name + ".clusters.csv";
+  const std::string ml_file = config.survey.name + ".ml.csv";
+  store.put(data_file, run.data.data_csv);
+  store.put(cluster_file, run.data.cluster_csv);
+  run.result = run_drapid(engine, store, data_file, cluster_file, ml_file,
+                          *config.survey.grid, config.drapid);
+  label_records(run.result.records, run.data.observations);
+  return run;
+}
+
+}  // namespace drapid

@@ -1,0 +1,81 @@
+// End-to-end pipeline glue (Figure 2): survey simulation → DBSCAN clustering
+// → data/cluster files → D-RAPID search → labeled ML records.
+//
+// This is the workflow the examples and benchmarks drive. Because the survey
+// is synthetic, every identified pulse can be labeled against exact ground
+// truth — the stand-in for the paper's manually validated benchmarks (§4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "clustering/dbscan.hpp"
+#include "drapid/driver.hpp"
+#include "synth/survey.hpp"
+
+namespace drapid {
+
+struct PipelineConfig {
+  SurveyConfig survey;
+  std::size_t num_observations = 10;
+  /// Probability that a given source falls inside a given beam.
+  double visibility = 0.04;
+  std::uint64_t seed = 1;
+  DbscanParams dbscan;
+  DrapidConfig drapid;
+};
+
+/// Output of pipeline stages 1–2 (pre-processing + clustering), serialized
+/// in the file formats D-RAPID loads.
+struct PipelineData {
+  std::vector<SyntheticSource> sources;  ///< the population behind the data
+  std::vector<SimulatedObservation> observations;
+  std::vector<ClusterRecord> clusters;
+  std::string data_csv;     ///< the big SPE "data file" contents
+  std::string cluster_csv;  ///< the "cluster file" contents
+  std::size_t total_spes = 0;
+
+  /// Cluster-size distribution (for the §6.1 statistics: min/median/max).
+  std::vector<double> cluster_sizes() const;
+};
+
+/// Runs stages 1–2: simulates the survey and clusters every observation.
+PipelineData prepare_pipeline_data(const PipelineConfig& config);
+
+/// Truth labels for identified pulses: "" = non-pulsar (noise/RFI),
+/// "pulsar"/"rrat" otherwise. A record matches an injected pulse when its
+/// SNRPeakDM is within `dm_tolerance` of the source DM and the injection
+/// time falls inside the record's cluster time window (padded by
+/// `time_tolerance_s`).
+void label_records(std::vector<MlRecord>& records,
+                   const std::vector<SimulatedObservation>& observations,
+                   double dm_tolerance = 3.0, double time_tolerance_s = 0.2);
+
+/// Same matching rule, driven by bare truth tuples keyed by observation —
+/// for callers (e.g. the CLI) that load ground truth from a file rather
+/// than holding SimulatedObservations.
+void label_records(std::vector<MlRecord>& records,
+                   const std::map<std::string, std::vector<GroundTruthPulse>>&
+                       truth_by_observation,
+                   double dm_tolerance = 3.0, double time_tolerance_s = 0.2);
+
+/// The paper's §4 PALFA labeling: crossmatch each identified pulse against
+/// a known-source catalogue by the observation's sky position (within
+/// `beam_radius_deg`) and the pulse's SNRPeakDM (within `dm_tolerance`).
+/// Labels "pulsar"/"rrat"/"" in place.
+void label_records_by_catalog(std::vector<MlRecord>& records,
+                              const SourceCatalog& catalog,
+                              double beam_radius_deg = 0.3,
+                              double dm_tolerance = 3.0);
+
+/// Convenience: uploads the files, runs D-RAPID, labels the result.
+struct PipelineRun {
+  PipelineData data;
+  DrapidResult result;
+};
+PipelineRun run_full_pipeline(Engine& engine, BlockStore& store,
+                              const PipelineConfig& config);
+
+}  // namespace drapid

@@ -1,0 +1,87 @@
+#include "exp/benchmark_data.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "rapid/multithreaded.hpp"
+#include "util/log.hpp"
+
+namespace drapid {
+
+std::vector<LabeledPulse> build_benchmark_pulses(
+    const BenchmarkConfig& config) {
+  std::vector<LabeledPulse> positives, negatives;
+  SurveySimulator sim(config.survey, config.seed);
+  const auto sources = sim.draw_sources();
+  const DmGrid& grid = *config.survey.grid;
+
+  for (std::size_t batch = 0; batch < config.max_batches; ++batch) {
+    if (positives.size() >= config.target_positives &&
+        negatives.size() >= config.target_negatives) {
+      break;
+    }
+    const auto observations = sim.simulate_many(
+        config.observations_per_batch, sources, config.visibility);
+    for (const auto& obs : observations) {
+      const auto clustering =
+          dbscan_cluster(obs.data, grid, config.dbscan);
+      const auto items = make_work_items(obs.data, clustering);
+      for (const auto& item : items) {
+        for (const auto& found :
+             search_work_item(item, config.rapid, grid)) {
+          // Ground-truth match (same rule as pipeline::label_records).
+          LabeledPulse lp;
+          lp.features = found.features;
+          const double peak_dm = found.features[kSnrPeakDm];
+          for (const auto& gt : obs.truth) {
+            if (std::abs(gt.dm - peak_dm) <= 3.0 &&
+                gt.time_s >= found.cluster.time_min - 0.2 &&
+                gt.time_s <= found.cluster.time_max + 0.2) {
+              lp.is_pulsar = true;
+              lp.is_rrat = gt.type == SourceType::kRrat;
+              break;
+            }
+          }
+          if (lp.is_pulsar) {
+            if (positives.size() < config.target_positives) {
+              positives.push_back(lp);
+            }
+          } else if (negatives.size() < config.target_negatives) {
+            negatives.push_back(lp);
+          }
+        }
+      }
+    }
+    log_debug() << "benchmark batch " << batch << ": "
+                << positives.size() << " positives, " << negatives.size()
+                << " negatives";
+  }
+  if (positives.size() < config.target_positives ||
+      negatives.size() < config.target_negatives) {
+    log_warn() << "benchmark under target: " << positives.size() << "/"
+               << config.target_positives << " positives, "
+               << negatives.size() << "/" << config.target_negatives
+               << " negatives";
+  }
+
+  std::vector<LabeledPulse> all = std::move(negatives);
+  all.insert(all.end(), positives.begin(), positives.end());
+  return all;
+}
+
+ml::Dataset make_alm_dataset(const std::vector<LabeledPulse>& pulses,
+                             ml::AlmScheme scheme) {
+  std::vector<std::string> feature_names(PulseFeatures::names().begin(),
+                                         PulseFeatures::names().end());
+  ml::Dataset data(std::move(feature_names), ml::alm_class_names(scheme));
+  for (const auto& p : pulses) {
+    const int label = ml::alm_label(
+        scheme, p.is_pulsar, p.is_rrat, p.features[kSnrPeakDm],
+        p.features[kAvgSnr], p.features[kSnrMax]);
+    data.add(p.features.values, label);
+  }
+  return data;
+}
+
+}  // namespace drapid

@@ -1,0 +1,58 @@
+// Classification trial harness — the protocol behind Figures 5 and 6.
+//
+// One trial = (ALM scheme × feature-selection filter × learner × imbalance
+// treatment) evaluated on one benchmark, following the paper's §6.2 setup:
+// the benchmark splits into six stratified folds; the first is reserved for
+// feature selection (top-10 features when a filter is chosen), and the
+// remaining five run 5-fold cross-validation, optionally applying SMOTE to
+// each training fold.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/benchmark_data.hpp"
+#include "ml/classifier.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/feature_selection.hpp"
+
+namespace drapid {
+
+struct TrialSpec {
+  ml::AlmScheme scheme = ml::AlmScheme::kBinary;
+  std::optional<ml::FilterMethod> filter;  ///< nullopt = "None"
+  ml::LearnerType learner = ml::LearnerType::kRandomForest;
+  bool smote = false;
+  /// Features kept when a filter is set (paper: top ten).
+  std::size_t top_k = 10;
+  std::uint64_t seed = 1;
+
+  std::string describe() const;  // e.g. "RF scheme=8 fs=IG smote"
+};
+
+struct TrialResult {
+  TrialSpec spec;
+  /// Collapsed pulsar-vs-non-pulsar scores (the Figure 5(a) measures).
+  double recall = 0.0;
+  double precision = 0.0;
+  double f_measure = 0.0;
+  /// Training time summed over CV folds (the Figure 5(b)/6 measure) and
+  /// per-fold values for the boxplots.
+  double train_seconds = 0.0;
+  std::vector<double> fold_train_seconds;
+  std::vector<double> fold_recalls;
+  std::vector<double> fold_f_measures;
+  /// Per-instance outcome over the CV rows (aligned with the CV dataset):
+  /// true where the collapsed prediction was correct. Drives RQ4.
+  std::vector<bool> correct;
+  /// True class labels (scheme space) of the CV rows, same alignment.
+  std::vector<int> cv_labels;
+};
+
+/// Runs one trial on the benchmark pulses. The fold assignment derives from
+/// `spec.seed`, so trials with equal seeds compare the same instance splits.
+TrialResult run_trial(const std::vector<LabeledPulse>& pulses,
+                      const TrialSpec& spec);
+
+}  // namespace drapid

@@ -1,0 +1,82 @@
+#include "ml/alm.hpp"
+
+#include <stdexcept>
+
+namespace drapid {
+namespace ml {
+
+const std::vector<AlmScheme>& all_alm_schemes() {
+  static const std::vector<AlmScheme> kAll = {
+      AlmScheme::kBinary, AlmScheme::kFourStar, AlmScheme::kFour,
+      AlmScheme::kSeven, AlmScheme::kEight};
+  return kAll;
+}
+
+std::string alm_scheme_name(AlmScheme scheme) {
+  switch (scheme) {
+    case AlmScheme::kBinary: return "2";
+    case AlmScheme::kFourStar: return "4*";
+    case AlmScheme::kFour: return "4";
+    case AlmScheme::kSeven: return "7";
+    case AlmScheme::kEight: return "8";
+  }
+  throw std::invalid_argument("unknown ALM scheme");
+}
+
+const std::vector<std::string>& alm_class_names(AlmScheme scheme) {
+  static const std::vector<std::string> kBinary = {"NonPulsar", "Pulsar"};
+  static const std::vector<std::string> kFourStar = {
+      "NonPulsar", "Pulsar", "VeryBrightPulsar", "RRAT"};
+  static const std::vector<std::string> kFour = {"NonPulsar", "Near", "Mid",
+                                                 "Far"};
+  static const std::vector<std::string> kSeven = {
+      "NonPulsar",  "NearWeak", "NearStrong", "MidWeak",
+      "MidStrong", "FarWeak",  "FarStrong"};
+  static const std::vector<std::string> kEight = {
+      "NonPulsar",  "NearWeak", "NearStrong", "MidWeak",
+      "MidStrong", "FarWeak",  "FarStrong",  "RRAT"};
+  switch (scheme) {
+    case AlmScheme::kBinary: return kBinary;
+    case AlmScheme::kFourStar: return kFourStar;
+    case AlmScheme::kFour: return kFour;
+    case AlmScheme::kSeven: return kSeven;
+    case AlmScheme::kEight: return kEight;
+  }
+  throw std::invalid_argument("unknown ALM scheme");
+}
+
+namespace {
+/// 0 = near, 1 = mid, 2 = far (Table 2).
+int distance_bin(double snr_peak_dm) {
+  if (snr_peak_dm < kNearMidDmThreshold) return 0;
+  if (snr_peak_dm < kMidFarDmThreshold) return 1;
+  return 2;
+}
+/// 0 = weak, 1 = strong (Table 2; [0, 8] is weak).
+int strength_bin(double avg_snr) {
+  return avg_snr > kWeakStrongSnrThreshold ? 1 : 0;
+}
+}  // namespace
+
+int alm_label(AlmScheme scheme, bool is_pulsar, bool is_rrat,
+              double snr_peak_dm, double avg_snr, double snr_max) {
+  if (!is_pulsar) return 0;
+  switch (scheme) {
+    case AlmScheme::kBinary:
+      return 1;
+    case AlmScheme::kFourStar:
+      if (is_rrat) return 3;
+      return snr_max > kVeryBrightSnrMax ? 2 : 1;
+    case AlmScheme::kFour:
+      return 1 + distance_bin(snr_peak_dm);
+    case AlmScheme::kSeven:
+      return 1 + 2 * distance_bin(snr_peak_dm) + strength_bin(avg_snr);
+    case AlmScheme::kEight:
+      if (is_rrat) return 7;
+      return 1 + 2 * distance_bin(snr_peak_dm) + strength_bin(avg_snr);
+  }
+  throw std::invalid_argument("unknown ALM scheme");
+}
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,50 @@
+// Automatically Labeled Multiclass (ALM) classification — paper §5.2.2,
+// Tables 2 and 3.
+//
+// Instead of a human sorting positive examples into visual categories (the
+// [10] approach, scheme 4*), ALM discretizes two extracted features:
+//   SNRPeakDM — DM of the brightest SPE — a proxy for source distance:
+//       [0, 100) near, [100, 175) mid, [175, ∞) far;
+//   AvgSNR   — mean brightness: [0, 8] weak, (8, ∞) strong;
+// and combines the bins into class labels. Scheme 8 additionally keeps
+// RRATs as their own class so rare events stay learnable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace drapid {
+namespace ml {
+
+enum class AlmScheme {
+  kBinary,    ///< scheme "2": Non-pulsar, Pulsar
+  kFourStar,  ///< scheme "4*": visual classes from [10] (Pulsar, Very Bright, RRAT)
+  kFour,      ///< scheme "4": Non-pulsar, Near, Mid, Far
+  kSeven,     ///< scheme "7": Non-pulsar + {Near,Mid,Far} × {Weak,Strong}
+  kEight,     ///< scheme "8": scheme 7 + RRAT
+};
+
+const std::vector<AlmScheme>& all_alm_schemes();
+std::string alm_scheme_name(AlmScheme scheme);  // "2", "4*", "4", "7", "8"
+
+/// Class names; index 0 is always "NonPulsar".
+const std::vector<std::string>& alm_class_names(AlmScheme scheme);
+
+/// Table 2 thresholds.
+inline constexpr double kNearMidDmThreshold = 100.0;
+inline constexpr double kMidFarDmThreshold = 175.0;
+inline constexpr double kWeakStrongSnrThreshold = 8.0;
+/// Scheme 4*'s "Very Bright Pulsar" visual threshold (reconstructed; [10]
+/// sorted by eye — we use peak SNR).
+inline constexpr double kVeryBrightSnrMax = 20.0;
+
+/// Labels one instance under `scheme`.
+///   is_pulsar — ground truth: the instance is a real single pulse
+///   is_rrat   — the source is an RRAT (implies is_pulsar)
+///   snr_peak_dm, avg_snr, snr_max — the extracted features Table 2 uses
+/// Returns a class index into alm_class_names(scheme); 0 = NonPulsar.
+int alm_label(AlmScheme scheme, bool is_pulsar, bool is_rrat,
+              double snr_peak_dm, double avg_snr, double snr_max);
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,53 @@
+#include "ml/classifier.hpp"
+
+#include <stdexcept>
+
+#include "ml/mlp.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/rules.hpp"
+#include "ml/smo.hpp"
+#include "ml/tree.hpp"
+
+namespace drapid {
+namespace ml {
+
+const std::vector<LearnerType>& all_learner_types() {
+  static const std::vector<LearnerType> kAll = {
+      LearnerType::kMpn, LearnerType::kSmo,  LearnerType::kJrip,
+      LearnerType::kJ48, LearnerType::kPart, LearnerType::kRandomForest};
+  return kAll;
+}
+
+std::string learner_name(LearnerType type) {
+  switch (type) {
+    case LearnerType::kJ48: return "J48";
+    case LearnerType::kRandomForest: return "RF";
+    case LearnerType::kPart: return "PART";
+    case LearnerType::kJrip: return "JRip";
+    case LearnerType::kSmo: return "SMO";
+    case LearnerType::kMpn: return "MPN";
+  }
+  throw std::invalid_argument("unknown learner type");
+}
+
+std::unique_ptr<Classifier> make_classifier(LearnerType type,
+                                            std::uint64_t seed) {
+  switch (type) {
+    case LearnerType::kJ48:
+      return std::make_unique<DecisionTree>(TreeParams{}, seed);
+    case LearnerType::kRandomForest:
+      return std::make_unique<RandomForest>(ForestParams{}, seed);
+    case LearnerType::kPart:
+      return std::make_unique<PartClassifier>(PartParams{}, seed);
+    case LearnerType::kJrip:
+      return std::make_unique<JripClassifier>(JripParams{}, seed);
+    case LearnerType::kSmo:
+      return std::make_unique<SmoClassifier>(SmoParams{}, seed);
+    case LearnerType::kMpn:
+      return std::make_unique<MlpClassifier>(MlpParams{}, seed);
+  }
+  throw std::invalid_argument("unknown learner type");
+}
+
+}  // namespace ml
+}  // namespace drapid

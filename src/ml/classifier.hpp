@@ -1,0 +1,48 @@
+// Common interface for the six supervised learners of Table 5.
+//
+//   MPN  — multilayer perceptron (artificial neural network)
+//   SMO  — support vector machine via sequential minimal optimization
+//   JRip — RIPPER-style rule learner
+//   J48  — C4.5-style decision tree
+//   PART — partial-tree rule learner (rule + tree)
+//   RandomForest — bagged ensemble of random trees
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace drapid {
+namespace ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on `data`; implementations must be deterministic given their
+  /// construction seed. Throws std::invalid_argument on an empty dataset.
+  virtual void train(const Dataset& data) = 0;
+
+  /// Predicts the class index of one instance (same feature layout as the
+  /// training data).
+  virtual int predict(std::span<const double> x) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+enum class LearnerType { kJ48, kRandomForest, kPart, kJrip, kSmo, kMpn };
+
+const std::vector<LearnerType>& all_learner_types();
+std::string learner_name(LearnerType type);  // "J48", "RF", ...
+
+/// Factory with each learner's default hyperparameters (documented in the
+/// learner headers). `seed` feeds the stochastic learners (RF, MPN).
+std::unique_ptr<Classifier> make_classifier(LearnerType type,
+                                            std::uint64_t seed);
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,78 @@
+#include "ml/cross_validation.hpp"
+
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace drapid {
+namespace ml {
+
+std::vector<int> stratified_folds(const Dataset& data, int k, Rng& rng) {
+  return stratified_folds(data.labels(), data.num_classes(), k, rng);
+}
+
+std::vector<int> stratified_folds(const std::vector<int>& labels,
+                                  std::size_t num_classes, int k, Rng& rng) {
+  if (k < 2) throw std::invalid_argument("need at least 2 folds");
+  std::vector<int> folds(labels.size(), 0);
+  // Shuffle within each class, then deal members round-robin across folds.
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == static_cast<int>(c)) members.push_back(i);
+    }
+    rng.shuffle(members);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      folds[members[m]] = static_cast<int>(m % static_cast<std::size_t>(k));
+    }
+  }
+  return folds;
+}
+
+std::vector<std::size_t> rows_in_fold(const std::vector<int>& folds, int fold,
+                                      bool in_fold) {
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < folds.size(); ++i) {
+    if ((folds[i] == fold) == in_fold) rows.push_back(i);
+  }
+  return rows;
+}
+
+CvResult cross_validate(
+    const Dataset& data, int k,
+    const std::function<std::unique_ptr<Classifier>()>& factory, Rng& rng,
+    const TrainTransform& transform, std::vector<int>* out_predictions) {
+  CvResult result;
+  result.pooled = ConfusionMatrix(data.num_classes());
+  if (out_predictions) out_predictions->assign(data.num_instances(), -1);
+  const auto folds = stratified_folds(data, k, rng);
+  for (int f = 0; f < k; ++f) {
+    FoldResult fold_result;
+    fold_result.confusion = ConfusionMatrix(data.num_classes());
+    Dataset train = data.subset(rows_in_fold(folds, f, false));
+    const auto test_rows = rows_in_fold(folds, f, true);
+    const Dataset test = data.subset(test_rows);
+    if (transform) train = transform(train);
+
+    auto classifier = factory();
+    Stopwatch train_watch;
+    classifier->train(train);
+    fold_result.train_seconds = train_watch.elapsed_seconds();
+
+    Stopwatch test_watch;
+    for (std::size_t i = 0; i < test.num_instances(); ++i) {
+      const int predicted = classifier->predict(test.instance(i));
+      fold_result.confusion.add(test.label(i), predicted);
+      if (out_predictions) (*out_predictions)[test_rows[i]] = predicted;
+    }
+    fold_result.test_seconds = test_watch.elapsed_seconds();
+
+    result.pooled.merge(fold_result.confusion);
+    result.total_train_seconds += fold_result.train_seconds;
+    result.folds.push_back(std::move(fold_result));
+  }
+  return result;
+}
+
+}  // namespace ml
+}  // namespace drapid

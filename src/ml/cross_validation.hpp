@@ -1,0 +1,63 @@
+// Stratified k-fold cross-validation (the paper's evaluation protocol).
+//
+// The paper divides each benchmark into six folds — one reserved for feature
+// selection, the other five for 5-fold cross-validation (§6.2). Folds are
+// stratified so each preserves the class distribution, which matters at the
+// paper's 0.05 % positive rate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ml/classifier.hpp"
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace ml {
+
+/// Assigns every instance a fold in [0, k), stratified by class.
+std::vector<int> stratified_folds(const Dataset& data, int k, Rng& rng);
+
+/// Same, over a bare label vector with `num_classes` classes — lets callers
+/// stratify on a different label space than the dataset's (e.g. the binary
+/// collapse, so fold membership stays identical across ALM schemes).
+std::vector<int> stratified_folds(const std::vector<int>& labels,
+                                  std::size_t num_classes, int k, Rng& rng);
+
+/// Row indices belonging (or not) to fold `fold`.
+std::vector<std::size_t> rows_in_fold(const std::vector<int>& folds, int fold,
+                                      bool in_fold);
+
+struct FoldResult {
+  ConfusionMatrix confusion{1};
+  double train_seconds = 0.0;
+  double test_seconds = 0.0;
+};
+
+struct CvResult {
+  std::vector<FoldResult> folds;
+  /// Confusion across all folds.
+  ConfusionMatrix pooled{1};
+  double total_train_seconds = 0.0;
+
+  BinaryScores pooled_binary() const {
+    return pooled.collapse_nonzero_positive();
+  }
+};
+
+/// Optional hook applied to each training fold before fitting (the SMOTE
+/// path); receives the fold dataset and must return the dataset to train on.
+using TrainTransform = std::function<Dataset(const Dataset&)>;
+
+/// Runs k-fold CV with a fresh classifier per fold from `factory`.
+/// `out_predictions`, if non-null, receives each instance's predicted class
+/// (every row is tested exactly once across the k folds) — the RQ4 analysis
+/// of hard-to-classify instances builds on this.
+CvResult cross_validate(const Dataset& data, int k,
+                        const std::function<std::unique_ptr<Classifier>()>& factory,
+                        Rng& rng, const TrainTransform& transform = nullptr,
+                        std::vector<int>* out_predictions = nullptr);
+
+}  // namespace ml
+}  // namespace drapid

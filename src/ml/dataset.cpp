@@ -1,0 +1,78 @@
+#include "ml/dataset.hpp"
+
+#include <stdexcept>
+
+namespace drapid {
+namespace ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names,
+                 std::vector<std::string> class_names)
+    : feature_names_(std::move(feature_names)),
+      class_names_(std::move(class_names)) {}
+
+void Dataset::add(std::span<const double> x, int y) {
+  if (x.size() != num_features()) {
+    throw std::invalid_argument("instance has " + std::to_string(x.size()) +
+                                " features, dataset expects " +
+                                std::to_string(num_features()));
+  }
+  if (y < 0 || static_cast<std::size_t>(y) >= num_classes()) {
+    throw std::invalid_argument("class index out of range: " +
+                                std::to_string(y));
+  }
+  values_.insert(values_.end(), x.begin(), x.end());
+  labels_.push_back(y);
+}
+
+std::span<const double> Dataset::instance(std::size_t i) const {
+  return {values_.data() + i * num_features(), num_features()};
+}
+
+std::vector<double> Dataset::feature_column(std::size_t f) const {
+  std::vector<double> column;
+  column.reserve(num_instances());
+  for (std::size_t i = 0; i < num_instances(); ++i) {
+    column.push_back(values_[i * num_features() + f]);
+  }
+  return column;
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes(), 0);
+  for (int y : labels_) ++counts[static_cast<std::size_t>(y)];
+  return counts;
+}
+
+Dataset Dataset::select_features(
+    const std::vector<std::size_t>& features) const {
+  std::vector<std::string> names;
+  names.reserve(features.size());
+  for (std::size_t f : features) {
+    if (f >= num_features()) {
+      throw std::invalid_argument("feature index out of range");
+    }
+    names.push_back(feature_names_[f]);
+  }
+  Dataset out(std::move(names), class_names_);
+  std::vector<double> row(features.size());
+  for (std::size_t i = 0; i < num_instances(); ++i) {
+    const auto x = instance(i);
+    for (std::size_t j = 0; j < features.size(); ++j) row[j] = x[features[j]];
+    out.add(row, labels_[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
+  Dataset out(feature_names_, class_names_);
+  for (std::size_t r : rows) {
+    if (r >= num_instances()) {
+      throw std::invalid_argument("row index out of range");
+    }
+    out.add(instance(r), labels_[r]);
+  }
+  return out;
+}
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,57 @@
+// Tabular dataset model for the machine-learning substrate (the Weka
+// stand-in): numeric feature matrix plus a nominal class column.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace drapid {
+namespace ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<std::string> feature_names,
+          std::vector<std::string> class_names);
+
+  std::size_t num_instances() const { return labels_.size(); }
+  std::size_t num_features() const { return feature_names_.size(); }
+  std::size_t num_classes() const { return class_names_.size(); }
+
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+
+  /// Appends one instance; `x` must have num_features() values and `y` must
+  /// be a valid class index (throws std::invalid_argument otherwise).
+  void add(std::span<const double> x, int y);
+
+  std::span<const double> instance(std::size_t i) const;
+  int label(std::size_t i) const { return labels_[i]; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  /// All values of feature `f` in instance order.
+  std::vector<double> feature_column(std::size_t f) const;
+
+  /// Instances per class.
+  std::vector<std::size_t> class_counts() const;
+
+  /// New dataset with only the given feature columns (order preserved as
+  /// given); class column unchanged.
+  Dataset select_features(const std::vector<std::size_t>& features) const;
+
+  /// New dataset with only the given rows.
+  Dataset subset(const std::vector<std::size_t>& rows) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> class_names_;
+  std::vector<double> values_;  // row-major, num_instances × num_features
+  std::vector<int> labels_;
+};
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,50 @@
+#include "ml/discretize.hpp"
+
+#include <algorithm>
+
+namespace drapid {
+namespace ml {
+
+std::vector<double> equal_frequency_cuts(std::span<const double> values,
+                                         std::size_t bins) {
+  std::vector<double> cuts;
+  if (values.empty() || bins < 2) return cuts;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t b = 1; b < bins; ++b) {
+    const std::size_t idx = b * sorted.size() / bins;
+    const double cut = sorted[std::min(idx, sorted.size() - 1)];
+    // Bin of x = number of cuts ≤ x, so a cut is useful only when some
+    // value lies strictly below it (a cut at the minimum separates nothing,
+    // and constant features get no cuts at all).
+    if (cut <= sorted.front()) continue;
+    if (cuts.empty() || cut > cuts.back()) cuts.push_back(cut);
+  }
+  return cuts;
+}
+
+std::vector<std::size_t> apply_cuts(std::span<const double> values,
+                                    std::span<const double> cuts) {
+  std::vector<std::size_t> bins;
+  bins.reserve(values.size());
+  for (double v : values) {
+    const auto it = std::upper_bound(cuts.begin(), cuts.end(), v);
+    bins.push_back(static_cast<std::size_t>(it - cuts.begin()));
+  }
+  return bins;
+}
+
+std::vector<std::vector<std::size_t>> contingency_table(
+    std::span<const std::size_t> bins, std::span<const int> labels,
+    std::size_t num_bins, std::size_t num_classes) {
+  std::vector<std::vector<std::size_t>> table(
+      num_bins, std::vector<std::size_t>(num_classes, 0));
+  const std::size_t n = std::min(bins.size(), labels.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ++table[bins[i]][static_cast<std::size_t>(labels[i])];
+  }
+  return table;
+}
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,32 @@
+// Numeric-feature discretization used by the entropy-based feature filters.
+//
+// Weka's filters discretize numeric attributes before computing entropy
+// measures; we use equal-frequency binning (a standard choice that needs no
+// class information and behaves well on the heavy-tailed SNR features).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace drapid {
+namespace ml {
+
+/// Cut points for (up to) `bins` equal-frequency bins over `values`.
+/// Returns strictly increasing thresholds; bin of x = number of cuts ≤ x.
+/// Fewer cuts come back when values repeat heavily.
+std::vector<double> equal_frequency_cuts(std::span<const double> values,
+                                         std::size_t bins);
+
+/// Maps each value to its bin index given cuts from equal_frequency_cuts.
+std::vector<std::size_t> apply_cuts(std::span<const double> values,
+                                    std::span<const double> cuts);
+
+/// Joint histogram of (bin, class) used by the entropy filters:
+/// result[b][c] = instances with bin b and class c.
+std::vector<std::vector<std::size_t>> contingency_table(
+    std::span<const std::size_t> bins, std::span<const int> labels,
+    std::size_t num_bins, std::size_t num_classes);
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,177 @@
+#include "ml/feature_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/discretize.hpp"
+#include "util/stats.hpp"
+
+namespace drapid {
+namespace ml {
+
+namespace {
+
+double entropy_bits(std::span<const std::size_t> counts) {
+  return entropy_from_counts(counts);
+}
+
+/// H(Y), H(X), H(Y|X) and IG from a (bin × class) contingency table.
+struct EntropyTerms {
+  double h_class = 0.0;
+  double h_feature = 0.0;
+  double info_gain = 0.0;
+};
+
+EntropyTerms entropy_terms(const std::vector<std::vector<std::size_t>>& table,
+                           std::size_t num_classes) {
+  EntropyTerms terms;
+  std::vector<std::size_t> class_totals(num_classes, 0);
+  std::vector<std::size_t> bin_totals(table.size(), 0);
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < table.size(); ++b) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      class_totals[c] += table[b][c];
+      bin_totals[b] += table[b][c];
+      total += table[b][c];
+    }
+  }
+  if (total == 0) return terms;
+  terms.h_class = entropy_bits(class_totals);
+  terms.h_feature = entropy_bits(bin_totals);
+  double conditional = 0.0;
+  for (std::size_t b = 0; b < table.size(); ++b) {
+    if (bin_totals[b] == 0) continue;
+    conditional += static_cast<double>(bin_totals[b]) /
+                   static_cast<double>(total) * entropy_bits(table[b]);
+  }
+  terms.info_gain = terms.h_class - conditional;
+  return terms;
+}
+
+double correlation_score(const Dataset& data, std::size_t feature) {
+  // Weka's CorrelationAttributeEval for a nominal class: Pearson correlation
+  // between the attribute and each class indicator, averaged with class-
+  // frequency weights.
+  const auto column = data.feature_column(feature);
+  const auto counts = data.class_counts();
+  const double n = static_cast<double>(data.num_instances());
+  if (n == 0) return 0.0;
+  double score = 0.0;
+  std::vector<double> indicator(data.num_instances());
+  for (std::size_t c = 0; c < data.num_classes(); ++c) {
+    if (counts[c] == 0) continue;
+    for (std::size_t i = 0; i < data.num_instances(); ++i) {
+      indicator[i] = data.label(i) == static_cast<int>(c) ? 1.0 : 0.0;
+    }
+    score += static_cast<double>(counts[c]) / n *
+             std::abs(pearson(column, indicator));
+  }
+  return score;
+}
+
+double one_r_score(const Dataset& data, std::size_t feature,
+                   std::size_t bins) {
+  // Accuracy of the one-feature rule: bin the feature, predict each bin's
+  // majority class.
+  const auto column = data.feature_column(feature);
+  const auto cuts = equal_frequency_cuts(column, bins);
+  const auto binned = apply_cuts(column, cuts);
+  const auto table = contingency_table(binned, data.labels(), cuts.size() + 1,
+                                       data.num_classes());
+  std::size_t correct = 0;
+  for (const auto& row : table) {
+    correct += *std::max_element(row.begin(), row.end());
+  }
+  return data.num_instances() == 0
+             ? 0.0
+             : static_cast<double>(correct) /
+                   static_cast<double>(data.num_instances());
+}
+
+}  // namespace
+
+const std::vector<FilterMethod>& all_filter_methods() {
+  static const std::vector<FilterMethod> kAll = {
+      FilterMethod::kInfoGain, FilterMethod::kGainRatio,
+      FilterMethod::kSymmetricalUncertainty, FilterMethod::kCorrelation,
+      FilterMethod::kOneR};
+  return kAll;
+}
+
+std::string filter_name(FilterMethod method) {
+  switch (method) {
+    case FilterMethod::kInfoGain: return "InfoGain";
+    case FilterMethod::kGainRatio: return "GainRatio";
+    case FilterMethod::kSymmetricalUncertainty:
+      return "SymmetricalUncertainty";
+    case FilterMethod::kCorrelation: return "Correlation";
+    case FilterMethod::kOneR: return "OneR";
+  }
+  throw std::invalid_argument("unknown filter method");
+}
+
+std::string filter_abbreviation(FilterMethod method) {
+  switch (method) {
+    case FilterMethod::kInfoGain: return "IG";
+    case FilterMethod::kGainRatio: return "GR";
+    case FilterMethod::kSymmetricalUncertainty: return "SU";
+    case FilterMethod::kCorrelation: return "Cor";
+    case FilterMethod::kOneR: return "1R";
+  }
+  throw std::invalid_argument("unknown filter method");
+}
+
+std::vector<double> score_features(const Dataset& data, FilterMethod method,
+                                   std::size_t bins) {
+  std::vector<double> scores(data.num_features(), 0.0);
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    switch (method) {
+      case FilterMethod::kCorrelation:
+        scores[f] = correlation_score(data, f);
+        break;
+      case FilterMethod::kOneR:
+        scores[f] = one_r_score(data, f, bins);
+        break;
+      default: {
+        const auto column = data.feature_column(f);
+        const auto cuts = equal_frequency_cuts(column, bins);
+        const auto binned = apply_cuts(column, cuts);
+        const auto table = contingency_table(
+            binned, data.labels(), cuts.size() + 1, data.num_classes());
+        const auto terms = entropy_terms(table, data.num_classes());
+        if (method == FilterMethod::kInfoGain) {
+          scores[f] = terms.info_gain;
+        } else if (method == FilterMethod::kGainRatio) {
+          scores[f] = terms.h_feature > 1e-12
+                          ? terms.info_gain / terms.h_feature
+                          : 0.0;
+        } else {  // symmetrical uncertainty
+          const double denom = terms.h_feature + terms.h_class;
+          scores[f] = denom > 1e-12 ? 2.0 * terms.info_gain / denom : 0.0;
+        }
+        break;
+      }
+    }
+  }
+  return scores;
+}
+
+std::vector<std::size_t> top_k_features(const Dataset& data,
+                                        FilterMethod method, std::size_t k,
+                                        std::size_t bins) {
+  const auto scores = score_features(data, method, bins);
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     return a < b;
+                   });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,48 @@
+// The five feature-selection filters of Table 4.
+//
+// All five are *filters* (classifier-independent); each assigns every
+// feature a relevance score, and the benchmark keeps the top-k. Following
+// the paper's setup (§6.2), selection is computed on a held-out fold and the
+// chosen columns are then applied to the training/testing folds.
+//
+//   InfoGain (IG)                 H(Y) − H(Y | X)        entropy
+//   GainRatio (GR)                IG / H(X)              entropy
+//   SymmetricalUncertainty (SU)   2·IG / (H(X) + H(Y))   entropy
+//   Correlation (Cor)             |Pearson(X, 1[Y=c])| averaged over classes
+//   OneR (1R)                     training accuracy of the best 1-feature rule
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace drapid {
+namespace ml {
+
+enum class FilterMethod {
+  kInfoGain,
+  kGainRatio,
+  kSymmetricalUncertainty,
+  kCorrelation,
+  kOneR,
+};
+
+const std::vector<FilterMethod>& all_filter_methods();
+std::string filter_name(FilterMethod method);         // "InfoGain", ...
+std::string filter_abbreviation(FilterMethod method); // "IG", ...
+
+/// Score of every feature under `method` (higher = more relevant). Entropy
+/// filters discretize with `bins` equal-frequency bins.
+std::vector<double> score_features(const Dataset& data, FilterMethod method,
+                                   std::size_t bins = 10);
+
+/// Indices of the `k` top-scoring features, in rank order (ties broken by
+/// feature index for determinism).
+std::vector<std::size_t> top_k_features(const Dataset& data,
+                                        FilterMethod method, std::size_t k,
+                                        std::size_t bins = 10);
+
+}  // namespace ml
+}  // namespace drapid

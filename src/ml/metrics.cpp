@@ -1,0 +1,132 @@
+#include "ml/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace drapid {
+namespace ml {
+
+double BinaryScores::recall() const {
+  const auto denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double BinaryScores::precision() const {
+  const auto denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double BinaryScores::f_measure() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), cells_(num_classes * num_classes, 0) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("confusion matrix needs at least one class");
+  }
+}
+
+void ConfusionMatrix::add(int actual, int predicted) {
+  if (actual < 0 || static_cast<std::size_t>(actual) >= n_ || predicted < 0 ||
+      static_cast<std::size_t>(predicted) >= n_) {
+    throw std::invalid_argument("class index out of range");
+  }
+  ++cells_[static_cast<std::size_t>(actual) * n_ +
+           static_cast<std::size_t>(predicted)];
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (other.n_ != n_) {
+    throw std::invalid_argument("cannot merge matrices of different sizes");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+}
+
+std::size_t ConfusionMatrix::count(int actual, int predicted) const {
+  return cells_[static_cast<std::size_t>(actual) * n_ +
+                static_cast<std::size_t>(predicted)];
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t t = 0;
+  for (auto c : cells_) t += c;
+  return t;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t t = total();
+  if (t == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < n_; ++c) correct += cells_[c * n_ + c];
+  return static_cast<double>(correct) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t actual_total = 0;
+  for (std::size_t p = 0; p < n_; ++p) actual_total += cells_[c * n_ + p];
+  if (actual_total == 0) return 0.0;
+  return static_cast<double>(cells_[c * n_ + c]) /
+         static_cast<double>(actual_total);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t predicted_total = 0;
+  for (std::size_t a = 0; a < n_; ++a) predicted_total += cells_[a * n_ + c];
+  if (predicted_total == 0) return 0.0;
+  return static_cast<double>(cells_[c * n_ + c]) /
+         static_cast<double>(predicted_total);
+}
+
+double ConfusionMatrix::f_measure(int cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  return (p + r) <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+BinaryScores ConfusionMatrix::collapse(
+    const std::vector<bool>& positive) const {
+  if (positive.size() != n_) {
+    throw std::invalid_argument("positive mask size mismatch");
+  }
+  BinaryScores s;
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t p = 0; p < n_; ++p) {
+      const std::size_t count = cells_[a * n_ + p];
+      if (positive[a] && positive[p]) s.tp += count;
+      else if (positive[a] && !positive[p]) s.fn += count;
+      else if (!positive[a] && positive[p]) s.fp += count;
+      else s.tn += count;
+    }
+  }
+  return s;
+}
+
+BinaryScores ConfusionMatrix::collapse_nonzero_positive() const {
+  std::vector<bool> positive(n_, true);
+  positive[0] = false;
+  return collapse(positive);
+}
+
+std::string ConfusionMatrix::to_string(
+    const std::vector<std::string>& class_names) const {
+  std::ostringstream out;
+  out << "actual\\predicted";
+  for (std::size_t p = 0; p < n_; ++p) {
+    out << '\t' << (p < class_names.size() ? class_names[p] : "?");
+  }
+  out << '\n';
+  for (std::size_t a = 0; a < n_; ++a) {
+    out << (a < class_names.size() ? class_names[a] : "?");
+    for (std::size_t p = 0; p < n_; ++p) out << '\t' << cells_[a * n_ + p];
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ml
+}  // namespace drapid

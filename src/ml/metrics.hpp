@@ -1,0 +1,58 @@
+// Classification performance measures (paper §5.2.4).
+//
+// A confusion matrix accumulates (actual, predicted) pairs; Recall,
+// Precision and F-Measure follow equations (2)–(4). For multiclass (ALM)
+// schemes, the paper's comparison against binary classifiers needs the
+// matrix *collapsed* to pulsar vs non-pulsar: a pulsar instance counts as
+// correctly retrieved when it is predicted as any positive class.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace drapid {
+namespace ml {
+
+struct BinaryScores {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+  double recall() const;     ///< eq. (2)
+  double precision() const;  ///< eq. (3)
+  double f_measure() const;  ///< eq. (4)
+};
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(int actual, int predicted);
+  /// Merges another matrix (e.g. across CV folds).
+  void merge(const ConfusionMatrix& other);
+
+  std::size_t num_classes() const { return n_; }
+  std::size_t count(int actual, int predicted) const;
+  std::size_t total() const;
+  double accuracy() const;
+
+  /// Per-class one-vs-rest scores.
+  double recall(int cls) const;
+  double precision(int cls) const;
+  double f_measure(int cls) const;
+
+  /// Collapses to pulsar/non-pulsar given which classes are positive
+  /// (`positive[c]`); the paper's cross-scheme comparison measure.
+  BinaryScores collapse(const std::vector<bool>& positive) const;
+
+  /// Collapse treating every class except 0 as positive (our benchmark
+  /// convention: class 0 = non-pulsar).
+  BinaryScores collapse_nonzero_positive() const;
+
+  std::string to_string(const std::vector<std::string>& class_names) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> cells_;  // n_ x n_, row = actual
+};
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,138 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace drapid {
+namespace ml {
+
+namespace {
+double sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+}  // namespace
+
+MlpClassifier::MlpClassifier(MlpParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+void MlpClassifier::forward(std::span<const double> z,
+                            std::vector<double>& hidden_out,
+                            std::vector<double>& output) const {
+  hidden_out.resize(hidden_);
+  for (std::size_t h = 0; h < hidden_; ++h) {
+    const double* row = &w1_[h * (inputs_ + 1)];
+    double s = row[inputs_];  // bias
+    for (std::size_t i = 0; i < inputs_; ++i) s += row[i] * z[i];
+    hidden_out[h] = sigmoid(s);
+  }
+  output.resize(outputs_);
+  for (std::size_t o = 0; o < outputs_; ++o) {
+    const double* row = &w2_[o * (hidden_ + 1)];
+    double s = row[hidden_];
+    for (std::size_t h = 0; h < hidden_; ++h) s += row[h] * hidden_out[h];
+    output[o] = sigmoid(s);
+  }
+}
+
+void MlpClassifier::train(const Dataset& data) {
+  if (data.num_instances() == 0) {
+    throw std::invalid_argument("cannot train MPN on an empty dataset");
+  }
+  inputs_ = data.num_features();
+  outputs_ = data.num_classes();
+  hidden_ = params_.hidden != 0 ? params_.hidden : (inputs_ + outputs_) / 2;
+  hidden_ = std::max<std::size_t>(2, hidden_);
+  weight_updates_ = 0;
+
+  // Standardize inputs.
+  mean_.assign(inputs_, 0.0);
+  scale_.assign(inputs_, 1.0);
+  for (std::size_t f = 0; f < inputs_; ++f) {
+    const auto column = data.feature_column(f);
+    mean_[f] = mean(column);
+    const double sd = stddev(column);
+    scale_[f] = sd > 1e-12 ? sd : 1.0;
+  }
+  std::vector<std::vector<double>> z(data.num_instances(),
+                                     std::vector<double>(inputs_));
+  for (std::size_t i = 0; i < data.num_instances(); ++i) {
+    const auto x = data.instance(i);
+    for (std::size_t f = 0; f < inputs_; ++f) {
+      z[i][f] = (x[f] - mean_[f]) / scale_[f];
+    }
+  }
+
+  Rng rng(seed_);
+  w1_.resize(hidden_ * (inputs_ + 1));
+  w2_.resize(outputs_ * (hidden_ + 1));
+  for (auto& w : w1_) w = rng.uniform(-0.5, 0.5);
+  for (auto& w : w2_) w = rng.uniform(-0.5, 0.5);
+  std::vector<double> dw1(w1_.size(), 0.0), dw2(w2_.size(), 0.0);
+
+  std::vector<std::size_t> order(data.num_instances());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> hidden_out, output, delta_out(outputs_),
+      delta_hidden(hidden_);
+
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t i : order) {
+      forward(z[i], hidden_out, output);
+      const auto target = static_cast<std::size_t>(data.label(i));
+      for (std::size_t o = 0; o < outputs_; ++o) {
+        const double t = (o == target) ? 1.0 : 0.0;
+        delta_out[o] = (t - output[o]) * output[o] * (1.0 - output[o]);
+      }
+      for (std::size_t h = 0; h < hidden_; ++h) {
+        double s = 0.0;
+        for (std::size_t o = 0; o < outputs_; ++o) {
+          s += delta_out[o] * w2_[o * (hidden_ + 1) + h];
+        }
+        delta_hidden[h] = s * hidden_out[h] * (1.0 - hidden_out[h]);
+      }
+      for (std::size_t o = 0; o < outputs_; ++o) {
+        double* row = &w2_[o * (hidden_ + 1)];
+        double* drow = &dw2[o * (hidden_ + 1)];
+        for (std::size_t h = 0; h < hidden_; ++h) {
+          drow[h] = params_.learning_rate * delta_out[o] * hidden_out[h] +
+                    params_.momentum * drow[h];
+          row[h] += drow[h];
+        }
+        drow[hidden_] = params_.learning_rate * delta_out[o] +
+                        params_.momentum * drow[hidden_];
+        row[hidden_] += drow[hidden_];
+      }
+      for (std::size_t h = 0; h < hidden_; ++h) {
+        double* row = &w1_[h * (inputs_ + 1)];
+        double* drow = &dw1[h * (inputs_ + 1)];
+        for (std::size_t f = 0; f < inputs_; ++f) {
+          drow[f] = params_.learning_rate * delta_hidden[h] * z[i][f] +
+                    params_.momentum * drow[f];
+          row[f] += drow[f];
+        }
+        drow[inputs_] = params_.learning_rate * delta_hidden[h] +
+                        params_.momentum * drow[inputs_];
+        row[inputs_] += drow[inputs_];
+      }
+      weight_updates_ += w1_.size() + w2_.size();
+    }
+  }
+}
+
+int MlpClassifier::predict(std::span<const double> x) const {
+  if (w1_.empty()) throw std::logic_error("MPN not trained");
+  std::vector<double> z(inputs_);
+  for (std::size_t f = 0; f < inputs_; ++f) {
+    z[f] = (x[f] - mean_[f]) / scale_[f];
+  }
+  std::vector<double> hidden_out, output;
+  forward(z, hidden_out, output);
+  return static_cast<int>(
+      std::max_element(output.begin(), output.end()) - output.begin());
+}
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,81 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace drapid {
+namespace ml {
+
+RandomForest::RandomForest(ForestParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+void RandomForest::train(const Dataset& data) {
+  if (data.num_instances() == 0) {
+    throw std::invalid_argument("cannot train a forest on an empty dataset");
+  }
+  trees_.clear();
+  num_classes_ = data.num_classes();
+  TreeParams tree_params = params_.tree;
+  if (tree_params.features_per_split == 0) {
+    // Weka RandomForest default: log2(#features) + 1 per split.
+    tree_params.features_per_split = static_cast<std::size_t>(
+        std::log2(static_cast<double>(std::max<std::size_t>(
+            2, data.num_features())))) + 1;
+  }
+  // Random trees grow unpruned on plain information gain (Weka RandomTree).
+  tree_params.use_gain_ratio = false;
+
+  // Draw every tree's bootstrap sample and seed up front so results are
+  // identical whether trees then train serially or in parallel.
+  Rng rng(seed_);
+  std::vector<std::vector<std::size_t>> bootstraps(params_.num_trees);
+  std::vector<std::uint64_t> tree_seeds(params_.num_trees);
+  for (std::size_t t = 0; t < params_.num_trees; ++t) {
+    bootstraps[t].resize(data.num_instances());
+    for (auto& r : bootstraps[t]) r = rng.below(data.num_instances());
+    tree_seeds[t] = rng.split()();
+  }
+  trees_.clear();
+  for (std::size_t t = 0; t < params_.num_trees; ++t) {
+    trees_.emplace_back(tree_params, tree_seeds[t]);
+  }
+  const auto train_one = [&](std::size_t t) {
+    trees_[t].train(data.subset(bootstraps[t]));
+  };
+  if (params_.training_threads > 1) {
+    ThreadPool pool(params_.training_threads);
+    pool.parallel_for(params_.num_trees, train_one);
+  } else {
+    for (std::size_t t = 0; t < params_.num_trees; ++t) train_one(t);
+  }
+}
+
+int RandomForest::predict(std::span<const double> x) const {
+  if (trees_.empty()) throw std::logic_error("forest not trained");
+  std::vector<std::size_t> votes(num_classes_, 0);
+  for (const auto& tree : trees_) {
+    ++votes[static_cast<std::size_t>(tree.predict(x))];
+  }
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return static_cast<int>(best);
+}
+
+std::size_t RandomForest::total_nodes() const {
+  std::size_t total = 0;
+  for (const auto& t : trees_) total += t.node_count();
+  return total;
+}
+
+std::size_t RandomForest::total_split_evaluations() const {
+  std::size_t total = 0;
+  for (const auto& t : trees_) total += t.split_evaluations();
+  return total;
+}
+
+}  // namespace ml
+}  // namespace drapid

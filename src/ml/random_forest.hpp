@@ -1,0 +1,45 @@
+// RandomForest — the ensemble tree learner the paper found best for single
+// pulse classification (RQ3–RQ5).
+//
+// Standard Breiman construction: each tree trains on a bootstrap sample and
+// evaluates only log2(d)+1 random features per node (Weka's default);
+// prediction is majority vote.
+#pragma once
+
+#include "ml/tree.hpp"
+
+namespace drapid {
+namespace ml {
+
+struct ForestParams {
+  std::size_t num_trees = 20;
+  TreeParams tree;  ///< features_per_split of 0 selects log2(d)+1 at train time
+  /// Worker threads for tree training (trees are independent); results are
+  /// identical for any thread count — per-tree seeds and bootstrap samples
+  /// are drawn up front. 1 = serial (the paper's Weka setup; its future-work
+  /// section proposes exactly this parallelism).
+  std::size_t training_threads = 1;
+};
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(ForestParams params = {}, std::uint64_t seed = 1);
+
+  void train(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "RF"; }
+
+  std::size_t num_trees() const { return trees_.size(); }
+  /// Total nodes across the ensemble (tracks training work).
+  std::size_t total_nodes() const;
+  std::size_t total_split_evaluations() const;
+
+ private:
+  ForestParams params_;
+  std::uint64_t seed_;
+  std::size_t num_classes_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,215 @@
+#include "ml/rules.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "ml/discretize.hpp"
+
+namespace drapid {
+namespace ml {
+
+bool Rule::matches(std::span<const double> x) const {
+  for (const auto& c : conditions) {
+    const double v = x[static_cast<std::size_t>(c.feature)];
+    if (c.less_equal ? (v > c.threshold) : (v <= c.threshold)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+int majority_label(const Dataset& data, const std::vector<std::size_t>& rows) {
+  std::vector<std::size_t> counts(data.num_classes(), 0);
+  for (std::size_t r : rows) ++counts[static_cast<std::size_t>(data.label(r))];
+  return static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace
+
+// --- PART --------------------------------------------------------------------
+
+PartClassifier::PartClassifier(PartParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+void PartClassifier::train(const Dataset& data) {
+  if (data.num_instances() == 0) {
+    throw std::invalid_argument("cannot train PART on an empty dataset");
+  }
+  rules_.clear();
+  std::vector<std::size_t> remaining(data.num_instances());
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+  default_label_ = majority_label(data, remaining);
+  Rng rng(seed_);
+
+  while (!remaining.empty() && rules_.size() < params_.max_rules) {
+    const Dataset working = data.subset(remaining);
+    DecisionTree tree(params_.tree, rng.split()());
+    tree.train(working);
+
+    // Find the leaf covering the most remaining instances.
+    std::unordered_map<int, std::size_t> coverage;
+    for (std::size_t i = 0; i < working.num_instances(); ++i) {
+      ++coverage[tree.leaf_index(working.instance(i))];
+    }
+    int best_leaf = -1;
+    std::size_t best_cover = 0;
+    for (const auto& [leaf, cover] : coverage) {
+      if (cover > best_cover || (cover == best_cover && leaf < best_leaf)) {
+        best_leaf = leaf;
+        best_cover = cover;
+      }
+    }
+    if (best_leaf < 0) break;
+
+    Rule rule;
+    for (const auto& cond : tree.path_to_leaf(best_leaf)) {
+      rule.conditions.push_back(
+          Rule::Condition{cond.feature, cond.threshold, cond.less_equal});
+    }
+    rule.label = tree.leaf_label(best_leaf);
+    rules_.push_back(rule);
+
+    // Remove covered instances.
+    std::vector<std::size_t> still;
+    still.reserve(remaining.size() - best_cover);
+    for (std::size_t r : remaining) {
+      if (!rule.matches(data.instance(r))) still.push_back(r);
+    }
+    if (still.size() == remaining.size()) break;  // no progress: stop
+    remaining = std::move(still);
+  }
+  if (!remaining.empty()) {
+    default_label_ = majority_label(data, remaining);
+  }
+}
+
+int PartClassifier::predict(std::span<const double> x) const {
+  for (const auto& rule : rules_) {
+    if (rule.matches(x)) return rule.label;
+  }
+  return default_label_;
+}
+
+// --- JRip --------------------------------------------------------------------
+
+JripClassifier::JripClassifier(JripParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+void JripClassifier::train(const Dataset& data) {
+  if (data.num_instances() == 0) {
+    throw std::invalid_argument("cannot train JRip on an empty dataset");
+  }
+  rules_.clear();
+  const std::size_t n = data.num_instances();
+
+  // Classes from rarest to most frequent; the most frequent is the default.
+  const auto counts = data.class_counts();
+  std::vector<std::size_t> class_order(data.num_classes());
+  std::iota(class_order.begin(), class_order.end(), std::size_t{0});
+  std::stable_sort(class_order.begin(), class_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return counts[a] < counts[b];
+                   });
+  default_label_ = static_cast<int>(class_order.back());
+
+  std::vector<bool> covered(n, false);
+  for (std::size_t ci = 0; ci + 1 < class_order.size(); ++ci) {
+    const int cls = static_cast<int>(class_order[ci]);
+    if (counts[static_cast<std::size_t>(cls)] == 0) continue;
+    for (std::size_t r = 0; r < params_.max_rules_per_class; ++r) {
+      // Instances still in play for growing this rule.
+      std::vector<std::size_t> pool;
+      std::size_t positives = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (covered[i]) continue;
+        pool.push_back(i);
+        positives += (data.label(i) == cls);
+      }
+      if (positives < params_.min_cover) break;
+
+      Rule rule;
+      rule.label = cls;
+      // Grow: add the condition with the best FOIL gain until pure enough.
+      while (rule.conditions.size() < params_.max_conditions_per_rule) {
+        std::size_t pos = 0;
+        for (std::size_t i : pool) pos += (data.label(i) == cls);
+        const double purity =
+            pool.empty() ? 0.0
+                         : static_cast<double>(pos) /
+                               static_cast<double>(pool.size());
+        if (purity >= params_.target_purity) break;
+
+        double best_gain = 0.0;
+        Rule::Condition best_cond;
+        std::vector<std::size_t> best_pool;
+        const double log_p0 = std::log2(std::max(purity, 1e-12));
+        for (std::size_t f = 0; f < data.num_features(); ++f) {
+          // Candidate thresholds: quantiles of the feature over the pool.
+          std::vector<double> column;
+          column.reserve(pool.size());
+          for (std::size_t i : pool) column.push_back(data.instance(i)[f]);
+          const auto cuts =
+              equal_frequency_cuts(column, params_.threshold_candidates);
+          for (double cut : cuts) {
+            for (bool le : {true, false}) {
+              std::size_t kept_pos = 0, kept_total = 0;
+              for (std::size_t i : pool) {
+                const double v = data.instance(i)[f];
+                const bool keep = le ? (v <= cut) : (v > cut);
+                if (!keep) continue;
+                ++kept_total;
+                kept_pos += (data.label(i) == cls);
+              }
+              if (kept_pos < params_.min_cover || kept_total == 0) continue;
+              const double p1 = static_cast<double>(kept_pos) /
+                                static_cast<double>(kept_total);
+              // FOIL gain: positives kept × (log purity gain).
+              const double gain = static_cast<double>(kept_pos) *
+                                  (std::log2(std::max(p1, 1e-12)) - log_p0);
+              if (gain > best_gain) {
+                best_gain = gain;
+                best_cond = Rule::Condition{static_cast<int>(f), cut, le};
+                best_pool.clear();
+                for (std::size_t i : pool) {
+                  const double v = data.instance(i)[f];
+                  if (le ? (v <= cut) : (v > cut)) best_pool.push_back(i);
+                }
+              }
+            }
+          }
+        }
+        if (best_gain <= 0.0) break;
+        rule.conditions.push_back(best_cond);
+        pool = std::move(best_pool);
+      }
+
+      // Accept only rules that are precise enough and cover something new.
+      std::size_t pos = 0;
+      for (std::size_t i : pool) pos += (data.label(i) == cls);
+      const double precision =
+          pool.empty() ? 0.0
+                       : static_cast<double>(pos) /
+                             static_cast<double>(pool.size());
+      if (rule.conditions.empty() || pos < params_.min_cover ||
+          precision < params_.min_precision) {
+        break;
+      }
+      rules_.push_back(rule);
+      for (std::size_t i : pool) covered[i] = true;
+    }
+  }
+}
+
+int JripClassifier::predict(std::span<const double> x) const {
+  for (const auto& rule : rules_) {
+    if (rule.matches(x)) return rule.label;
+  }
+  return default_label_;
+}
+
+}  // namespace ml
+}  // namespace drapid

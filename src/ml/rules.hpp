@@ -1,0 +1,93 @@
+// Rule learners: PART (rule + tree) and JRip (RIPPER-style).
+//
+// PART (Frank & Witten 1998) repeatedly builds a decision tree on the
+// not-yet-covered instances, turns the leaf covering the most of them into a
+// rule, removes what it covers, and repeats — "obtains rules from partial
+// decision trees".
+//
+// JRip follows RIPPER (Cohen 1995): classes are processed from rarest to
+// most frequent; for each, rules are grown greedily by adding the
+// (feature, threshold, direction) condition with the best FOIL gain until
+// the rule is (nearly) pure, as long as new rules keep useful precision.
+// The most frequent class becomes the default. (The REP pruning and
+// optimization passes of full RIPPER are omitted; they affect rule-set size,
+// not the relative training-time behaviour these experiments measure.)
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+#include "ml/tree.hpp"
+
+namespace drapid {
+namespace ml {
+
+/// One conjunctive rule.
+struct Rule {
+  struct Condition {
+    int feature = -1;
+    double threshold = 0.0;
+    bool less_equal = true;
+  };
+  std::vector<Condition> conditions;
+  int label = 0;
+
+  bool matches(std::span<const double> x) const;
+};
+
+struct PartParams {
+  TreeParams tree{.max_depth = 12};
+  std::size_t max_rules = 200;
+};
+
+class PartClassifier : public Classifier {
+ public:
+  explicit PartClassifier(PartParams params = {}, std::uint64_t seed = 1);
+
+  void train(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "PART"; }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  int default_label() const { return default_label_; }
+
+ private:
+  PartParams params_;
+  std::uint64_t seed_;
+  std::vector<Rule> rules_;
+  int default_label_ = 0;
+};
+
+struct JripParams {
+  /// Candidate thresholds examined per feature when growing a condition.
+  std::size_t threshold_candidates = 12;
+  /// Stop growing a rule when its precision on the growing set reaches this.
+  double target_purity = 0.98;
+  /// Discard rules whose precision falls below this.
+  double min_precision = 0.6;
+  /// Minimum positives a rule must cover to be kept.
+  std::size_t min_cover = 2;
+  std::size_t max_conditions_per_rule = 8;
+  std::size_t max_rules_per_class = 40;
+};
+
+class JripClassifier : public Classifier {
+ public:
+  explicit JripClassifier(JripParams params = {}, std::uint64_t seed = 1);
+
+  void train(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "JRip"; }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  int default_label() const { return default_label_; }
+
+ private:
+  JripParams params_;
+  std::uint64_t seed_;
+  std::vector<Rule> rules_;
+  int default_label_ = 0;
+};
+
+}  // namespace ml
+}  // namespace drapid

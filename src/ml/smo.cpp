@@ -1,0 +1,166 @@
+#include "ml/smo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace drapid {
+namespace ml {
+
+SmoClassifier::SmoClassifier(SmoParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+namespace {
+
+/// Simplified SMO (Platt 1998 / Ng's CS229 variant) for a linear kernel on
+/// pre-standardized rows. Returns (weights, bias).
+std::pair<std::vector<double>, double> train_binary(
+    const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+    const SmoParams& params, Rng& rng) {
+  const std::size_t n = x.size();
+  const std::size_t d = x.empty() ? 0 : x[0].size();
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  // Linear kernel lets us keep the weight vector incrementally.
+  std::vector<double> w(d, 0.0);
+  const auto f = [&](const std::vector<double>& xi) {
+    double s = b;
+    for (std::size_t k = 0; k < d; ++k) s += w[k] * xi[k];
+    return s;
+  };
+  const auto dot = [&](const std::vector<double>& a,
+                       const std::vector<double>& c) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < d; ++k) s += a[k] * c[k];
+    return s;
+  };
+
+  std::size_t passes = 0, iterations = 0;
+  while (passes < params.max_passes && iterations < params.max_iterations) {
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ++iterations;
+      const double ei = f(x[i]) - y[i];
+      if (!((y[i] * ei < -params.tolerance && alpha[i] < params.c) ||
+            (y[i] * ei > params.tolerance && alpha[i] > 0))) {
+        continue;
+      }
+      std::size_t j = rng.below(n - 1);
+      if (j >= i) ++j;
+      const double ej = f(x[j]) - y[j];
+      const double ai_old = alpha[i], aj_old = alpha[j];
+      double lo, hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(params.c, params.c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - params.c);
+        hi = std::min(params.c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2.0 * dot(x[i], x[j]) - dot(x[i], x[i]) -
+                         dot(x[j], x[j]);
+      if (eta >= 0) continue;
+      double aj = aj_old - y[j] * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-5) continue;
+      const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+      // Incremental weight update for the linear kernel.
+      for (std::size_t k = 0; k < d; ++k) {
+        w[k] += (ai - ai_old) * y[i] * x[i][k] + (aj - aj_old) * y[j] * x[j][k];
+      }
+      const double b1 = b - ei - y[i] * (ai - ai_old) * dot(x[i], x[i]) -
+                        y[j] * (aj - aj_old) * dot(x[i], x[j]);
+      const double b2 = b - ej - y[i] * (ai - ai_old) * dot(x[i], x[j]) -
+                        y[j] * (aj - aj_old) * dot(x[j], x[j]);
+      if (ai > 0 && ai < params.c) b = b1;
+      else if (aj > 0 && aj < params.c) b = b2;
+      else b = 0.5 * (b1 + b2);
+      ++changed;
+    }
+    passes = (changed == 0) ? passes + 1 : 0;
+  }
+  return {std::move(w), b};
+}
+
+}  // namespace
+
+void SmoClassifier::train(const Dataset& data) {
+  if (data.num_instances() == 0) {
+    throw std::invalid_argument("cannot train SMO on an empty dataset");
+  }
+  machines_.clear();
+  num_classes_ = data.num_classes();
+  const std::size_t d = data.num_features();
+
+  // Standardize features (zero mean, unit variance).
+  mean_.assign(d, 0.0);
+  scale_.assign(d, 1.0);
+  for (std::size_t f = 0; f < d; ++f) {
+    const auto column = data.feature_column(f);
+    mean_[f] = mean(column);
+    const double sd = stddev(column);
+    scale_[f] = sd > 1e-12 ? sd : 1.0;
+  }
+  const auto standardize = [&](std::span<const double> x) {
+    std::vector<double> z(d);
+    for (std::size_t f = 0; f < d; ++f) z[f] = (x[f] - mean_[f]) / scale_[f];
+    return z;
+  };
+
+  // Group standardized instances by class.
+  std::vector<std::vector<std::vector<double>>> by_class(num_classes_);
+  for (std::size_t i = 0; i < data.num_instances(); ++i) {
+    by_class[static_cast<std::size_t>(data.label(i))].push_back(
+        standardize(data.instance(i)));
+  }
+
+  Rng rng(seed_);
+  for (std::size_t a = 0; a < num_classes_; ++a) {
+    for (std::size_t c = a + 1; c < num_classes_; ++c) {
+      if (by_class[a].empty() || by_class[c].empty()) continue;
+      std::vector<std::vector<double>> x;
+      std::vector<double> y;
+      for (const auto& xi : by_class[a]) {
+        x.push_back(xi);
+        y.push_back(+1.0);
+      }
+      for (const auto& xi : by_class[c]) {
+        x.push_back(xi);
+        y.push_back(-1.0);
+      }
+      auto [w, b] = train_binary(x, y, params_, rng);
+      machines_.push_back(BinaryMachine{static_cast<int>(a),
+                                        static_cast<int>(c), std::move(w), b});
+    }
+  }
+}
+
+int SmoClassifier::predict(std::span<const double> x) const {
+  if (machines_.empty() && num_classes_ == 0) {
+    throw std::logic_error("SMO not trained");
+  }
+  std::vector<double> z(mean_.size());
+  for (std::size_t f = 0; f < z.size(); ++f) {
+    z[f] = (x[f] - mean_[f]) / scale_[f];
+  }
+  std::vector<std::size_t> votes(num_classes_, 0);
+  for (const auto& m : machines_) {
+    double s = m.bias;
+    for (std::size_t f = 0; f < z.size(); ++f) s += m.weights[f] * z[f];
+    ++votes[static_cast<std::size_t>(s >= 0.0 ? m.class_a : m.class_b)];
+  }
+  std::size_t best = 0;
+  for (std::size_t cl = 1; cl < votes.size(); ++cl) {
+    if (votes[cl] > votes[best]) best = cl;
+  }
+  return static_cast<int>(best);
+}
+
+}  // namespace ml
+}  // namespace drapid

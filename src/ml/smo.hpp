@@ -1,0 +1,50 @@
+// SMO — support vector machine trained by (simplified) sequential minimal
+// optimization (Platt 1998), the Table 5 "SMO" learner.
+//
+// Linear kernel on standardized features (Weka's SMO default is a degree-1
+// polynomial kernel with normalization — the same function class).
+// Multiclass is pairwise one-vs-one with majority voting, as in Weka.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+
+namespace drapid {
+namespace ml {
+
+struct SmoParams {
+  double c = 1.0;           ///< soft-margin penalty
+  double tolerance = 1e-3;  ///< KKT violation tolerance
+  std::size_t max_passes = 5;   ///< passes without change before stopping
+  std::size_t max_iterations = 4000;  ///< hard cap per binary problem
+};
+
+class SmoClassifier : public Classifier {
+ public:
+  explicit SmoClassifier(SmoParams params = {}, std::uint64_t seed = 1);
+
+  void train(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "SMO"; }
+
+  /// Binary sub-problems trained (k·(k−1)/2 for k observed classes).
+  std::size_t num_binary_machines() const { return machines_.size(); }
+
+ private:
+  struct BinaryMachine {
+    int class_a = 0;  ///< predicted when the margin is positive
+    int class_b = 0;
+    std::vector<double> weights;
+    double bias = 0.0;
+  };
+
+  SmoParams params_;
+  std::uint64_t seed_;
+  std::size_t num_classes_ = 0;
+  std::vector<double> mean_, scale_;  ///< feature standardization
+  std::vector<BinaryMachine> machines_;
+};
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,84 @@
+#include "ml/smote.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace drapid {
+namespace ml {
+
+namespace {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+/// Indices (into `members`) of the k nearest same-class neighbours of
+/// members[self].
+std::vector<std::size_t> k_nearest(const Dataset& data,
+                                   const std::vector<std::size_t>& members,
+                                   std::size_t self, std::size_t k) {
+  std::vector<std::pair<double, std::size_t>> distances;
+  distances.reserve(members.size() - 1);
+  const auto x = data.instance(members[self]);
+  for (std::size_t j = 0; j < members.size(); ++j) {
+    if (j == self) continue;
+    distances.emplace_back(squared_distance(x, data.instance(members[j])), j);
+  }
+  k = std::min(k, distances.size());
+  std::partial_sort(distances.begin(), distances.begin() + static_cast<long>(k),
+                    distances.end());
+  std::vector<std::size_t> result;
+  result.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) result.push_back(distances[i].second);
+  return result;
+}
+
+}  // namespace
+
+Dataset apply_smote(const Dataset& data, const SmoteParams& params, Rng& rng) {
+  Dataset out(data.feature_names(), data.class_names());
+  for (std::size_t i = 0; i < data.num_instances(); ++i) {
+    out.add(data.instance(i), data.label(i));
+  }
+  const auto counts = data.class_counts();
+  const std::size_t majority =
+      *std::max_element(counts.begin(), counts.end());
+  const auto target = static_cast<std::size_t>(
+      std::ceil(params.target_ratio * static_cast<double>(majority)));
+
+  std::vector<double> synthetic(data.num_features());
+  for (std::size_t c = 0; c < data.num_classes(); ++c) {
+    if (counts[c] == 0 || counts[c] >= target) continue;
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < data.num_instances(); ++i) {
+      if (data.label(i) == static_cast<int>(c)) members.push_back(i);
+    }
+    const std::size_t needed = target - counts[c];
+    for (std::size_t s = 0; s < needed; ++s) {
+      const std::size_t self = rng.below(members.size());
+      const auto x = data.instance(members[self]);
+      if (members.size() < 2) {
+        out.add(x, static_cast<int>(c));  // cannot interpolate a singleton
+        continue;
+      }
+      const auto neighbours = k_nearest(data, members, self, params.k);
+      const auto pick = neighbours[rng.below(neighbours.size())];
+      const auto y = data.instance(members[pick]);
+      const double gap = rng.uniform();
+      for (std::size_t f = 0; f < data.num_features(); ++f) {
+        synthetic[f] = x[f] + gap * (y[f] - x[f]);
+      }
+      out.add(synthetic, static_cast<int>(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace ml
+}  // namespace drapid

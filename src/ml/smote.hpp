@@ -1,0 +1,31 @@
+// SMOTE — Synthetic Minority Oversampling TEchnique (Chawla et al. 2002).
+//
+// The paper's imbalance treatment (§5.2.1): minority classes are oversampled
+// by interpolating each sampled instance toward one of its k nearest
+// same-class neighbours, which avoids the overfitting of plain duplication.
+// As in the paper, SMOTE is applied only to training folds, never test folds.
+#pragma once
+
+#include <cstddef>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace ml {
+
+struct SmoteParams {
+  /// Neighbours considered per synthetic sample.
+  std::size_t k = 5;
+  /// Target size of each minority class, as a fraction of the largest
+  /// class (1.0 = fully balanced).
+  double target_ratio = 1.0;
+  /// Classes at or above target need no oversampling; classes with fewer
+  /// than 2 instances cannot be interpolated and are duplicated instead.
+};
+
+/// Returns `data` plus synthetic minority instances.
+Dataset apply_smote(const Dataset& data, const SmoteParams& params, Rng& rng);
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,203 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace drapid {
+namespace ml {
+
+namespace {
+
+double entropy(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+int majority(const std::vector<std::size_t>& counts) {
+  return static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+struct BestSplit {
+  int feature = -1;
+  double threshold = 0.0;
+  double score = 0.0;
+};
+
+}  // namespace
+
+DecisionTree::DecisionTree(TreeParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {}
+
+void DecisionTree::train(const Dataset& data) {
+  if (data.num_instances() == 0) {
+    throw std::invalid_argument("cannot train a tree on an empty dataset");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  split_evaluations_ = 0;
+  std::vector<std::size_t> rows(data.num_instances());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  Rng rng(seed_);
+  root_ = build(data, rows, 0, rng);
+}
+
+int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
+                        int depth, Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  std::vector<std::size_t> counts(data.num_classes(), 0);
+  for (std::size_t r : rows) ++counts[static_cast<std::size_t>(data.label(r))];
+  const std::size_t n = rows.size();
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_.back().label = majority(counts);
+
+  const bool pure =
+      *std::max_element(counts.begin(), counts.end()) == n;
+  if (pure || depth >= params_.max_depth || n < 2 * params_.min_leaf) {
+    return node_index;  // leaf
+  }
+
+  // Candidate features: all, or a random subset (RandomTree behaviour).
+  std::vector<std::size_t> features(data.num_features());
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  if (params_.features_per_split > 0 &&
+      params_.features_per_split < features.size()) {
+    rng.shuffle(features);
+    features.resize(params_.features_per_split);
+  }
+
+  const double parent_entropy = entropy(counts, n);
+  BestSplit best;
+  std::vector<std::pair<double, int>> sorted;
+  sorted.reserve(n);
+  std::vector<std::size_t> left_counts(data.num_classes());
+  for (std::size_t f : features) {
+    sorted.clear();
+    for (std::size_t r : rows) {
+      sorted.emplace_back(data.instance(r)[f], data.label(r));
+    }
+    std::sort(sorted.begin(), sorted.end());
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      ++left_counts[static_cast<std::size_t>(sorted[i].second)];
+      if (sorted[i].first == sorted[i + 1].first) continue;  // same value
+      const std::size_t nl = i + 1;
+      const std::size_t nr = n - nl;
+      if (nl < params_.min_leaf || nr < params_.min_leaf) continue;
+      ++split_evaluations_;
+      // Right counts = total - left.
+      double hl = 0.0, hr = 0.0;
+      {
+        double h = 0.0;
+        for (std::size_t c = 0; c < counts.size(); ++c) {
+          const std::size_t lc = left_counts[c];
+          if (lc) {
+            const double p = static_cast<double>(lc) / static_cast<double>(nl);
+            h -= p * std::log2(p);
+          }
+        }
+        hl = h;
+        h = 0.0;
+        for (std::size_t c = 0; c < counts.size(); ++c) {
+          const std::size_t rc = counts[c] - left_counts[c];
+          if (rc) {
+            const double p = static_cast<double>(rc) / static_cast<double>(nr);
+            h -= p * std::log2(p);
+          }
+        }
+        hr = h;
+      }
+      const double dn = static_cast<double>(n);
+      double gain = parent_entropy -
+                    (static_cast<double>(nl) / dn) * hl -
+                    (static_cast<double>(nr) / dn) * hr;
+      if (params_.use_gain_ratio) {
+        const double pl = static_cast<double>(nl) / dn;
+        const double split_info = -pl * std::log2(pl) -
+                                  (1.0 - pl) * std::log2(1.0 - pl);
+        gain = split_info > 1e-12 ? gain / split_info : 0.0;
+      }
+      if (gain > best.score) {
+        best.score = gain;
+        best.feature = static_cast<int>(f);
+        best.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.score < params_.min_gain) {
+    return node_index;  // no useful split: stay a leaf
+  }
+
+  std::vector<std::size_t> left_rows, right_rows;
+  for (std::size_t r : rows) {
+    const double v = data.instance(r)[static_cast<std::size_t>(best.feature)];
+    (v <= best.threshold ? left_rows : right_rows).push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) {
+    return node_index;  // numeric ties can defeat the midpoint; stay a leaf
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  nodes_[static_cast<std::size_t>(node_index)].feature = best.feature;
+  nodes_[static_cast<std::size_t>(node_index)].threshold = best.threshold;
+  const int left = build(data, left_rows, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_index)].left = left;
+  const int right = build(data, right_rows, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+int DecisionTree::predict(std::span<const double> x) const {
+  return leaf_label(leaf_index(x));
+}
+
+int DecisionTree::leaf_index(std::span<const double> x) const {
+  if (root_ < 0) throw std::logic_error("tree not trained");
+  int node = root_;
+  for (;;) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.feature < 0) return node;
+    node = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                 : n.right;
+  }
+}
+
+int DecisionTree::leaf_label(int leaf) const {
+  return nodes_[static_cast<std::size_t>(leaf)].label;
+}
+
+std::vector<DecisionTree::PathCondition> DecisionTree::path_to_leaf(
+    int leaf) const {
+  std::vector<PathCondition> path;
+  // Recursive DFS: the condition on the edge into the left child is
+  // (feature <= threshold); into the right child, its negation.
+  const auto search = [&](const auto& self, int node) -> bool {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (node == leaf) return n.feature < 0;
+    if (n.feature < 0) return false;
+    path.push_back(PathCondition{n.feature, n.threshold, true});
+    if (self(self, n.left)) return true;
+    path.back().less_equal = false;
+    if (self(self, n.right)) return true;
+    path.pop_back();
+    return false;
+  };
+  if (root_ < 0 || !search(search, root_)) {
+    throw std::invalid_argument("not a leaf of this tree");
+  }
+  return path;
+}
+
+}  // namespace ml
+}  // namespace drapid

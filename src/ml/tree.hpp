@@ -1,0 +1,75 @@
+// Decision trees: the J48 (C4.5-style) learner and the random trees that
+// RandomForest bags.
+//
+// Numeric binary splits (feature ≤ threshold) chosen by information gain or
+// gain ratio; growth stops at purity, max depth, or minimum leaf size.
+// When `features_per_split` > 0, each node evaluates only a random feature
+// subset (the RandomTree behaviour RandomForest relies on).
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace ml {
+
+struct TreeParams {
+  int max_depth = 60;
+  std::size_t min_leaf = 2;       ///< minimum instances per child
+  double min_gain = 1e-6;         ///< stop when best gain falls below this
+  bool use_gain_ratio = true;     ///< C4.5 criterion (false = plain IG)
+  /// Features sampled per node; 0 = consider all (J48 behaviour).
+  std::size_t features_per_split = 0;
+};
+
+class DecisionTree : public Classifier {
+ public:
+  explicit DecisionTree(TreeParams params = {}, std::uint64_t seed = 1);
+
+  void train(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "J48"; }
+
+  /// Diagnostics the execution-performance experiments report on.
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+  /// Split evaluations performed during the last train() — the work metric
+  /// behind training time.
+  std::size_t split_evaluations() const { return split_evaluations_; }
+
+  /// Leaf routing and path reconstruction (used by the PART rule learner to
+  /// turn the best leaf into a rule).
+  int leaf_index(std::span<const double> x) const;
+  int leaf_label(int leaf) const;
+  struct PathCondition {
+    int feature = -1;
+    double threshold = 0.0;
+    bool less_equal = true;  ///< condition is x[feature] <= threshold
+  };
+  /// Conditions along the root-to-leaf path; throws std::invalid_argument
+  /// for an index that is not a leaf of this tree.
+  std::vector<PathCondition> path_to_leaf(int leaf) const;
+
+ private:
+  struct Node {
+    int feature = -1;        ///< -1 marks a leaf
+    double threshold = 0.0;  ///< go left when x[feature] <= threshold
+    int left = -1, right = -1;
+    int label = 0;  ///< majority class (used at leaves)
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& rows, int depth,
+            Rng& rng);
+
+  TreeParams params_;
+  std::uint64_t seed_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int depth_ = 0;
+  std::size_t split_evaluations_ = 0;
+};
+
+}  // namespace ml
+}  // namespace drapid

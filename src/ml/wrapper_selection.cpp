@@ -1,0 +1,62 @@
+#include "ml/wrapper_selection.hpp"
+
+#include <algorithm>
+
+#include "ml/cross_validation.hpp"
+
+namespace drapid {
+namespace ml {
+
+namespace {
+
+/// Cross-validated collapsed F-measure of the given feature subset.
+double score_subset(const Dataset& data,
+                    const std::vector<std::size_t>& features,
+                    const std::function<std::unique_ptr<Classifier>()>& factory,
+                    const WrapperParams& params, std::size_t& trainings) {
+  const Dataset projected = data.select_features(features);
+  Rng rng(params.seed);
+  const auto cv = cross_validate(projected, params.folds, factory, rng);
+  trainings += static_cast<std::size_t>(params.folds);
+  return cv.pooled_binary().f_measure();
+}
+
+}  // namespace
+
+WrapperResult wrapper_forward_selection(
+    const Dataset& data,
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const WrapperParams& params) {
+  WrapperResult result;
+  std::vector<bool> used(data.num_features(), false);
+  double current_score = 0.0;
+
+  while (result.features.size() <
+         std::min(params.max_features, data.num_features())) {
+    double best_score = current_score;
+    std::size_t best_feature = data.num_features();
+    for (std::size_t f = 0; f < data.num_features(); ++f) {
+      if (used[f]) continue;
+      auto candidate = result.features;
+      candidate.push_back(f);
+      const double score =
+          score_subset(data, candidate, factory, params, result.trainings);
+      if (score > best_score) {
+        best_score = score;
+        best_feature = f;
+      }
+    }
+    if (best_feature == data.num_features() ||
+        best_score < current_score + params.min_improvement) {
+      break;  // nothing helps any more
+    }
+    used[best_feature] = true;
+    result.features.push_back(best_feature);
+    result.scores.push_back(best_score);
+    current_score = best_score;
+  }
+  return result;
+}
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,50 @@
+// Wrapper feature selection — the second family of §5.2.3: "wrappers use
+// the results of machine learning algorithms to perform feature selection.
+// They greedily search the feature space for different combinations of
+// features and evaluate the effectiveness of subsets by the classification
+// performance of a given algorithm."
+//
+// This is the classic greedy forward selection (Kohavi & John 1997): start
+// from the empty set, repeatedly add the feature whose addition most
+// improves the wrapped learner's cross-validated score, stop when no
+// addition helps (or the budget is reached). It is far more expensive than
+// the Table 4 filters — the reason the paper evaluated filters only — and
+// exists here to make that trade-off measurable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ml/classifier.hpp"
+
+namespace drapid {
+namespace ml {
+
+struct WrapperParams {
+  /// Maximum features to select.
+  std::size_t max_features = 10;
+  /// Folds of the internal cross-validation per candidate subset.
+  int folds = 3;
+  /// Stop early when the best candidate improves the score by less than
+  /// this (absolute F-measure points).
+  double min_improvement = 1e-3;
+  std::uint64_t seed = 1;
+};
+
+struct WrapperResult {
+  /// Selected feature indices, in the order they were added.
+  std::vector<std::size_t> features;
+  /// Cross-validated score (collapsed F-measure) after each addition.
+  std::vector<double> scores;
+  /// Learner trainings performed — the execution-performance price.
+  std::size_t trainings = 0;
+};
+
+/// Greedy forward selection wrapping `factory`'s classifier.
+WrapperResult wrapper_forward_selection(
+    const Dataset& data,
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const WrapperParams& params = {});
+
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,94 @@
+// Feature extraction for identified single pulses (paper §5.1.3, Table 1).
+//
+// Each identified single pulse is characterized by a 22-dimensional feature
+// vector: the six cluster features of Table 1 (StartTime, StopTime,
+// ClusterRank, PulseRank, DMSpacing, SNRRatio) plus sixteen base features
+// reconstructed from the description of Devine et al. 2016 [10] — extent,
+// brightness, shape and regression-fit statistics of the pulse in SNR-vs-DM
+// and DM-vs-time space. SNRPeakDM and AvgSNR are the two features the ALM
+// labeling schemes of Table 2 discretize.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rapid/search.hpp"
+#include "spe/dm_grid.hpp"
+#include "spe/spe_io.hpp"
+
+namespace drapid {
+
+/// Index of each feature in the vector. Order is part of the ML-file format.
+enum FeatureIndex : std::size_t {
+  // Base features (after [10]):
+  kNumSpes = 0,      ///< SPEs in the pulse
+  kDmRange,          ///< DM extent of the pulse
+  kSnrMax,           ///< maximum SNR ("SNRMax" in the paper)
+  kSnrMin,
+  kAvgSnr,           ///< mean SNR — ALM brightness feature (Table 2)
+  kSnrStdDev,
+  kSnrPeakDm,        ///< DM of the brightest SPE — ALM distance feature
+  kDmCentroid,       ///< SNR-weighted mean DM
+  kDuration,         ///< time extent of the pulse
+  kTimeStdDev,
+  kSlopeLeft,        ///< regression slope of the rising (low-DM) side
+  kSlopeRight,       ///< regression slope of the falling (high-DM) side
+  kFitR2Left,        ///< r² of the rising-side fit
+  kFitR2Right,       ///< r² of the falling-side fit
+  kSnrSkewness,      ///< skewness of the SNR profile
+  kSnrKurtosis,      ///< excess kurtosis of the SNR profile
+  // Table 1 features:
+  kStartTime,        ///< arrival time of the first SPE in the cluster
+  kStopTime,         ///< arrival time of the last SPE in the cluster
+  kClusterRank,      ///< SNR rank of the cluster within its observation
+  kPulseRank,        ///< SNR rank of this peak among the cluster's peaks
+  kDmSpacing,        ///< local trial-DM spacing at the peak
+  kSnrRatio,         ///< SNR of the pulse's first SPE / maximum SNR
+  kFeatureCount
+};
+
+struct PulseFeatures {
+  static constexpr std::size_t kCount = kFeatureCount;
+  std::array<double, kCount> values{};
+
+  double operator[](FeatureIndex i) const {
+    return values[static_cast<std::size_t>(i)];
+  }
+  /// Canonical feature names, aligned with FeatureIndex.
+  static const std::array<std::string, kCount>& names();
+};
+
+/// Extracts the feature vector for one identified pulse.
+///   events      — the cluster's SPEs, DM-sorted (as passed to rapid_search)
+///   pulse       — a result of rapid_search over those events
+///   cluster     — the cluster-file record (for ClusterRank, Start/StopTime)
+///   grid        — the survey's trial grid (for DMSpacing)
+///   pulse_rank  — 1-based SNR rank of this pulse among the cluster's pulses
+PulseFeatures extract_features(std::span<const SinglePulseEvent> events,
+                               const SinglePulse& pulse,
+                               const ClusterRecord& cluster, const DmGrid& grid,
+                               int pulse_rank);
+
+/// One row of the machine-learning file D-RAPID writes back (Figure 2 stage
+/// 3 output): provenance + features + an optional truth label filled in by
+/// the benchmark builder ("" = unlabeled).
+struct MlRecord {
+  ObservationId obs;
+  int cluster_id = 0;
+  int pulse_index = 0;  ///< index of the pulse within its cluster
+  PulseFeatures features;
+  std::string truth_label;
+};
+
+/// CSV serialization of ML files.
+extern const char kMlFileHeaderPrefix[];
+std::string ml_file_header();
+CsvRow format_ml_row(const MlRecord& rec);
+MlRecord parse_ml_row(const CsvRow& row);
+void write_ml_file(std::ostream& out, const std::vector<MlRecord>& records);
+std::vector<MlRecord> read_ml_file(std::istream& in);
+
+}  // namespace drapid

@@ -1,0 +1,59 @@
+// Multithreaded RAPID — the paper's baseline implementation (§6.1, RQ2).
+//
+// The same Algorithm 1 search as D-RAPID, parallelized with a fixed worker
+// pool on one machine: the work queue holds (cluster record, cluster SPEs)
+// items, each worker repeatedly takes an item and searches it. The paper's
+// Figure 4 compares this (1–20 threads on an i7 workstation) against
+// D-RAPID (1–20 executors on the Spark/YARN cluster).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clustering/dbscan.hpp"
+#include "rapid/features.hpp"
+#include "rapid/search.hpp"
+
+namespace drapid {
+
+/// One unit of search work: a cluster and its SPEs (DM-sorted).
+struct RapidWorkItem {
+  ClusterRecord record;
+  std::vector<SinglePulseEvent> events;
+};
+
+/// One identified pulse with its provenance and features.
+struct IdentifiedPulse {
+  ClusterRecord cluster;
+  SinglePulse pulse;
+  int pulse_rank = 0;  ///< 1 = brightest peak in its cluster
+  PulseFeatures features;
+};
+
+/// Aggregate work/result statistics for a run (feeds the cluster cost model
+/// and the Figure 4 harness).
+struct RapidRunStats {
+  std::size_t clusters_processed = 0;
+  std::size_t spes_scanned = 0;
+  std::size_t pulses_found = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Builds work items for one observation from its clustering result.
+std::vector<RapidWorkItem> make_work_items(const ObservationData& obs,
+                                           const ClusteringResult& clusters);
+
+/// Searches one work item: runs Algorithm 1, ranks the pulses by SNRMax,
+/// extracts features.
+std::vector<IdentifiedPulse> search_work_item(const RapidWorkItem& item,
+                                              const RapidParams& params,
+                                              const DmGrid& grid);
+
+/// Runs the multithreaded baseline over `items` with `threads` workers.
+/// Results are returned in item order (deterministic regardless of thread
+/// count). `stats`, if non-null, receives the work metrics.
+std::vector<IdentifiedPulse> run_rapid_multithreaded(
+    const std::vector<RapidWorkItem>& items, const RapidParams& params,
+    const DmGrid& grid, std::size_t threads, RapidRunStats* stats = nullptr);
+
+}  // namespace drapid

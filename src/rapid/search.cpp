@@ -1,0 +1,164 @@
+#include "rapid/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "util/stats.hpp"
+
+namespace drapid {
+
+std::size_t compute_bin_size(std::size_t n, const RapidParams& params) {
+  if (!params.dynamic_bin_size) return std::max<std::size_t>(1, params.static_bin_size);
+  if (n < 12) return 1;
+  const auto size = static_cast<std::size_t>(
+      std::floor(params.weight * std::sqrt(static_cast<double>(n))));
+  return std::max<std::size_t>(1, size);
+}
+
+namespace {
+
+enum class Trend { kDecreasing, kFlat, kIncreasing };
+
+Trend classify(double slope, double threshold) {
+  if (slope < -threshold) return Trend::kDecreasing;
+  if (slope > threshold) return Trend::kIncreasing;
+  return Trend::kFlat;
+}
+
+/// A single pulse being assembled by the trend state machine.
+struct PendingPulse {
+  std::size_t begin = 0;
+  bool has_peak = false;
+};
+
+class SearchState {
+ public:
+  explicit SearchState(std::span<const SinglePulseEvent> events)
+      : events_(events) {}
+
+  void begin_new(std::size_t at) { sp_ = PendingPulse{at, false}; }
+  void clear() { sp_.reset(); }
+  void mark_peak() {
+    if (sp_) sp_->has_peak = true;
+  }
+  bool active() const { return sp_.has_value(); }
+  bool has_peak() const { return sp_ && sp_->has_peak; }
+
+  /// Writes the pending pulse covering [sp.begin, end_exclusive); only
+  /// pulses that actually crossed a peak are emitted.
+  void write(std::size_t end_exclusive) {
+    if (!sp_ || !sp_->has_peak || end_exclusive <= sp_->begin) {
+      sp_.reset();
+      return;
+    }
+    SinglePulse pulse;
+    pulse.begin = sp_->begin;
+    pulse.end = end_exclusive;
+    pulse.peak = pulse.begin;
+    for (std::size_t i = pulse.begin; i < pulse.end; ++i) {
+      if (events_[i].snr > events_[pulse.peak].snr) pulse.peak = i;
+    }
+    results_.push_back(pulse);
+    sp_.reset();
+  }
+
+  std::vector<SinglePulse>&& take_results() { return std::move(results_); }
+
+ private:
+  std::span<const SinglePulseEvent> events_;
+  std::optional<PendingPulse> sp_;
+  std::vector<SinglePulse> results_;
+};
+
+}  // namespace
+
+std::vector<SinglePulse> rapid_search(std::span<const SinglePulseEvent> events,
+                                      const RapidParams& params) {
+  const std::size_t n = events.size();
+  if (n < 2) return {};
+  const std::size_t binsize = compute_bin_size(n, params);
+  const double m = params.slope_threshold;
+
+  SearchState state(events);
+  // b_{n-1} is initialized to 0 (Algorithm 1), i.e. a flat previous trend.
+  Trend prev = Trend::kFlat;
+
+  for (std::size_t start = 0; start < n; start += binsize) {
+    // Regression window: the bin itself, widened to two points when the bin
+    // size is 1 so that the slope "connects the dots" (§5.1.2) instead of
+    // degenerating on a single point.
+    const std::size_t window = std::max<std::size_t>(binsize, 2);
+    const std::size_t end = std::min(start + window, n);
+    if (end - start < 2) break;  // a trailing singleton carries no trend
+    std::vector<double> x, y;
+    x.reserve(end - start);
+    y.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      x.push_back(events[i].dm);
+      y.push_back(events[i].snr);
+    }
+    const Trend cur = classify(linear_regression(x, y).slope, m);
+
+    // Trend-transition state machine (Algorithm 1). `start` is the first
+    // SPE of the current bin: pulses begin at bin starts and are written
+    // covering everything before the bin that triggered the write.
+    switch (prev) {
+      case Trend::kDecreasing:
+        if (cur == Trend::kFlat) {
+          // Valley floor: anything without a completed peak restarts here;
+          // a completed pulse keeps its trailing plateau.
+          if (!state.has_peak()) state.begin_new(start);
+        } else if (cur == Trend::kIncreasing) {
+          if (state.has_peak()) state.write(start);
+          state.begin_new(start);
+        }
+        // decreasing -> decreasing: keep descending.
+        break;
+      case Trend::kFlat:
+        if (cur == Trend::kDecreasing) {
+          if (state.active() && !state.has_peak()) {
+            state.mark_peak();  // crest plateau ended; peak crossed
+          } else if (!state.active()) {
+            state.begin_new(start);  // descending edge of an unseen climb
+          }
+        } else if (cur == Trend::kFlat) {
+          if (state.has_peak()) {
+            state.write(start);
+            state.begin_new(start);
+          } else {
+            state.clear();  // flat noise; discard a climb that stalled
+          }
+        } else {  // increasing
+          if (state.has_peak()) state.write(start);
+          if (!state.active()) state.begin_new(start);
+        }
+        break;
+      case Trend::kIncreasing:
+        if (cur == Trend::kDecreasing) {
+          if (!state.active()) state.begin_new(start);
+          state.mark_peak();  // sharp peak between the two bins
+        } else if (cur == Trend::kFlat) {
+          if (!state.active()) state.begin_new(start);
+          // crest plateau: peak confirmed when the descent arrives
+        } else {
+          if (!state.active()) state.begin_new(start);  // still climbing
+        }
+        break;
+    }
+    prev = cur;
+  }
+
+  // A pulse still descending (or plateaued) at the end of the cluster is
+  // complete if its peak was crossed.
+  state.write(n);
+  return std::move(state.take_results());
+}
+
+std::size_t rapid_search_cost(std::size_t cluster_size) {
+  // Every SPE enters one regression; constant covers bin setup and the
+  // per-cluster dispatch overhead.
+  return 16 + cluster_size;
+}
+
+}  // namespace drapid

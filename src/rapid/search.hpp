@@ -1,0 +1,61 @@
+// RAPID single-pulse peak search — Algorithm 1 of the paper.
+//
+// Input: the SPEs of one DBSCAN cluster, sorted by trial DM. The search
+// divides the SPEs into bins (Equation 1 sets the bin size from the cluster
+// size), fits a linear regression of SNR against DM through each bin, and
+// classifies each bin's trend as decreasing / flat / increasing against the
+// slope threshold M. A state machine over consecutive trends tracks whether
+// the walk is climbing a single pulse, has crossed its peak, or is
+// descending, and emits one SinglePulse per distinct peak. A cluster can
+// contain many pulses (the paper finds 188 in B1853+01's data where the
+// older DPG search found one).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "spe/spe.hpp"
+
+namespace drapid {
+
+/// Tunable parameters of Algorithm 1.
+struct RapidParams {
+  /// w in Equation 1 — governs how quickly the bin size grows with cluster
+  /// size. Paper tuning (§5.1.2) selected 0.75.
+  double weight = 0.75;
+  /// M — minimum |slope| for a regression line to count as increasing or
+  /// decreasing. Paper tuning selected 0.5.
+  double slope_threshold = 0.5;
+  /// When false, uses the fixed bin size from the DPG-era RAPID [10]
+  /// (the ablation of Equation 1).
+  bool dynamic_bin_size = true;
+  /// Fixed bin size used when dynamic_bin_size is false; [10] used 25.
+  std::size_t static_bin_size = 25;
+};
+
+/// Equation 1: binsize = 1 if n < 12, else floor(w * sqrt(n)).
+/// Never returns 0 (a weight small enough to floor to 0 degrades to 1).
+std::size_t compute_bin_size(std::size_t n, const RapidParams& params);
+
+/// One identified single pulse: a contiguous index range of the DM-sorted
+/// cluster events, with the peak position.
+struct SinglePulse {
+  std::size_t begin = 0;  ///< first SPE index (inclusive)
+  std::size_t end = 0;    ///< one past the last SPE index
+  std::size_t peak = 0;   ///< index of the maximum-SNR SPE in [begin, end)
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// Runs Algorithm 1 over one cluster's SPEs (must be sorted by DM;
+/// behaviour is unspecified otherwise). Returns the identified single
+/// pulses in DM order.
+std::vector<SinglePulse> rapid_search(std::span<const SinglePulseEvent> events,
+                                      const RapidParams& params = {});
+
+/// Work metric for the cost model: SPEs the search scans (every SPE enters
+/// exactly one bin regression), plus per-cluster constant overhead.
+std::size_t rapid_search_cost(std::size_t cluster_size);
+
+}  // namespace drapid

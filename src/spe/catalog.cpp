@@ -1,0 +1,104 @@
+#include "spe/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace drapid {
+
+namespace {
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}
+
+double angular_separation_deg(double ra1_deg, double dec1_deg, double ra2_deg,
+                              double dec2_deg) {
+  const double ra1 = ra1_deg * kDegToRad, dec1 = dec1_deg * kDegToRad;
+  const double ra2 = ra2_deg * kDegToRad, dec2 = dec2_deg * kDegToRad;
+  const double sd = std::sin((dec2 - dec1) / 2.0);
+  const double sr = std::sin((ra2 - ra1) / 2.0);
+  const double h = sd * sd + std::cos(dec1) * std::cos(dec2) * sr * sr;
+  return 2.0 * std::asin(std::min(1.0, std::sqrt(h))) / kDegToRad;
+}
+
+SourceCatalog::SourceCatalog(std::vector<CatalogSource> sources)
+    : sources_(std::move(sources)) {}
+
+void SourceCatalog::add(CatalogSource source) {
+  sources_.push_back(std::move(source));
+}
+
+std::optional<CatalogSource> SourceCatalog::find(
+    const std::string& name) const {
+  for (const auto& s : sources_) {
+    if (s.name == name) return s;
+  }
+  return std::nullopt;
+}
+
+std::vector<CatalogSource> SourceCatalog::cone_search(
+    double ra_deg, double dec_deg, double radius_deg) const {
+  std::vector<std::pair<double, const CatalogSource*>> hits;
+  for (const auto& s : sources_) {
+    const double sep =
+        angular_separation_deg(ra_deg, dec_deg, s.ra_deg, s.dec_deg);
+    if (sep <= radius_deg) hits.emplace_back(sep, &s);
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<CatalogSource> result;
+  result.reserve(hits.size());
+  for (const auto& [sep, src] : hits) result.push_back(*src);
+  return result;
+}
+
+std::optional<CatalogSource> SourceCatalog::crossmatch(
+    double ra_deg, double dec_deg, double candidate_dm, double radius_deg,
+    double dm_tolerance) const {
+  for (const auto& s : cone_search(ra_deg, dec_deg, radius_deg)) {
+    if (std::abs(s.dm - candidate_dm) <= dm_tolerance) return s;
+  }
+  return std::nullopt;
+}
+
+void SourceCatalog::save(std::ostream& out) const {
+  out << "name,ra_deg,dec_deg,dm,period_s,is_rrat\n";
+  for (const auto& s : sources_) {
+    std::ostringstream row;
+    row.precision(10);
+    row << s.name << ',' << s.ra_deg << ',' << s.dec_deg << ',' << s.dm << ','
+        << s.period_s << ',' << (s.is_rrat ? 1 : 0);
+    out << row.str() << '\n';
+  }
+}
+
+SourceCatalog SourceCatalog::load(std::istream& in) {
+  SourceCatalog catalog;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!saw_header) {
+      saw_header = true;
+      continue;
+    }
+    const auto row = parse_csv_line(line);
+    if (row.size() != 6) {
+      throw std::runtime_error("malformed catalogue row: " + line);
+    }
+    CatalogSource s;
+    s.name = row[0];
+    s.ra_deg = parse_double(row[1]);
+    s.dec_deg = parse_double(row[2]);
+    s.dm = parse_double(row[3]);
+    s.period_s = parse_double(row[4]);
+    s.is_rrat = parse_int(row[5]) != 0;
+    catalog.add(std::move(s));
+  }
+  return catalog;
+}
+
+}  // namespace drapid

@@ -1,0 +1,64 @@
+// Known-source catalogue — the ATNF Pulsar Catalogue / RRATalog stand-in.
+//
+// §4 of the paper: "we used the ATNF Pulsar Catalog and RRATalog to search
+// our data for single pulses in the immediate vicinity of all known pulsars
+// and RRATs". A catalogue maps source names to sky positions and DMs; the
+// crossmatch asks, for an identified candidate at some pointing, whether a
+// known source lies within a beam radius on the sky and a DM tolerance.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace drapid {
+
+struct CatalogSource {
+  std::string name;
+  double ra_deg = 0.0;
+  double dec_deg = 0.0;
+  double dm = 0.0;
+  double period_s = 0.0;   ///< 0 = unknown
+  bool is_rrat = false;
+};
+
+/// Great-circle angular separation between two sky positions, in degrees
+/// (haversine; exact for all separations).
+double angular_separation_deg(double ra1_deg, double dec1_deg, double ra2_deg,
+                              double dec2_deg);
+
+class SourceCatalog {
+ public:
+  SourceCatalog() = default;
+  explicit SourceCatalog(std::vector<CatalogSource> sources);
+
+  std::size_t size() const { return sources_.size(); }
+  const std::vector<CatalogSource>& sources() const { return sources_; }
+
+  void add(CatalogSource source);
+
+  /// Exact-name lookup; nullopt if absent.
+  std::optional<CatalogSource> find(const std::string& name) const;
+
+  /// All sources within `radius_deg` of the given position ("cone search"),
+  /// nearest first.
+  std::vector<CatalogSource> cone_search(double ra_deg, double dec_deg,
+                                         double radius_deg) const;
+
+  /// The paper's labeling rule: the nearest catalogued source within the
+  /// beam radius whose DM matches the candidate's within `dm_tolerance`.
+  std::optional<CatalogSource> crossmatch(double ra_deg, double dec_deg,
+                                          double candidate_dm,
+                                          double radius_deg,
+                                          double dm_tolerance) const;
+
+  /// CSV persistence: "name,ra_deg,dec_deg,dm,period_s,is_rrat".
+  void save(std::ostream& out) const;
+  static SourceCatalog load(std::istream& in);
+
+ private:
+  std::vector<CatalogSource> sources_;
+};
+
+}  // namespace drapid

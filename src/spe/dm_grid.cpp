@@ -1,0 +1,77 @@
+#include "spe/dm_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace drapid {
+
+DmGrid::DmGrid(std::vector<DmPlanSegment> plan) : plan_(std::move(plan)) {
+  if (plan_.empty()) throw std::invalid_argument("empty dedispersion plan");
+  double expected_begin = plan_.front().dm_begin;
+  for (const auto& seg : plan_) {
+    if (seg.step <= 0.0) {
+      throw std::invalid_argument("dedispersion plan step must be positive");
+    }
+    if (seg.dm_end <= seg.dm_begin) {
+      throw std::invalid_argument("dedispersion plan segment must ascend");
+    }
+    if (std::abs(seg.dm_begin - expected_begin) > 1e-9) {
+      throw std::invalid_argument("dedispersion plan segments must be contiguous");
+    }
+    expected_begin = seg.dm_end;
+  }
+  for (const auto& seg : plan_) {
+    segment_first_index_.push_back(trials_.size());
+    // Use an integer counter rather than repeated addition so long fine-step
+    // segments do not accumulate floating-point drift.
+    const auto count = static_cast<std::size_t>(
+        std::ceil((seg.dm_end - seg.dm_begin) / seg.step - 1e-9));
+    for (std::size_t i = 0; i < count; ++i) {
+      trials_.push_back(seg.dm_begin + static_cast<double>(i) * seg.step);
+    }
+  }
+  if (trials_.empty()) throw std::invalid_argument("dedispersion plan has no trials");
+}
+
+std::size_t DmGrid::index_of(double dm) const {
+  const auto it = std::lower_bound(trials_.begin(), trials_.end(), dm);
+  if (it == trials_.begin()) return 0;
+  if (it == trials_.end()) return trials_.size() - 1;
+  const auto hi = static_cast<std::size_t>(it - trials_.begin());
+  const std::size_t lo = hi - 1;
+  return (dm - trials_[lo] <= trials_[hi] - dm) ? lo : hi;
+}
+
+double DmGrid::spacing_at(double dm) const {
+  for (const auto& seg : plan_) {
+    if (dm < seg.dm_end) return seg.step;
+  }
+  return plan_.back().step;
+}
+
+DmGrid DmGrid::gbt350drift() {
+  // 350 MHz drift scan: sensitive to nearby pulsars, searched to DM ~ 1000.
+  return DmGrid({
+      {0.0, 30.0, 0.01},
+      {30.0, 100.0, 0.03},
+      {100.0, 300.0, 0.10},
+      {300.0, 500.0, 0.30},
+      {500.0, 700.0, 0.50},
+      {700.0, 1000.0, 2.00},
+  });
+}
+
+DmGrid DmGrid::palfa() {
+  // 1.4 GHz Galactic-plane survey: deeper DM range, same spacing envelope.
+  return DmGrid({
+      {0.0, 25.0, 0.01},
+      {25.0, 120.0, 0.05},
+      {120.0, 330.0, 0.10},
+      {330.0, 600.0, 0.30},
+      {600.0, 1200.0, 1.00},
+      {1200.0, 2400.0, 2.00},
+  });
+}
+
+}  // namespace drapid

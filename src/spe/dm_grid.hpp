@@ -1,0 +1,61 @@
+// Trial-DM grids with DM-dependent spacing.
+//
+// Dedispersion searches step through trial DM values whose spacing widens as
+// DM grows (coarser steps are tolerable when dispersion smearing already
+// dominates). The paper's DMSpacing feature (Table 1) is exactly the local
+// trial spacing, "increasing from 0.01 for low DM values to 2.00 for very
+// high DM values" (§5.1.3); the grids here reproduce that range for both
+// surveys.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace drapid {
+
+/// One segment of a dedispersion plan: trials from dm_begin (inclusive) to
+/// dm_end (exclusive) every `step` pc cm^-3.
+struct DmPlanSegment {
+  double dm_begin = 0.0;
+  double dm_end = 0.0;
+  double step = 0.0;
+};
+
+/// A materialized grid of trial DM values.
+class DmGrid {
+ public:
+  /// Builds a grid from plan segments; segments must be contiguous and
+  /// ascending, steps positive. Throws std::invalid_argument otherwise.
+  explicit DmGrid(std::vector<DmPlanSegment> plan);
+
+  std::size_t size() const { return trials_.size(); }
+  double dm_at(std::size_t index) const { return trials_[index]; }
+  const std::vector<double>& trials() const { return trials_; }
+
+  double min_dm() const { return trials_.front(); }
+  double max_dm() const { return trials_.back(); }
+
+  /// Index of the trial nearest to `dm` (clamped to the grid range).
+  std::size_t index_of(double dm) const;
+
+  /// The local trial spacing at `dm` — the DMSpacing feature of Table 1.
+  double spacing_at(double dm) const;
+
+  const std::vector<DmPlanSegment>& plan() const { return plan_; }
+
+  /// Dedispersion plan modeled on the GBT 350 MHz drift-scan processing:
+  /// fine 0.01 steps at low DM, widening to 2.0 at the top of the range.
+  static DmGrid gbt350drift();
+
+  /// Dedispersion plan modeled on PALFA (1.4 GHz, Galactic plane): same
+  /// 0.01 → 2.0 spacing envelope over a deeper DM range.
+  static DmGrid palfa();
+
+ private:
+  std::vector<DmPlanSegment> plan_;
+  std::vector<double> trials_;
+  std::vector<std::size_t> segment_first_index_;
+};
+
+}  // namespace drapid

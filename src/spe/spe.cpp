@@ -1,0 +1,36 @@
+#include "spe/spe.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace drapid {
+
+std::string ObservationId::key() const {
+  std::ostringstream out;
+  out.precision(17);  // exact double round-trip
+  out << dataset << '|' << mjd << '|' << ra_deg << '|' << dec_deg << '|'
+      << beam;
+  return out.str();
+}
+
+ObservationId ObservationId::from_key(const std::string& key) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(key);
+  while (std::getline(in, part, '|')) parts.push_back(part);
+  if (parts.size() != 5) {
+    throw std::runtime_error("malformed observation key: " + key);
+  }
+  ObservationId id;
+  id.dataset = parts[0];
+  id.mjd = parse_double(parts[1]);
+  id.ra_deg = parse_double(parts[2]);
+  id.dec_deg = parse_double(parts[3]);
+  id.beam = static_cast<int>(parse_int(parts[4]));
+  return id;
+}
+
+}  // namespace drapid

@@ -1,0 +1,68 @@
+// Core radio-astronomy data model: single pulse events and observations.
+//
+// Terminology follows the paper (§3, §5):
+//   SPE  — single pulse event: one point in (DM, time) space with an SNR,
+//          as emitted by PRESTO's single_pulse_search.py for one trial DM.
+//   SP   — single pulse: a cluster of SPEs with a distinct peak in the
+//          SNR-vs-DM view, possibly a real pulsar emission.
+//   Observation — one pointing/beam of a survey, identified by dataset name,
+//          MJD, sky position and beam (the fields D-RAPID concatenates into
+//          its RDD key).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace drapid {
+
+/// One single pulse event (one row of a PRESTO .singlepulse file).
+struct SinglePulseEvent {
+  double dm = 0.0;       ///< trial dispersion measure (pc cm^-3)
+  double snr = 0.0;      ///< matched-filter signal-to-noise ("Sigma")
+  double time_s = 0.0;   ///< arrival time within the observation (seconds)
+  std::int64_t sample = 0;  ///< sample index at the native time resolution
+  int downfact = 1;      ///< boxcar downsampling factor of the detection
+
+  friend bool operator==(const SinglePulseEvent&,
+                         const SinglePulseEvent&) = default;
+};
+
+/// Identity of one survey observation. The paper keys every RDD record by
+/// the concatenation of these descriptors (§5.1.1).
+struct ObservationId {
+  std::string dataset;  ///< survey/data set name, e.g. "PALFA"
+  double mjd = 0.0;     ///< mean Julian date of the observation
+  double ra_deg = 0.0;  ///< right ascension, degrees
+  double dec_deg = 0.0; ///< declination, degrees
+  int beam = 0;         ///< receiver beam number
+
+  /// The concatenated descriptor key used to pair data and cluster records,
+  /// exactly in the spirit of the paper's KVPRDD keys.
+  std::string key() const;
+
+  /// Parses a key built by key(); throws std::runtime_error on malformed
+  /// input.
+  static ObservationId from_key(const std::string& key);
+
+  friend bool operator==(const ObservationId&, const ObservationId&) = default;
+};
+
+/// Summary record for one DBSCAN cluster of SPEs — a row of the "cluster
+/// file" D-RAPID loads next to the big SPE data file (Figure 2/3).
+struct ClusterRecord {
+  ObservationId obs;
+  int cluster_id = 0;
+  std::uint32_t num_spes = 0;
+  double dm_min = 0.0;
+  double dm_max = 0.0;
+  double time_min = 0.0;
+  double time_max = 0.0;
+  double snr_max = 0.0;
+  /// SNR-based rank of this cluster among clusters of the same observation
+  /// (1 = brightest), the ClusterRank feature of Table 1.
+  int rank = 0;
+
+  friend bool operator==(const ClusterRecord&, const ClusterRecord&) = default;
+};
+
+}  // namespace drapid

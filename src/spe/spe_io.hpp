@@ -1,0 +1,68 @@
+// File formats exchanged between pipeline stages (Figure 2 of the paper):
+//
+//  * PRESTO-style ".singlepulse" files — one per observation, '#'-prefixed
+//    header, whitespace columns: DM  Sigma  Time(s)  Sample  Downfact.
+//  * The big "data file" — CSV with every SPE of a data set, each row
+//    prefixed by the observation descriptors that become the RDD key.
+//  * The "cluster file" — CSV with one row per DBSCAN cluster, same key
+//    prefix, listing the cluster extent D-RAPID must search.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "spe/spe.hpp"
+#include "util/csv.hpp"
+
+namespace drapid {
+
+/// All SPEs of one observation.
+struct ObservationData {
+  ObservationId id;
+  std::vector<SinglePulseEvent> events;
+};
+
+// --- PRESTO-style .singlepulse ---------------------------------------------
+
+void write_singlepulse(std::ostream& out,
+                       const std::vector<SinglePulseEvent>& events);
+std::vector<SinglePulseEvent> read_singlepulse(std::istream& in);
+
+// --- Keyed CSV "data file" rows --------------------------------------------
+
+/// CSV header used by data files (descriptor columns then SPE columns).
+extern const char kDataFileHeader[];
+
+CsvRow format_data_row(const ObservationId& obs, const SinglePulseEvent& spe);
+
+/// Parses one data-file row; throws std::runtime_error on malformed rows.
+void parse_data_row(const CsvRow& row, ObservationId& obs,
+                    SinglePulseEvent& spe);
+
+/// Writes a whole data set (header + one row per SPE per observation).
+void write_data_file(std::ostream& out,
+                     const std::vector<ObservationData>& observations);
+void write_data_file(const std::string& path,
+                     const std::vector<ObservationData>& observations);
+
+/// Reads a data file, grouping rows back into observations (grouped by key,
+/// preserving first-appearance order).
+std::vector<ObservationData> read_data_file(std::istream& in);
+std::vector<ObservationData> read_data_file(const std::string& path);
+
+// --- Keyed CSV "cluster file" rows ------------------------------------------
+
+extern const char kClusterFileHeader[];
+
+CsvRow format_cluster_row(const ClusterRecord& rec);
+ClusterRecord parse_cluster_row(const CsvRow& row);
+
+void write_cluster_file(std::ostream& out,
+                        const std::vector<ClusterRecord>& clusters);
+void write_cluster_file(const std::string& path,
+                        const std::vector<ClusterRecord>& clusters);
+std::vector<ClusterRecord> read_cluster_file(std::istream& in);
+std::vector<ClusterRecord> read_cluster_file(const std::string& path);
+
+}  // namespace drapid

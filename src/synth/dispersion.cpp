@@ -1,0 +1,57 @@
+#include "synth/dispersion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drapid {
+
+double dispersion_delay_s(double dm, double freq_mhz) {
+  return kDispersionConstant * dm / (freq_mhz * freq_mhz);
+}
+
+double smearing_s(double dm_error, double center_freq_mhz,
+                  double bandwidth_mhz) {
+  const double f_lo = center_freq_mhz - bandwidth_mhz / 2.0;
+  const double f_hi = center_freq_mhz + bandwidth_mhz / 2.0;
+  return std::abs(dispersion_delay_s(dm_error, f_lo) -
+                  dispersion_delay_s(dm_error, f_hi));
+}
+
+double snr_degradation(double dm_error, double width_ms,
+                       double center_freq_mhz, double bandwidth_mhz) {
+  // Cordes & McLaughlin (2003), eq. 12–13:
+  //   zeta = 6.91e-3 * δDM * Δν_MHz / (W_ms * ν_GHz³)
+  //   S/S0 = (sqrt(pi)/2) * erf(zeta) / zeta
+  const double nu_ghz = center_freq_mhz / 1000.0;
+  const double zeta = 6.91e-3 * std::abs(dm_error) * bandwidth_mhz /
+                      (width_ms * nu_ghz * nu_ghz * nu_ghz);
+  if (zeta < 1e-6) return 1.0;  // series limit: erf(z)/z -> 2/sqrt(pi)
+  return 0.5 * std::sqrt(3.14159265358979323846) * std::erf(zeta) / zeta;
+}
+
+double dm_width_at_level(double level, double width_ms, double center_freq_mhz,
+                         double bandwidth_mhz) {
+  if (level <= 0.0 || level >= 1.0) {
+    throw std::invalid_argument("level must be in (0, 1)");
+  }
+  double lo = 0.0;
+  double hi = 1.0;
+  // Expand until the degradation at `hi` drops below the level.
+  while (snr_degradation(hi, width_ms, center_freq_mhz, bandwidth_mhz) >
+         level) {
+    hi *= 2.0;
+    if (hi > 1e7) return hi;  // pathologically wide peak; give up expanding
+  }
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (snr_degradation(mid, width_ms, center_freq_mhz, bandwidth_mhz) >
+        level) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace drapid

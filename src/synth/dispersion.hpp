@@ -1,0 +1,40 @@
+// Dispersion physics used to synthesize realistic single-pulse search output.
+//
+// A pulse from a source at dispersion measure DM arrives later at lower radio
+// frequencies (delay ∝ DM · ν⁻²). A single-pulse search dedisperses at a grid
+// of trial DMs; at the wrong trial DM the residual smearing broadens the pulse
+// and suppresses its S/N following the classic Cordes & McLaughlin (2003)
+// degradation curve. That curve is what makes a real pulse appear as a *peak*
+// in SNR-vs-DM space — the structure Algorithm 1 of the paper searches for.
+#pragma once
+
+namespace drapid {
+
+/// Dispersion constant in MHz² pc⁻¹ cm³ s (Lorimer & Kramer 2012).
+inline constexpr double kDispersionConstant = 4.148808e3;
+
+/// Arrival-time delay (seconds) at frequency `freq_mhz` relative to infinite
+/// frequency, for a source at dispersion measure `dm` (pc cm⁻³).
+double dispersion_delay_s(double dm, double freq_mhz);
+
+/// Differential delay (seconds) across a band centered at `center_freq_mhz`
+/// with total bandwidth `bandwidth_mhz`, for dispersion-measure error
+/// `dm_error` — the residual smearing when dedispersed at the wrong DM.
+double smearing_s(double dm_error, double center_freq_mhz,
+                  double bandwidth_mhz);
+
+/// Cordes & McLaughlin (2003) S/N degradation factor in (0, 1]:
+/// the ratio S(δDM)/S(0) for a Gaussian pulse of full width `width_ms`
+/// observed at `center_freq_mhz` with `bandwidth_mhz`, dedispersed with a
+/// trial-DM error of `dm_error` (pc cm⁻³). Equals 1 at dm_error = 0 and
+/// falls off monotonically.
+double snr_degradation(double dm_error, double width_ms,
+                       double center_freq_mhz, double bandwidth_mhz);
+
+/// Half-width (in pc cm⁻³) of the DM range over which the degradation factor
+/// stays above `level` (e.g. 0.5 gives the FWHM of the SNR-vs-DM peak).
+/// Found by bisection; `level` must be in (0, 1).
+double dm_width_at_level(double level, double width_ms, double center_freq_mhz,
+                         double bandwidth_mhz);
+
+}  // namespace drapid

@@ -1,0 +1,70 @@
+#include "synth/population.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace drapid {
+
+namespace {
+
+std::string make_name(SourceType type, std::size_t index, Rng& rng) {
+  // Catalogue-style J-name with random coordinates; purely cosmetic but keeps
+  // logs and plots readable.
+  std::ostringstream out;
+  out << (type == SourceType::kPulsar ? "J" : "R");
+  const int hh = static_cast<int>(rng.below(24));
+  const int mm = static_cast<int>(rng.below(60));
+  const int dd = static_cast<int>(rng.below(90));
+  out << (hh < 10 ? "0" : "") << hh << (mm < 10 ? "0" : "") << mm
+      << (rng.chance(0.5) ? '+' : '-') << (dd < 10 ? "0" : "") << dd << '.'
+      << index;
+  return out.str();
+}
+
+SyntheticSource draw_source(const PopulationConfig& config, SourceType type,
+                            std::size_t index, Rng& rng) {
+  SyntheticSource src;
+  src.type = type;
+  src.name = make_name(type, index, rng);
+  // Sky positions along a Galactic-plane-like strip.
+  src.ra_deg = rng.uniform(0.0, 360.0);
+  src.dec_deg = rng.uniform(-30.0, 60.0);
+  // DM drawn log-uniform so the population spans near and far sources — the
+  // spread the ALM near/mid/far thresholds (Table 2) discretize.
+  const double log_dm =
+      rng.uniform(std::log(config.dm_min), std::log(config.dm_max));
+  src.dm = std::exp(log_dm);
+  src.period_s =
+      std::pow(10.0, rng.uniform(config.log_period_min, config.log_period_max));
+  const double duty = std::exp(
+      rng.uniform(std::log(config.duty_min), std::log(config.duty_max)));
+  src.width_ms = std::max(0.5, src.period_s * duty * 1e3);
+  src.median_snr = 5.0 + rng.lognormal(config.snr_mu, config.snr_sigma);
+  src.snr_sigma = rng.uniform(0.25, 0.5);
+  if (type == SourceType::kPulsar) {
+    src.emission_rate = rng.uniform(0.2, 0.9);  // fraction of rotations
+  } else {
+    src.emission_rate = rng.uniform(4.0, 40.0);  // bursts per hour
+    // RRAT bursts are rare but tend to be bright and broad.
+    src.median_snr = 6.0 + rng.lognormal(config.snr_mu + 0.4, config.snr_sigma);
+    src.width_ms = std::max(2.0, src.width_ms);
+  }
+  return src;
+}
+
+}  // namespace
+
+std::vector<SyntheticSource> draw_population(const PopulationConfig& config,
+                                             Rng& rng) {
+  std::vector<SyntheticSource> sources;
+  sources.reserve(config.num_pulsars + config.num_rrats);
+  for (std::size_t i = 0; i < config.num_pulsars; ++i) {
+    sources.push_back(draw_source(config, SourceType::kPulsar, i, rng));
+  }
+  for (std::size_t i = 0; i < config.num_rrats; ++i) {
+    sources.push_back(draw_source(config, SourceType::kRrat, i, rng));
+  }
+  return sources;
+}
+
+}  // namespace drapid

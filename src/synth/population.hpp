@@ -1,0 +1,60 @@
+// Synthetic source population: pulsars and rotating radio transients (RRATs).
+//
+// Stand-in for the paper's labeled real-world sources (48 GBT350Drift pulsars,
+// 98 PALFA pulsars/RRATs). Each source carries the physical parameters that
+// shape its single pulses: true DM, rotation period, pulse width, and a pulse
+// brightness distribution. Pulsars emit a pulse every rotation with strongly
+// modulated amplitude; RRATs emit sporadically (McLaughlin et al. 2006).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace drapid {
+
+enum class SourceType { kPulsar, kRrat };
+
+/// One synthetic emitter.
+struct SyntheticSource {
+  std::string name;         ///< catalogue-style name, e.g. "J1900+0613"
+  SourceType type = SourceType::kPulsar;
+  double ra_deg = 0.0;      ///< sky position (right ascension)
+  double dec_deg = 0.0;     ///< sky position (declination)
+  double dm = 0.0;          ///< true dispersion measure (pc cm⁻³)
+  double period_s = 1.0;    ///< rotation period
+  double width_ms = 10.0;   ///< intrinsic pulse width (full width)
+  /// Median peak S/N of detectable pulses at the true DM. Individual pulses
+  /// scatter log-normally around this.
+  double median_snr = 8.0;
+  /// log-normal sigma of pulse-to-pulse brightness modulation.
+  double snr_sigma = 0.35;
+  /// For pulsars: fraction of rotations yielding a detectable pulse.
+  /// For RRATs: expected detectable bursts per hour.
+  double emission_rate = 0.5;
+};
+
+/// Parameter ranges for drawing a population; survey presets fill these in.
+struct PopulationConfig {
+  std::size_t num_pulsars = 10;
+  std::size_t num_rrats = 2;
+  double dm_min = 5.0;
+  double dm_max = 500.0;
+  /// log10(period/s) is drawn uniformly in [log_period_min, log_period_max].
+  double log_period_min = -1.3;  // ~50 ms
+  double log_period_max = 0.7;   // ~5 s
+  /// Pulse width as a fraction of period (drawn log-uniform in this range).
+  double duty_min = 0.01;
+  double duty_max = 0.05;
+  /// Median-SNR distribution (log-normal parameters of the underlying
+  /// normal); offset above the detection threshold.
+  double snr_mu = 2.2;
+  double snr_sigma = 0.55;
+};
+
+/// Draws a reproducible population from `config` using `rng`.
+std::vector<SyntheticSource> draw_population(const PopulationConfig& config,
+                                             Rng& rng);
+
+}  // namespace drapid

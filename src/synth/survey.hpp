@@ -1,0 +1,130 @@
+// Synthetic sky-survey generator — the stand-in for GBT350Drift and PALFA.
+//
+// Generates the output of phases 1–3 of a single-pulse search (the paper's
+// "raw data"): for each observation, a list of single pulse events across the
+// survey's trial-DM grid, containing
+//   * real single pulses from injected pulsars/RRATs, whose SNR-vs-DM shape
+//     follows the Cordes & McLaughlin degradation curve (a peak at the true
+//     DM) and whose DM-vs-time shape follows residual dispersion delays;
+//   * broadband RFI bursts (flat SNR across wide DM ranges — no peak);
+//   * low-DM terrestrial junk;
+//   * threshold-crossing noise events.
+// Unlike the real surveys, the simulator returns exact ground truth for every
+// injected pulse, which is what the classification benchmarks label with.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "spe/catalog.hpp"
+#include "spe/dm_grid.hpp"
+#include "spe/spe_io.hpp"
+#include "synth/population.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+
+/// Observing setup and nuisance rates for one survey.
+struct SurveyConfig {
+  std::string name;
+  double center_freq_mhz = 350.0;
+  double bandwidth_mhz = 100.0;
+  double obs_length_s = 140.0;
+  double sample_time_ms = 0.0819;  ///< native sampling
+  double snr_threshold = 5.0;      ///< single-pulse search detection threshold
+  /// Rate of spurious threshold crossings (events per second, whole grid).
+  double noise_events_per_second = 25.0;
+  /// Expected broadband RFI bursts per observation.
+  double rfi_bursts_per_observation = 0.8;
+  /// Rate of low-DM (terrestrial) junk events per second.
+  double low_dm_events_per_second = 4.0;
+  /// Expected localized noise clumps per observation — clusters of
+  /// near-threshold events that DBSCAN groups and RAPID sometimes mistakes
+  /// for faint pulses. These are the survey's "negative examples of single
+  /// pulses from noise" (§4).
+  double noise_clumps_per_observation = 40.0;
+  /// Expected pulse-mimicking RFI artifacts per observation: peaked SNR
+  /// structure in DM without the Cordes shape (sweeping/periodic RFI) —
+  /// the "negative examples ... from RFI".
+  double peaked_rfi_per_observation = 10.0;
+  /// Upper bound on SPEs one pulse contributes. Real search pipelines bound
+  /// the DM window they associate with a detection; without a cap, a bright
+  /// low-DM pulse at 1.4 GHz (where the Cordes response is very wide) can
+  /// emit tens of thousands of trials' worth of events.
+  std::size_t max_spes_per_pulse = 1200;
+  /// Beam radius for position-based visibility (degrees).
+  double beam_radius_deg = 0.3;
+  PopulationConfig population;
+  std::shared_ptr<const DmGrid> grid;
+
+  /// GBT 350 MHz drift-scan preset (Boyles et al. 2013): low frequency,
+  /// 100 MHz band, short drift observations, nearby-pulsar population.
+  static SurveyConfig gbt350drift();
+
+  /// PALFA preset (Cordes et al. 2006): 1.4 GHz, 300 MHz band, Galactic
+  /// plane, deeper DM distribution.
+  static SurveyConfig palfa();
+};
+
+/// One injected (ground-truth) pulse.
+struct GroundTruthPulse {
+  std::string source_name;
+  SourceType type = SourceType::kPulsar;
+  double time_s = 0.0;    ///< arrival time at the true DM
+  double dm = 0.0;        ///< the source's true DM
+  double peak_snr = 0.0;  ///< brightest SPE actually emitted
+  double width_ms = 0.0;
+  std::uint32_t num_spes = 0;  ///< SPEs this pulse contributed
+};
+
+/// Simulator output for one observation.
+struct SimulatedObservation {
+  ObservationData data;                 ///< SPEs, sorted by (dm, time)
+  std::vector<GroundTruthPulse> truth;  ///< injected pulses with ≥ 1 SPE
+};
+
+/// Builds the known-source catalogue for a synthetic population — the
+/// ATNF/RRATalog equivalent the paper crossmatches against (§4).
+SourceCatalog catalog_from_population(
+    const std::vector<SyntheticSource>& sources);
+
+class SurveySimulator {
+ public:
+  /// Deterministic for a given (config, seed) pair.
+  SurveySimulator(SurveyConfig config, std::uint64_t seed);
+
+  const SurveyConfig& config() const { return config_; }
+
+  /// Draws a source population from the survey's PopulationConfig.
+  std::vector<SyntheticSource> draw_sources();
+
+  /// Simulates one observation. `visible` lists the sources inside this
+  /// beam (often empty — most pointings see no pulsar).
+  SimulatedObservation simulate(const ObservationId& id,
+                                const std::vector<SyntheticSource>& visible);
+
+  /// Convenience: simulates `count` observations. Each pointing targets a
+  /// random source with probability min(1, visibility × #sources) — so
+  /// `visibility` keeps its meaning of "chance a given source is observed"
+  /// — and otherwise points at blank sky; the sources actually in beam are
+  /// then selected *by position* (within beam_radius_deg), so catalogue
+  /// crossmatching agrees with the injected truth.
+  std::vector<SimulatedObservation> simulate_many(
+      std::size_t count, const std::vector<SyntheticSource>& sources,
+      double visibility);
+
+ private:
+  void inject_pulse(const SyntheticSource& src, double t0, double snr0,
+                    std::vector<SinglePulseEvent>& events,
+                    std::vector<GroundTruthPulse>& truth);
+  void add_noise(std::vector<SinglePulseEvent>& events);
+  void add_rfi(std::vector<SinglePulseEvent>& events);
+  void add_noise_clumps(std::vector<SinglePulseEvent>& events);
+  void add_peaked_rfi(std::vector<SinglePulseEvent>& events);
+
+  SurveyConfig config_;
+  Rng rng_;
+};
+
+}  // namespace drapid

@@ -1,0 +1,124 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace drapid {
+
+CsvRow parse_csv_line(std::string_view line, char delim) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (c == delim) {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      field.push_back(c);
+    }
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
+std::vector<CsvRow> read_csv(std::istream& in, char delim, bool skip_comments) {
+  std::vector<CsvRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || (line.size() == 1 && line[0] == '\r')) continue;
+    if (skip_comments && line[0] == '#') continue;
+    rows.push_back(parse_csv_line(line, delim));
+  }
+  return rows;
+}
+
+std::vector<CsvRow> read_csv_file(const std::string& path, char delim,
+                                  bool skip_comments) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  return read_csv(in, delim, skip_comments);
+}
+
+std::string format_csv_row(const CsvRow& row, char delim) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out.push_back(delim);
+    const std::string& f = row[i];
+    const bool needs_quote =
+        f.find(delim) != std::string::npos || f.find('"') != std::string::npos;
+    if (!needs_quote) {
+      out += f;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : f) {
+      if (c == '"') out += "\"\"";
+      else out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+void write_csv(std::ostream& out, const std::vector<CsvRow>& rows, char delim) {
+  for (const auto& row : rows) out << format_csv_row(row, delim) << '\n';
+}
+
+void write_csv_file(const std::string& path, const std::vector<CsvRow>& rows,
+                    char delim) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write CSV file: " + path);
+  write_csv(out, rows, delim);
+  if (!out) throw std::runtime_error("error while writing CSV file: " + path);
+}
+
+double parse_double(std::string_view text) {
+  // Trim surrounding whitespace; survey files are space-padded.
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t'))
+    text.remove_prefix(1);
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r'))
+    text.remove_suffix(1);
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw std::runtime_error("not a number: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+long long parse_int(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t'))
+    text.remove_prefix(1);
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r'))
+    text.remove_suffix(1);
+  long long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw std::runtime_error("not an integer: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+}  // namespace drapid

@@ -1,0 +1,82 @@
+#include "util/options.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace drapid {
+
+Options::Options(int argc, const char* const argv[],
+                 std::map<std::string, std::string> spec)
+    : values_(std::move(spec)) {
+  for (const auto& [name, _] : values_) provided_[name] = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::runtime_error("unexpected positional argument: " + arg);
+    }
+    arg.erase(0, 2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = values_.find(name);
+      if (it == values_.end()) {
+        throw std::runtime_error("unknown option: --" + name);
+      }
+      // Boolean-style flag if no value follows or the next token is a flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      throw std::runtime_error("unknown option: --" + name);
+    }
+    it->second = value;
+    provided_[name] = true;
+  }
+}
+
+const std::string& Options::str(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw std::runtime_error("option not declared: --" + name);
+  }
+  return it->second;
+}
+
+double Options::number(const std::string& name) const {
+  return parse_double(str(name));
+}
+
+long long Options::integer(const std::string& name) const {
+  return parse_int(str(name));
+}
+
+bool Options::flag(const std::string& name) const {
+  const std::string& v = str(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+bool Options::provided(const std::string& name) const {
+  auto it = provided_.find(name);
+  return it != provided_.end() && it->second;
+}
+
+std::string Options::describe() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : values_) {
+    out << "  --" << name << " = " << value << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace drapid

@@ -1,0 +1,38 @@
+// Tiny command-line option parser for the bench/example binaries.
+//
+// Supports "--name value" and "--name=value"; unknown flags raise an error so
+// a typo in a sweep script fails loudly rather than silently running the
+// default experiment.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace drapid {
+
+class Options {
+ public:
+  /// `spec` maps option name -> default value; every recognized option must
+  /// be declared there. Throws std::runtime_error on unknown or malformed
+  /// arguments.
+  Options(int argc, const char* const argv[],
+          std::map<std::string, std::string> spec);
+
+  const std::string& str(const std::string& name) const;
+  double number(const std::string& name) const;
+  long long integer(const std::string& name) const;
+  bool flag(const std::string& name) const;  // "1"/"true"/"yes" are true
+
+  /// True when the user explicitly supplied the option.
+  bool provided(const std::string& name) const;
+
+  /// Renders "--name default  (current)" lines for --help output.
+  std::string describe() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> provided_;
+};
+
+}  // namespace drapid

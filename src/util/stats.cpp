@@ -1,0 +1,191 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drapid {
+
+namespace {
+
+LinearFit fit_from_sums(std::size_t n, double sx, double sy, double sxx,
+                        double syy, double sxy) {
+  LinearFit fit;
+  fit.n = n;
+  if (n < 2) {
+    fit.intercept = (n == 1) ? sy : 0.0;
+    return fit;
+  }
+  const double dn = static_cast<double>(n);
+  const double sxx_c = sxx - sx * sx / dn;  // centered sum of squares of x
+  const double syy_c = syy - sy * sy / dn;
+  const double sxy_c = sxy - sx * sy / dn;
+  if (sxx_c <= 0.0) {
+    fit.intercept = sy / dn;
+    return fit;
+  }
+  fit.slope = sxy_c / sxx_c;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  if (syy_c > 0.0) {
+    fit.r_squared = (sxy_c * sxy_c) / (sxx_c * syy_c);
+    fit.r_squared = std::clamp(fit.r_squared, 0.0, 1.0);
+  }
+  return fit;
+}
+
+}  // namespace
+
+LinearFit linear_regression(std::span<const double> x,
+                            std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  return fit_from_sums(n, sx, sy, sxx, syy, sxy);
+}
+
+void RunningFit::add(double x, double y) {
+  ++n_;
+  sx_ += x;
+  sy_ += y;
+  sxx_ += x * x;
+  syy_ += y * y;
+  sxy_ += x * y;
+}
+
+void RunningFit::remove(double x, double y) {
+  if (n_ == 0) return;
+  --n_;
+  sx_ -= x;
+  sy_ -= y;
+  sxx_ -= x * x;
+  syy_ -= y * y;
+  sxy_ -= x * y;
+}
+
+LinearFit RunningFit::fit() const {
+  return fit_from_sums(n_, sx_, sy_, sxx_, syy_, sxy_);
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values, bool sample) {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  const double denom = sample ? static_cast<double>(n - 1)
+                              : static_cast<double>(n);
+  return std::sqrt(ss / denom);
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  };
+  s.n = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q1 = at(0.25);
+  s.median = at(0.5);
+  s.q3 = at(0.75);
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  return s;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  const double mx = mean(x.subspan(0, n));
+  const double my = mean(y.subspan(0, n));
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double skewness(std::span<const double> values) {
+  const std::size_t n = values.size();
+  if (n < 3) return 0.0;
+  const double m = mean(values);
+  double m2 = 0.0, m3 = 0.0;
+  for (double v : values) {
+    const double d = v - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 <= 0.0) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+double excess_kurtosis(std::span<const double> values) {
+  const std::size_t n = values.size();
+  if (n < 4) return 0.0;
+  const double m = mean(values);
+  double m2 = 0.0, m4 = 0.0;
+  for (double v : values) {
+    const double d = v - m;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  if (m2 <= 0.0) return 0.0;
+  return m4 / (m2 * m2) - 3.0;
+}
+
+double entropy_from_counts(std::span<const std::size_t> counts) {
+  std::size_t total = 0;
+  for (auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (auto c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace drapid

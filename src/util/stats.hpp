@@ -1,0 +1,82 @@
+// Descriptive statistics and simple linear regression.
+//
+// The regression here is the exact computation Algorithm 1 of the paper runs
+// once per bin: an ordinary-least-squares fit Y = a + b*X through the SPEs of
+// a bin, whose slope b drives the climbing/peak/descending state machine.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace drapid {
+
+/// Result of an ordinary-least-squares fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 0 when the fit is degenerate.
+  double r_squared = 0.0;
+  /// Number of points the fit used.
+  std::size_t n = 0;
+};
+
+/// Least-squares fit through (x[i], y[i]). With fewer than two points, or all
+/// x equal, returns a flat line through the mean with r_squared 0.
+LinearFit linear_regression(std::span<const double> x,
+                            std::span<const double> y);
+
+/// Incremental OLS accumulator: lets Algorithm 1 slide a bin across a cluster
+/// without re-summing, and lets callers fit streams without materializing
+/// vectors.
+class RunningFit {
+ public:
+  void add(double x, double y);
+  void remove(double x, double y);
+  std::size_t count() const { return n_; }
+  /// Current fit over all added points (same degenerate rules as
+  /// linear_regression).
+  LinearFit fit() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sx_ = 0.0, sy_ = 0.0, sxx_ = 0.0, syy_ = 0.0, sxy_ = 0.0;
+};
+
+/// Five-number summary plus mean/stddev, the quantity the paper's boxplot
+/// figures (5 and 6) are drawn from.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double iqr() const { return q3 - q1; }
+};
+
+/// Computes a Summary; quantiles use linear interpolation (type-7, the
+/// default in R/NumPy). Empty input yields an all-zero summary.
+Summary summarize(std::span<const double> values);
+
+double mean(std::span<const double> values);
+/// Population standard deviation when sample=false, sample (n-1) otherwise.
+double stddev(std::span<const double> values, bool sample = true);
+/// Interpolated quantile q in [0,1] of values (need not be sorted).
+double quantile(std::span<const double> values, double q);
+double median(std::span<const double> values);
+
+/// Pearson correlation of two equal-length sequences; 0 if degenerate.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Skewness (Fisher) and excess kurtosis; 0 for degenerate inputs. Used by
+/// the feature extractor to characterize SNR-vs-DM shapes.
+double skewness(std::span<const double> values);
+double excess_kurtosis(std::span<const double> values);
+
+/// Shannon entropy (bits) of a discrete distribution given as counts.
+double entropy_from_counts(std::span<const std::size_t> counts);
+
+}  // namespace drapid

@@ -1,0 +1,104 @@
+#include "util/text_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace drapid {
+
+std::string format_number(double value, int digits) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(digits);
+  out << value;
+  std::string s = out.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return {};
+  std::size_t cols = 0;
+  for (const auto& row : rows) cols = std::max(cols, row.size());
+  std::vector<std::size_t> widths(cols, 0);
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+    if (r == 0) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        out << std::string(widths[c], '-') << "  ";
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string render_boxplots(const std::string& title,
+                            const std::vector<BoxplotRow>& rows, int width) {
+  std::ostringstream out;
+  out << title << '\n';
+  if (rows.empty()) return out.str();
+  double lo = rows.front().summary.min;
+  double hi = rows.front().summary.max;
+  std::size_t label_width = 0;
+  for (const auto& row : rows) {
+    lo = std::min(lo, row.summary.min);
+    hi = std::max(hi, row.summary.max);
+    label_width = std::max(label_width, row.label.size());
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  const auto col = [&](double v) {
+    const double t = (v - lo) / (hi - lo);
+    return static_cast<int>(std::round(t * (width - 1)));
+  };
+  for (const auto& row : rows) {
+    const Summary& s = row.summary;
+    std::string plot(static_cast<std::size_t>(width), ' ');
+    const int cmin = col(s.min), cq1 = col(s.q1), cmed = col(s.median),
+              cq3 = col(s.q3), cmax = col(s.max);
+    for (int i = cmin; i <= cmax; ++i) plot[static_cast<std::size_t>(i)] = '-';
+    for (int i = cq1; i <= cq3; ++i) plot[static_cast<std::size_t>(i)] = '=';
+    plot[static_cast<std::size_t>(cmin)] = '|';
+    plot[static_cast<std::size_t>(cmax)] = '|';
+    plot[static_cast<std::size_t>(cmed)] = 'M';
+    out << row.label << std::string(label_width - row.label.size() + 1, ' ')
+        << '[' << plot << "]  med=" << format_number(s.median)
+        << " iqr=" << format_number(s.iqr()) << '\n';
+  }
+  out << std::string(label_width + 1, ' ') << ' ' << format_number(lo)
+      << std::string(static_cast<std::size_t>(std::max(1, width - 12)), ' ')
+      << format_number(hi) << '\n';
+  return out.str();
+}
+
+std::string render_series(const std::string& title,
+                          const std::vector<std::string>& x_labels,
+                          const std::vector<Series>& series) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{title};
+  header.insert(header.end(), x_labels.begin(), x_labels.end());
+  rows.push_back(std::move(header));
+  for (const auto& s : series) {
+    std::vector<std::string> row{s.label};
+    for (double v : s.values) row.push_back(format_number(v));
+    rows.push_back(std::move(row));
+  }
+  return render_table(rows);
+}
+
+}  // namespace drapid

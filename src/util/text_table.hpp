@@ -1,0 +1,46 @@
+// Plain-text rendering of tables and boxplots.
+//
+// The paper reports its classification results as boxplot panels (Figures 5
+// and 6) and its scaling result as a line series (Figure 4). The benches
+// regenerate those artifacts as aligned text tables and ASCII boxplot rows so
+// the "shape" (medians, IQRs, who wins) is readable directly in bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace drapid {
+
+/// Renders rows as a column-aligned table. The first row is treated as a
+/// header and underlined.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+/// One labeled distribution to draw in a boxplot panel.
+struct BoxplotRow {
+  std::string label;
+  Summary summary;
+};
+
+/// Renders rows as horizontal ASCII boxplots on a shared axis:
+///   label |----[ Q1 |median| Q3 ]-----| min..max
+/// `width` is the number of columns for the plot area.
+std::string render_boxplots(const std::string& title,
+                            const std::vector<BoxplotRow>& rows,
+                            int width = 60);
+
+/// Renders an x/y series (e.g. Figure 4's elapsed-time-vs-executors curves)
+/// as a table with one column per x value and one row per series.
+struct Series {
+  std::string label;
+  std::vector<double> values;  // aligned with the shared x labels
+};
+std::string render_series(const std::string& title,
+                          const std::vector<std::string>& x_labels,
+                          const std::vector<Series>& series);
+
+/// Formats a double with `digits` significant decimals, trimming noise.
+std::string format_number(double value, int digits = 3);
+
+}  // namespace drapid

@@ -1,0 +1,145 @@
+// Property tests for the clustering substrate: invariances that must hold
+// for any input the simulator can produce.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "clustering/dbscan.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace {
+
+ObservationData random_observation(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  ObservationData obs;
+  obs.id.dataset = "PROP";
+  for (std::size_t i = 0; i < n; ++i) {
+    SinglePulseEvent e;
+    // Mixture: half clumped, half scattered.
+    if (rng.chance(0.5)) {
+      const double c_dm = rng.uniform(10.0, 90.0);
+      const double c_t = rng.uniform(0.0, 50.0);
+      e.dm = c_dm + rng.normal(0.0, 0.3);
+      e.time_s = c_t + rng.normal(0.0, 0.01);
+    } else {
+      e.dm = rng.uniform(0.0, 100.0);
+      e.time_s = rng.uniform(0.0, 50.0);
+    }
+    e.snr = 5.0 + rng.exponential(1.0);
+    obs.events.push_back(e);
+  }
+  return obs;
+}
+
+/// Canonical form of a clustering: the set of member-index sets.
+std::set<std::set<std::size_t>> canonical(const ClusteringResult& result) {
+  std::set<std::set<std::size_t>> out;
+  for (const auto& c : result.clusters) {
+    out.insert(std::set<std::size_t>(c.members.begin(), c.members.end()));
+  }
+  return out;
+}
+
+class DbscanProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbscanProperties, EveryEventIsNoiseOrInExactlyOneCluster) {
+  const auto obs = random_observation(GetParam(), 400);
+  const DmGrid grid({{0.0, 100.0, 0.1}});
+  const auto result = dbscan_cluster(obs, grid, {});
+  std::map<std::size_t, int> memberships;
+  for (const auto& c : result.clusters) {
+    for (std::size_t m : c.members) ++memberships[m];
+  }
+  for (const auto& [event, count] : memberships) {
+    EXPECT_EQ(count, 1) << "event " << event << " in " << count << " clusters";
+  }
+  for (std::size_t i = 0; i < obs.events.size(); ++i) {
+    const bool member = memberships.count(i) > 0;
+    EXPECT_EQ(member, result.labels[i] >= 0);
+  }
+}
+
+TEST_P(DbscanProperties, InvariantUnderEventPermutation) {
+  auto obs = random_observation(GetParam(), 300);
+  const DmGrid grid({{0.0, 100.0, 0.1}});
+  const auto base = dbscan_cluster(obs, grid, {});
+
+  // Permute events; map results back through the permutation.
+  Rng rng(GetParam() ^ 0xabcdef);
+  std::vector<std::size_t> perm(obs.events.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+  ObservationData shuffled;
+  shuffled.id = obs.id;
+  shuffled.events.resize(obs.events.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    shuffled.events[i] = obs.events[perm[i]];
+  }
+  const auto permuted = dbscan_cluster(shuffled, grid, {});
+
+  // Canonicalize the permuted result back into original indices.
+  std::set<std::set<std::size_t>> remapped;
+  for (const auto& c : permuted.clusters) {
+    std::set<std::size_t> members;
+    for (std::size_t m : c.members) members.insert(perm[m]);
+    remapped.insert(std::move(members));
+  }
+  EXPECT_EQ(remapped, canonical(base));
+}
+
+TEST_P(DbscanProperties, MergePassNeverSplitsClusters) {
+  // Merging can only coarsen the partition: every unmerged cluster must be
+  // wholly contained in some merged cluster.
+  const auto obs = random_observation(GetParam(), 400);
+  const DmGrid grid({{0.0, 100.0, 0.1}});
+  DbscanParams merged_params;
+  DbscanParams unmerged_params;
+  unmerged_params.merge_fragments = false;
+  const auto merged = dbscan_cluster(obs, grid, merged_params);
+  const auto unmerged = dbscan_cluster(obs, grid, unmerged_params);
+  EXPECT_LE(merged.clusters.size(), unmerged.clusters.size());
+  for (const auto& fragment : unmerged.clusters) {
+    ASSERT_FALSE(fragment.members.empty());
+    const int target = merged.labels[fragment.members.front()];
+    for (std::size_t m : fragment.members) {
+      EXPECT_EQ(merged.labels[m], target)
+          << "fragment split across merged clusters";
+    }
+  }
+}
+
+TEST_P(DbscanProperties, RecordsMatchMembership) {
+  const auto obs = random_observation(GetParam(), 350);
+  const DmGrid grid({{0.0, 100.0, 0.1}});
+  const auto result = dbscan_cluster(obs, grid, {});
+  const auto records = make_cluster_records(obs, result);
+  ASSERT_EQ(records.size(), result.clusters.size());
+  std::set<int> ranks;
+  for (std::size_t c = 0; c < records.size(); ++c) {
+    EXPECT_EQ(records[c].num_spes, result.clusters[c].members.size());
+    for (std::size_t m : result.clusters[c].members) {
+      const auto& e = obs.events[m];
+      EXPECT_GE(e.dm, records[c].dm_min);
+      EXPECT_LE(e.dm, records[c].dm_max);
+      EXPECT_GE(e.time_s, records[c].time_min);
+      EXPECT_LE(e.time_s, records[c].time_max);
+      EXPECT_LE(e.snr, records[c].snr_max);
+    }
+    ranks.insert(records[c].rank);
+  }
+  // Ranks are a permutation of 1..k.
+  EXPECT_EQ(ranks.size(), records.size());
+  if (!records.empty()) {
+    EXPECT_EQ(*ranks.begin(), 1);
+    EXPECT_EQ(*ranks.rbegin(), static_cast<int>(records.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbscanProperties,
+                         ::testing::Values(1, 7, 42, 99, 1234));
+
+}  // namespace
+}  // namespace drapid

@@ -1,0 +1,153 @@
+#include "dataflow/block_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace drapid {
+namespace {
+
+std::string make_lines(std::size_t count, std::size_t width) {
+  std::string text;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string line = "line" + std::to_string(i);
+    line.resize(width, 'x');
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+TEST(BlockStore, PutGetRoundTrip) {
+  BlockStore store(15);
+  store.put("a.csv", "hello\nworld\n");
+  EXPECT_TRUE(store.exists("a.csv"));
+  EXPECT_EQ(store.get("a.csv"), "hello\nworld\n");
+  EXPECT_EQ(store.file_size("a.csv"), 12u);
+}
+
+TEST(BlockStore, MissingFileThrows) {
+  BlockStore store(3);
+  EXPECT_THROW(store.get("nope"), std::runtime_error);
+  EXPECT_THROW(store.blocks("nope"), std::runtime_error);
+}
+
+TEST(BlockStore, RemoveAndList) {
+  BlockStore store(3);
+  store.put("a", "1");
+  store.put("b", "2");
+  EXPECT_EQ(store.list().size(), 2u);
+  store.remove("a");
+  EXPECT_FALSE(store.exists("a"));
+  EXPECT_EQ(store.list().size(), 1u);
+}
+
+TEST(BlockStore, SplitsIntoBlocksOfConfiguredSize) {
+  BlockStore store(15, /*block_size=*/100);
+  const std::string text = make_lines(50, 20);  // 50 * 21 = 1050 bytes
+  store.put("big", text);
+  const auto& layout = store.blocks("big");
+  ASSERT_EQ(layout.size(), 11u);  // ceil(1050 / 100)
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < layout.size(); ++b) {
+    EXPECT_EQ(layout[b].offset, b * 100);
+    EXPECT_LE(layout[b].size, 100u);
+    total += layout[b].size;
+  }
+  EXPECT_EQ(total, text.size());
+}
+
+TEST(BlockStore, ReplicasAreDistinctNodes) {
+  BlockStore store(15, 64, /*replication=*/3);
+  store.put("f", make_lines(20, 30));
+  for (const auto& block : store.blocks("f")) {
+    std::set<int> nodes(block.replicas.begin(), block.replicas.end());
+    EXPECT_EQ(nodes.size(), 3u);
+    for (int n : nodes) {
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, 15);
+    }
+  }
+}
+
+TEST(BlockStore, ReplicationClampedToNodeCount) {
+  BlockStore store(2, 64, /*replication=*/5);
+  store.put("f", "data");
+  EXPECT_EQ(store.blocks("f")[0].replicas.size(), 2u);
+}
+
+TEST(BlockStore, ReadBlockReturnsExactSlice) {
+  BlockStore store(4, 10);
+  store.put("f", "0123456789abcdefghij");
+  EXPECT_EQ(store.read_block("f", 0), "0123456789");
+  EXPECT_EQ(store.read_block("f", 1), "abcdefghij");
+  EXPECT_THROW(store.read_block("f", 2), std::runtime_error);
+}
+
+TEST(BlockStore, LineChunksReassembleExactly) {
+  BlockStore store(15, /*block_size=*/64);
+  const std::string text = make_lines(40, 17);
+  store.put("f", text);
+  const auto chunks = store.line_chunks("f");
+  EXPECT_EQ(chunks.size(), store.blocks("f").size());
+  std::string reassembled;
+  for (const auto& c : chunks) reassembled += c;
+  EXPECT_EQ(reassembled, text);
+}
+
+TEST(BlockStore, LineChunksNeverSplitALine) {
+  BlockStore store(15, /*block_size=*/50);
+  const std::string text = make_lines(30, 23);
+  store.put("f", text);
+  for (const auto& chunk : store.line_chunks("f")) {
+    if (chunk.empty()) continue;
+    EXPECT_EQ(chunk.back(), '\n') << "chunk must end on a record boundary";
+    // Every line inside must be a full "lineN..." record.
+    std::size_t start = 0;
+    while (start < chunk.size()) {
+      const auto nl = chunk.find('\n', start);
+      ASSERT_NE(nl, std::string::npos);
+      EXPECT_EQ(chunk.substr(start, 4), "line");
+      start = nl + 1;
+    }
+  }
+}
+
+TEST(BlockStore, LineChunksHandleLinesLongerThanBlocks) {
+  BlockStore store(4, /*block_size=*/8);
+  const std::string text = "short\nthis-is-a-very-long-line\nend\n";
+  store.put("f", text);
+  const auto chunks = store.line_chunks("f");
+  std::string reassembled;
+  for (const auto& c : chunks) reassembled += c;
+  EXPECT_EQ(reassembled, text);
+}
+
+TEST(BlockStore, EmptyFileHasOneEmptyBlock) {
+  BlockStore store(3);
+  store.put("empty", "");
+  EXPECT_EQ(store.blocks("empty").size(), 1u);
+  EXPECT_EQ(store.file_size("empty"), 0u);
+  const auto chunks = store.line_chunks("empty");
+  std::string reassembled;
+  for (const auto& c : chunks) reassembled += c;
+  EXPECT_TRUE(reassembled.empty());
+}
+
+TEST(BlockStore, PlacementIsDeterministic) {
+  BlockStore a(15, 100), b(15, 100);
+  const std::string text = make_lines(20, 40);
+  a.put("f", text);
+  b.put("f", text);
+  const auto& la = a.blocks("f");
+  const auto& lb = b.blocks("f");
+  ASSERT_EQ(la.size(), lb.size());
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].replicas, lb[i].replicas);
+  }
+}
+
+}  // namespace
+}  // namespace drapid

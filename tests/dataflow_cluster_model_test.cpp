@@ -1,0 +1,145 @@
+#include "dataflow/cluster_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drapid {
+namespace {
+
+/// A job with `tasks` tasks of `cost` compute units each.
+JobMetrics uniform_job(std::size_t tasks, std::size_t cost,
+                       std::size_t shuffle_bytes = 0,
+                       std::size_t spill_bytes = 0) {
+  JobMetrics job;
+  StageMetrics stage;
+  stage.name = "stage";
+  for (std::size_t i = 0; i < tasks; ++i) {
+    TaskMetrics t;
+    t.partition = i;
+    t.compute_cost = cost;
+    t.shuffle_bytes = shuffle_bytes;
+    t.spill_bytes = spill_bytes;
+    stage.tasks.push_back(t);
+  }
+  job.stages.push_back(std::move(stage));
+  return job;
+}
+
+TEST(ClusterModel, EmptyJobCostsNothing) {
+  const auto result = simulate_cluster({}, ClusterSpec::paper_beowulf(5));
+  EXPECT_DOUBLE_EQ(result.total_seconds, 0.0);
+}
+
+TEST(ClusterModel, MoreExecutorsNeverSlower) {
+  const auto job = uniform_job(896, 300000);
+  double prev = 1e18;
+  for (std::size_t executors : {1u, 5u, 10u, 15u, 20u}) {
+    const auto r = simulate_cluster(job, ClusterSpec::paper_beowulf(executors));
+    EXPECT_LE(r.total_seconds, prev + 1e-9) << executors << " executors";
+    prev = r.total_seconds;
+  }
+}
+
+TEST(ClusterModel, DiminishingReturnsBeyondTheKnee) {
+  // Figure 4 shape: the 1->5 executor gain dwarfs the 5->20 gain.
+  const auto job = uniform_job(896, 300000);
+  const double t1 = simulate_cluster(job, ClusterSpec::paper_beowulf(1)).total_seconds;
+  const double t5 = simulate_cluster(job, ClusterSpec::paper_beowulf(5)).total_seconds;
+  const double t20 = simulate_cluster(job, ClusterSpec::paper_beowulf(20)).total_seconds;
+  EXPECT_GT(t1 - t5, 3.0 * (t5 - t20));
+}
+
+TEST(ClusterModel, SpillBytesSlowTheJob) {
+  const auto lean = uniform_job(100, 100000, 0, 0);
+  const auto spilly = uniform_job(100, 100000, 0, 10u << 20);
+  const auto spec = ClusterSpec::paper_beowulf(5);
+  EXPECT_GT(simulate_cluster(spilly, spec).total_seconds,
+            simulate_cluster(lean, spec).total_seconds);
+}
+
+TEST(ClusterModel, ShuffleBytesSlowTheJob) {
+  const auto lean = uniform_job(100, 100000, 0, 0);
+  const auto chatty = uniform_job(100, 100000, 5u << 20, 0);
+  const auto spec = ClusterSpec::paper_beowulf(10);
+  EXPECT_GT(simulate_cluster(chatty, spec).total_seconds,
+            simulate_cluster(lean, spec).total_seconds);
+}
+
+TEST(ClusterModel, SkewedTasksLimitScaling) {
+  // One giant task (a 3,500-SPE cluster) bounds the makespan no matter how
+  // many executors exist — the straggler effect §6.1 describes.
+  JobMetrics job;
+  StageMetrics stage;
+  stage.name = "skew";
+  TaskMetrics giant;
+  giant.compute_cost = 50'000'000;
+  stage.tasks.push_back(giant);
+  for (int i = 0; i < 500; ++i) {
+    TaskMetrics small;
+    small.compute_cost = 1000;
+    stage.tasks.push_back(small);
+  }
+  job.stages.push_back(stage);
+  const double t10 = simulate_cluster(job, ClusterSpec::paper_beowulf(10)).total_seconds;
+  const double t20 = simulate_cluster(job, ClusterSpec::paper_beowulf(20)).total_seconds;
+  const auto spec = ClusterSpec::paper_beowulf(10);
+  const double giant_alone =
+      static_cast<double>(giant.compute_cost) * spec.ns_per_compute_unit * 1e-9 /
+      spec.node.clock_ghz;
+  EXPECT_GE(t10, giant_alone);
+  EXPECT_NEAR(t10, t20, giant_alone * 0.5);  // barely improves
+}
+
+TEST(ClusterModel, StageResultsSumToTotal) {
+  JobMetrics job = uniform_job(50, 1000);
+  job.stages.push_back(job.stages[0]);
+  const auto r = simulate_cluster(job, ClusterSpec::paper_beowulf(5));
+  ASSERT_EQ(r.stages.size(), 2u);
+  EXPECT_NEAR(r.total_seconds, r.stages[0].seconds + r.stages[1].seconds, 1e-9);
+}
+
+TEST(WorkstationModel, MoreThreadsHelpUpToTheCoreCount) {
+  std::vector<std::size_t> tasks(2000, 200000);
+  const auto m = ClusterSpec::paper_workstation();
+  const double t1 = simulate_workstation(tasks, 0, 0, m, 1).total_seconds;
+  const double t5 = simulate_workstation(tasks, 0, 0, m, 5).total_seconds;
+  EXPECT_GT(t1, t5 * 3.0);
+}
+
+TEST(WorkstationModel, OversubscriptionPlateaus) {
+  std::vector<std::size_t> tasks(2000, 200000);
+  const auto m = ClusterSpec::paper_workstation();  // 6 cores
+  const double t10 = simulate_workstation(tasks, 0, 0, m, 10).total_seconds;
+  const double t20 = simulate_workstation(tasks, 0, 0, m, 20).total_seconds;
+  EXPECT_NEAR(t10, t20, t10 * 0.05);  // no more physical parallelism to buy
+}
+
+TEST(WorkstationModel, InputScanAddsSerialFloor) {
+  const auto m = ClusterSpec::paper_workstation();
+  const double without =
+      simulate_workstation({}, 0, 0, m, 4).total_seconds;
+  const double with_scan =
+      simulate_workstation({}, 1u << 30, 0, m, 4).total_seconds;
+  EXPECT_GT(with_scan, without + 1.0);  // ≥ 1 GB / 250 MB/s ≈ 4 s
+}
+
+TEST(WorkstationModel, MemoryPressureAddsSwapTime) {
+  const auto m = ClusterSpec::paper_workstation();  // 16 GB RAM
+  std::vector<std::size_t> tasks(100, 1000);
+  const double fits =
+      simulate_workstation(tasks, 0, 8ull << 30, m, 4).total_seconds;
+  const double swaps =
+      simulate_workstation(tasks, 0, 32ull << 30, m, 4).total_seconds;
+  EXPECT_GT(swaps, fits + 10.0);
+}
+
+TEST(ClusterModel, PaperSpecsMatchSection61) {
+  const auto spec = ClusterSpec::paper_beowulf(20);
+  EXPECT_EQ(spec.cores_per_executor, 2u);        // "two virtual cores"
+  EXPECT_DOUBLE_EQ(spec.executor_memory_mb, 2560.0);  // "2,560 MB of RAM"
+  const auto ws = ClusterSpec::paper_workstation();
+  EXPECT_DOUBLE_EQ(ws.clock_ghz, 4.5);           // "overclocked to 4.5 GHz"
+  EXPECT_DOUBLE_EQ(ws.memory_gb, 16.0);
+}
+
+}  // namespace
+}  // namespace drapid

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dedisp/single_pulse_search.hpp"
+#include "synth/dispersion.hpp"
+
+namespace drapid {
+namespace {
+
+FilterbankConfig small_config() {
+  FilterbankConfig cfg;
+  cfg.center_freq_mhz = 350.0;
+  cfg.bandwidth_mhz = 100.0;
+  cfg.num_channels = 32;
+  cfg.sample_time_ms = 2.0;
+  cfg.obs_length_s = 20.0;
+  return cfg;
+}
+
+TEST(Filterbank, GeometryAndChannelOrdering) {
+  const Filterbank fb(small_config());
+  EXPECT_EQ(fb.num_channels(), 32u);
+  EXPECT_EQ(fb.num_samples(), 10000u);
+  // Channel 0 at the top of the band, strictly descending.
+  EXPECT_GT(fb.channel_freq_mhz(0), 350.0);
+  EXPECT_LT(fb.channel_freq_mhz(31), 350.0);
+  for (std::size_t c = 1; c < fb.num_channels(); ++c) {
+    EXPECT_LT(fb.channel_freq_mhz(c), fb.channel_freq_mhz(c - 1));
+  }
+}
+
+TEST(Filterbank, RejectsInvalidConfig) {
+  FilterbankConfig cfg = small_config();
+  cfg.num_channels = 0;
+  EXPECT_THROW(Filterbank{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.sample_time_ms = 0.0;
+  EXPECT_THROW(Filterbank{cfg}, std::invalid_argument);
+}
+
+TEST(Filterbank, InjectedPulseSweepsDownwardInFrequency) {
+  Filterbank fb(small_config());
+  fb.inject_pulse(2.0, 60.0, 10.0, 20.0);
+  // The pulse must arrive later in lower-frequency channels.
+  const auto argmax = [&](std::size_t channel) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < fb.num_samples(); ++s) {
+      if (fb.at(channel, s) > fb.at(channel, best)) best = s;
+    }
+    return best;
+  };
+  const std::size_t first = argmax(0);
+  const std::size_t last = argmax(fb.num_channels() - 1);
+  EXPECT_GT(last, first);
+  // And by the dispersion relation's magnitude.
+  const double expected_s =
+      dispersion_delay_s(60.0, fb.channel_freq_mhz(fb.num_channels() - 1)) -
+      dispersion_delay_s(60.0, fb.channel_freq_mhz(0));
+  const double measured_s = static_cast<double>(last - first) * 2e-3;
+  EXPECT_NEAR(measured_s, expected_s, 0.01);
+}
+
+TEST(Dedisperse, CorrectDmConcentratesThePulse) {
+  Filterbank fb(small_config());
+  Rng rng(3);
+  fb.add_noise(rng, 1.0);
+  fb.inject_pulse(5.0, 45.0, 4.0, 20.0);
+  const auto right = dedisperse(fb, 45.0);
+  const auto wrong = dedisperse(fb, 5.0);
+  const double peak_right = *std::max_element(right.begin(), right.end());
+  const double peak_wrong = *std::max_element(wrong.begin(), wrong.end());
+  EXPECT_GT(peak_right, peak_wrong * 1.3);
+}
+
+TEST(DetectEvents, FindsInjectedPulseAtRightTime) {
+  Filterbank fb(small_config());
+  Rng rng(7);
+  fb.add_noise(rng, 1.0);
+  fb.inject_pulse(8.0, 30.0, 3.0, 20.0);
+  const auto series = dedisperse(fb, 30.0);
+  const auto events = detect_events(series, 30.0, 2.0, {});
+  ASSERT_FALSE(events.empty());
+  const auto best = *std::max_element(
+      events.begin(), events.end(),
+      [](const auto& a, const auto& b) { return a.snr < b.snr; });
+  // Arrival in the dedispersed series is referenced to the top channel.
+  const double expected_t =
+      8.0 + dispersion_delay_s(30.0, fb.channel_freq_mhz(0));
+  EXPECT_NEAR(best.time_s, expected_t, 0.1);
+  EXPECT_GT(best.snr, 8.0);
+  EXPECT_GE(best.downfact, 4);  // 20 ms pulse at 2 ms sampling
+}
+
+TEST(DetectEvents, PureNoiseYieldsFewDetections) {
+  Filterbank fb(small_config());
+  Rng rng(11);
+  fb.add_noise(rng, 1.0);
+  const auto series = dedisperse(fb, 20.0);
+  const auto events = detect_events(series, 20.0, 2.0, {});
+  // 10,000 samples x 6 boxcars at a 5-sigma threshold: a handful at most.
+  EXPECT_LT(events.size(), 8u);
+}
+
+TEST(DetectEvents, EmptySeriesYieldsNothing) {
+  EXPECT_TRUE(detect_events({}, 10.0, 1.0, {}).empty());
+}
+
+TEST(SinglePulseSearch, RecoversPulseNearTrueDm) {
+  Filterbank fb(small_config());
+  Rng rng(13);
+  fb.add_noise(rng, 1.0);
+  fb.inject_pulse(6.0, 55.0, 3.5, 25.0);
+  const DmGrid grid({{0.0, 120.0, 1.0}});
+  SinglePulseSearchParams params;
+  const auto events = single_pulse_search(fb, grid, params);
+  ASSERT_FALSE(events.empty());
+  const auto best = *std::max_element(
+      events.begin(), events.end(),
+      [](const auto& a, const auto& b) { return a.snr < b.snr; });
+  EXPECT_NEAR(best.dm, 55.0, 4.0);
+  // Events must come out sorted by (dm, time).
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ASSERT_LE(events[i - 1].dm, events[i].dm);
+  }
+}
+
+TEST(SinglePulseSearch, BroadbandImpulsePeaksAtZeroDm) {
+  Filterbank fb(small_config());
+  Rng rng(17);
+  fb.add_noise(rng, 1.0);
+  fb.inject_broadband_impulse(4.0, 8.0);
+  const DmGrid grid({{0.0, 60.0, 2.0}});
+  const auto events = single_pulse_search(fb, grid, {});
+  ASSERT_FALSE(events.empty());
+  const auto best = *std::max_element(
+      events.begin(), events.end(),
+      [](const auto& a, const auto& b) { return a.snr < b.snr; });
+  EXPECT_LT(best.dm, 6.0);
+}
+
+TEST(SinglePulseSearch, NarrowbandRfiIsDilutedAcrossChannels) {
+  // A single hot channel adds 1/N of its power to every trial; the matched
+  // filter should not report a strong event at any DM.
+  Filterbank fb(small_config());
+  Rng rng(19);
+  fb.add_noise(rng, 1.0);
+  fb.inject_rfi_tone(5, 2.0, 3.0, 3.2);
+  const DmGrid grid({{0.0, 60.0, 2.0}});
+  const auto events = single_pulse_search(fb, grid, {});
+  for (const auto& e : events) {
+    EXPECT_LT(e.snr, 9.0) << "RFI tone leaked as a strong event";
+  }
+}
+
+TEST(SinglePulseSearch, StrideSkipsTrials) {
+  Filterbank fb(small_config());
+  Rng rng(23);
+  fb.add_noise(rng, 1.0);
+  const DmGrid grid({{0.0, 60.0, 1.0}});
+  SinglePulseSearchParams fine;
+  SinglePulseSearchParams coarse;
+  coarse.dm_stride = 10;
+  // Strided search touches a subset of DMs.
+  std::set<double> fine_dms, coarse_dms;
+  for (const auto& e : single_pulse_search(fb, grid, fine)) {
+    fine_dms.insert(e.dm);
+  }
+  for (const auto& e : single_pulse_search(fb, grid, coarse)) {
+    coarse_dms.insert(e.dm);
+  }
+  for (double dm : coarse_dms) {
+    EXPECT_NEAR(std::fmod(dm, 10.0), 0.0, 1e-9);
+  }
+}
+
+class PulseDmSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PulseDmSweep, SearchLocalizesDm) {
+  Filterbank fb(small_config());
+  Rng rng(29);
+  fb.add_noise(rng, 1.0);
+  fb.inject_pulse(5.0, GetParam(), 4.0, 25.0);
+  const DmGrid grid({{0.0, 120.0, 2.0}});
+  const auto events = single_pulse_search(fb, grid, {});
+  ASSERT_FALSE(events.empty());
+  const auto best = *std::max_element(
+      events.begin(), events.end(),
+      [](const auto& a, const auto& b) { return a.snr < b.snr; });
+  EXPECT_NEAR(best.dm, GetParam(), 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dms, PulseDmSweep,
+                         ::testing::Values(10.0, 40.0, 80.0, 110.0));
+
+}  // namespace
+}  // namespace drapid

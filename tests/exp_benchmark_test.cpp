@@ -1,0 +1,136 @@
+#include "exp/benchmark_data.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/trial_runner.hpp"
+
+namespace drapid {
+namespace {
+
+/// Small, cached benchmark so several tests share one build.
+const std::vector<LabeledPulse>& test_pulses() {
+  static const std::vector<LabeledPulse> pulses = [] {
+    BenchmarkConfig cfg;
+    cfg.survey = SurveyConfig::gbt350drift();
+    cfg.survey.obs_length_s = 60.0;
+    cfg.target_positives = 60;
+    cfg.target_negatives = 300;
+    cfg.observations_per_batch = 2;
+    cfg.max_batches = 30;
+    cfg.visibility = 0.10;
+    cfg.seed = 7;
+    return build_benchmark_pulses(cfg);
+  }();
+  return pulses;
+}
+
+TEST(BenchmarkData, ReachesTargetsWithBothLabels) {
+  const auto& pulses = test_pulses();
+  std::size_t pos = 0, neg = 0, rrat = 0;
+  for (const auto& p : pulses) {
+    pos += p.is_pulsar;
+    neg += !p.is_pulsar;
+    rrat += p.is_rrat;
+    if (p.is_rrat) EXPECT_TRUE(p.is_pulsar);
+  }
+  EXPECT_GE(pos, 50u);
+  EXPECT_GE(neg, 250u);
+  EXPECT_GT(pos + neg, 0u);
+}
+
+TEST(BenchmarkData, FeaturesAreFinite) {
+  for (const auto& p : test_pulses()) {
+    for (double v : p.features.values) {
+      ASSERT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(BenchmarkData, AlmDatasetsHaveSchemeClassCounts) {
+  const auto& pulses = test_pulses();
+  for (ml::AlmScheme scheme : ml::all_alm_schemes()) {
+    const auto d = make_alm_dataset(pulses, scheme);
+    EXPECT_EQ(d.num_instances(), pulses.size());
+    EXPECT_EQ(d.num_features(), PulseFeatures::kCount);
+    EXPECT_EQ(d.num_classes(), ml::alm_class_names(scheme).size());
+    // Class 0 (non-pulsar) must dominate; some positive class is nonempty.
+    const auto counts = d.class_counts();
+    std::size_t positives = 0;
+    for (std::size_t c = 1; c < counts.size(); ++c) positives += counts[c];
+    EXPECT_GT(counts[0], positives);
+    EXPECT_GT(positives, 0u);
+  }
+}
+
+TEST(BenchmarkData, BinaryAndMulticlassAgreeOnPositives) {
+  const auto& pulses = test_pulses();
+  const auto binary = make_alm_dataset(pulses, ml::AlmScheme::kBinary);
+  const auto eight = make_alm_dataset(pulses, ml::AlmScheme::kEight);
+  for (std::size_t i = 0; i < pulses.size(); ++i) {
+    EXPECT_EQ(binary.label(i) != 0, eight.label(i) != 0);
+  }
+}
+
+TEST(TrialRunner, BinaryRandomForestTrialScoresWell) {
+  TrialSpec spec;
+  spec.scheme = ml::AlmScheme::kBinary;
+  spec.learner = ml::LearnerType::kRandomForest;
+  const auto result = run_trial(test_pulses(), spec);
+  EXPECT_EQ(result.fold_recalls.size(), 5u);
+  EXPECT_EQ(result.fold_train_seconds.size(), 5u);
+  EXPECT_GT(result.recall, 0.6);
+  EXPECT_GT(result.f_measure, 0.6);
+  EXPECT_GT(result.train_seconds, 0.0);
+  EXPECT_FALSE(result.correct.empty());
+  EXPECT_EQ(result.correct.size(), result.cv_labels.size());
+}
+
+TEST(TrialRunner, FeatureSelectionKeepsScoresReasonable) {
+  TrialSpec none;
+  none.learner = ml::LearnerType::kJ48;
+  TrialSpec ig = none;
+  ig.filter = ml::FilterMethod::kInfoGain;
+  const auto base = run_trial(test_pulses(), none);
+  const auto filtered = run_trial(test_pulses(), ig);
+  // RQ6: feature selection should not collapse classification performance.
+  EXPECT_GT(filtered.f_measure, base.f_measure - 0.15);
+}
+
+TEST(TrialRunner, SmoteTrialRuns) {
+  TrialSpec spec;
+  spec.learner = ml::LearnerType::kJ48;
+  spec.smote = true;
+  const auto result = run_trial(test_pulses(), spec);
+  EXPECT_GT(result.recall, 0.5);
+}
+
+TEST(TrialRunner, DescribeMentionsEveryPiece) {
+  TrialSpec spec;
+  spec.scheme = ml::AlmScheme::kEight;
+  spec.filter = ml::FilterMethod::kInfoGain;
+  spec.learner = ml::LearnerType::kMpn;
+  spec.smote = true;
+  const auto text = spec.describe();
+  EXPECT_NE(text.find("MPN"), std::string::npos);
+  EXPECT_NE(text.find("8"), std::string::npos);
+  EXPECT_NE(text.find("IG"), std::string::npos);
+  EXPECT_NE(text.find("smote"), std::string::npos);
+}
+
+TEST(TrialRunner, SameSeedSameSplitAcrossSchemes) {
+  // RQ4 depends on comparing the same instances across schemes: equal seeds
+  // must produce equal CV label alignment for the shared positives mask.
+  TrialSpec a;
+  a.scheme = ml::AlmScheme::kBinary;
+  TrialSpec b;
+  b.scheme = ml::AlmScheme::kEight;
+  const auto ra = run_trial(test_pulses(), a);
+  const auto rb = run_trial(test_pulses(), b);
+  ASSERT_EQ(ra.cv_labels.size(), rb.cv_labels.size());
+  for (std::size_t i = 0; i < ra.cv_labels.size(); ++i) {
+    EXPECT_EQ(ra.cv_labels[i] != 0, rb.cv_labels[i] != 0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace drapid

@@ -1,0 +1,109 @@
+#include "ml/alm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drapid {
+namespace ml {
+namespace {
+
+TEST(AlmSchemes, AllFiveFromTable3) {
+  const auto& schemes = all_alm_schemes();
+  ASSERT_EQ(schemes.size(), 5u);
+  EXPECT_EQ(alm_scheme_name(AlmScheme::kBinary), "2");
+  EXPECT_EQ(alm_scheme_name(AlmScheme::kFourStar), "4*");
+  EXPECT_EQ(alm_scheme_name(AlmScheme::kFour), "4");
+  EXPECT_EQ(alm_scheme_name(AlmScheme::kSeven), "7");
+  EXPECT_EQ(alm_scheme_name(AlmScheme::kEight), "8");
+}
+
+TEST(AlmSchemes, ClassCountsMatchNames) {
+  EXPECT_EQ(alm_class_names(AlmScheme::kBinary).size(), 2u);
+  EXPECT_EQ(alm_class_names(AlmScheme::kFourStar).size(), 4u);
+  EXPECT_EQ(alm_class_names(AlmScheme::kFour).size(), 4u);
+  EXPECT_EQ(alm_class_names(AlmScheme::kSeven).size(), 7u);
+  EXPECT_EQ(alm_class_names(AlmScheme::kEight).size(), 8u);
+  for (AlmScheme s : all_alm_schemes()) {
+    EXPECT_EQ(alm_class_names(s)[0], "NonPulsar");
+  }
+}
+
+TEST(AlmLabel, NonPulsarIsAlwaysClassZero) {
+  for (AlmScheme s : all_alm_schemes()) {
+    EXPECT_EQ(alm_label(s, false, false, 50.0, 10.0, 30.0), 0);
+    EXPECT_EQ(alm_label(s, false, false, 200.0, 3.0, 6.0), 0);
+  }
+}
+
+TEST(AlmLabel, BinaryCollapsesAllPositives) {
+  EXPECT_EQ(alm_label(AlmScheme::kBinary, true, false, 50.0, 10.0, 30.0), 1);
+  EXPECT_EQ(alm_label(AlmScheme::kBinary, true, true, 200.0, 3.0, 6.0), 1);
+}
+
+TEST(AlmLabel, Table2DistanceThresholds) {
+  // SNRPeakDM: [0,100) near, [100,175) mid, [175,inf) far.
+  const auto& names = alm_class_names(AlmScheme::kFour);
+  EXPECT_EQ(names[alm_label(AlmScheme::kFour, true, false, 99.9, 5, 10)],
+            "Near");
+  EXPECT_EQ(names[alm_label(AlmScheme::kFour, true, false, 100.0, 5, 10)],
+            "Mid");
+  EXPECT_EQ(names[alm_label(AlmScheme::kFour, true, false, 174.9, 5, 10)],
+            "Mid");
+  EXPECT_EQ(names[alm_label(AlmScheme::kFour, true, false, 175.0, 5, 10)],
+            "Far");
+}
+
+TEST(AlmLabel, Table2StrengthThreshold) {
+  // AvgSNR: [0,8] weak, (8,inf) strong — 8.0 itself is weak.
+  const auto& names = alm_class_names(AlmScheme::kSeven);
+  EXPECT_EQ(names[alm_label(AlmScheme::kSeven, true, false, 50, 8.0, 10)],
+            "NearWeak");
+  EXPECT_EQ(names[alm_label(AlmScheme::kSeven, true, false, 50, 8.01, 10)],
+            "NearStrong");
+  EXPECT_EQ(names[alm_label(AlmScheme::kSeven, true, false, 150, 7.0, 10)],
+            "MidWeak");
+  EXPECT_EQ(names[alm_label(AlmScheme::kSeven, true, false, 300, 12.0, 20)],
+            "FarStrong");
+}
+
+TEST(AlmLabel, SchemeEightSeparatesRrats) {
+  const auto& names = alm_class_names(AlmScheme::kEight);
+  EXPECT_EQ(names[alm_label(AlmScheme::kEight, true, true, 50, 12, 20)],
+            "RRAT");
+  // Same features, not an RRAT: falls into the grid classes.
+  EXPECT_EQ(names[alm_label(AlmScheme::kEight, true, false, 50, 12, 20)],
+            "NearStrong");
+  // Scheme 7 folds RRATs into the grid instead.
+  EXPECT_EQ(alm_class_names(
+                AlmScheme::kSeven)[alm_label(AlmScheme::kSeven, true, true,
+                                             50, 12, 20)],
+            "NearStrong");
+}
+
+TEST(AlmLabel, FourStarUsesVisualBrightness) {
+  const auto& names = alm_class_names(AlmScheme::kFourStar);
+  EXPECT_EQ(names[alm_label(AlmScheme::kFourStar, true, false, 50, 6, 10.0)],
+            "Pulsar");
+  EXPECT_EQ(names[alm_label(AlmScheme::kFourStar, true, false, 50, 6, 25.0)],
+            "VeryBrightPulsar");
+  EXPECT_EQ(names[alm_label(AlmScheme::kFourStar, true, true, 50, 6, 10.0)],
+            "RRAT");
+}
+
+TEST(AlmLabel, EveryLabelIsInRange) {
+  for (AlmScheme s : all_alm_schemes()) {
+    const auto n = static_cast<int>(alm_class_names(s).size());
+    for (double dm : {10.0, 120.0, 500.0}) {
+      for (double snr : {5.0, 9.0, 30.0}) {
+        for (bool rrat : {false, true}) {
+          const int label = alm_label(s, true, rrat, dm, snr, snr * 2);
+          EXPECT_GE(label, 1);
+          EXPECT_LT(label, n);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ml/cross_validation.hpp"
+#include "ml/smote.hpp"
+#include "ml/tree.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace ml {
+namespace {
+
+Dataset imbalanced(std::size_t majority, std::size_t minority,
+                   std::uint64_t seed) {
+  Dataset d({"x", "y"}, {"neg", "pos"});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < majority; ++i) {
+    d.add(std::vector<double>{rng.normal(0, 1), rng.normal(0, 1)}, 0);
+  }
+  for (std::size_t i = 0; i < minority; ++i) {
+    d.add(std::vector<double>{rng.normal(4, 0.5), rng.normal(4, 0.5)}, 1);
+  }
+  return d;
+}
+
+TEST(StratifiedFolds, EveryFoldPreservesClassRatios) {
+  const Dataset d = imbalanced(200, 40, 3);
+  Rng rng(1);
+  const auto folds = stratified_folds(d, 5, rng);
+  ASSERT_EQ(folds.size(), d.num_instances());
+  for (int f = 0; f < 5; ++f) {
+    const auto rows = rows_in_fold(folds, f, true);
+    std::size_t pos = 0;
+    for (auto r : rows) pos += (d.label(r) == 1);
+    EXPECT_EQ(rows.size(), 48u);
+    EXPECT_EQ(pos, 8u);  // 40 positives / 5 folds exactly
+  }
+}
+
+TEST(StratifiedFolds, InAndOutOfFoldPartitionRows) {
+  const Dataset d = imbalanced(50, 10, 5);
+  Rng rng(2);
+  const auto folds = stratified_folds(d, 3, rng);
+  const auto in = rows_in_fold(folds, 1, true);
+  const auto out = rows_in_fold(folds, 1, false);
+  EXPECT_EQ(in.size() + out.size(), d.num_instances());
+  std::set<std::size_t> all(in.begin(), in.end());
+  all.insert(out.begin(), out.end());
+  EXPECT_EQ(all.size(), d.num_instances());
+}
+
+TEST(StratifiedFolds, RejectsFewerThanTwoFolds) {
+  const Dataset d = imbalanced(10, 5, 7);
+  Rng rng(1);
+  EXPECT_THROW(stratified_folds(d, 1, rng), std::invalid_argument);
+}
+
+TEST(CrossValidate, PooledMatrixCoversEveryInstanceOnce) {
+  const Dataset d = imbalanced(150, 30, 11);
+  Rng rng(4);
+  const auto result = cross_validate(
+      d, 5, [] { return std::make_unique<DecisionTree>(); }, rng);
+  EXPECT_EQ(result.folds.size(), 5u);
+  EXPECT_EQ(result.pooled.total(), d.num_instances());
+  EXPECT_GE(result.total_train_seconds, 0.0);
+  // Separable data: near-perfect pooled scores.
+  EXPECT_GE(result.pooled_binary().recall(), 0.9);
+  EXPECT_GE(result.pooled_binary().f_measure(), 0.9);
+}
+
+TEST(CrossValidate, TransformAppliesOnlyToTrainingFolds) {
+  const Dataset d = imbalanced(60, 12, 13);
+  Rng rng(5);
+  std::size_t transform_calls = 0;
+  std::vector<std::size_t> seen_sizes;
+  const auto result = cross_validate(
+      d, 3, [] { return std::make_unique<DecisionTree>(); }, rng,
+      [&](const Dataset& train) {
+        ++transform_calls;
+        seen_sizes.push_back(train.num_instances());
+        return train;
+      });
+  EXPECT_EQ(transform_calls, 3u);
+  for (auto s : seen_sizes) EXPECT_EQ(s, 48u);  // 2/3 of 72
+  EXPECT_EQ(result.pooled.total(), d.num_instances());
+}
+
+TEST(Smote, BalancesMinorityClass) {
+  const Dataset d = imbalanced(100, 10, 17);
+  Rng rng(6);
+  const Dataset balanced = apply_smote(d, {}, rng);
+  const auto counts = balanced.class_counts();
+  EXPECT_EQ(counts[0], 100u);
+  EXPECT_EQ(counts[1], 100u);
+}
+
+TEST(Smote, SyntheticPointsInterpolateWithinClassHull) {
+  const Dataset d = imbalanced(50, 8, 19);
+  Rng rng(7);
+  const Dataset balanced = apply_smote(d, {}, rng);
+  // Minority cloud is N(4, 0.5)²: synthetic points must stay in its
+  // bounding region (interpolation cannot extrapolate).
+  for (std::size_t i = d.num_instances(); i < balanced.num_instances(); ++i) {
+    EXPECT_EQ(balanced.label(i), 1);
+    EXPECT_GT(balanced.instance(i)[0], 1.0);
+    EXPECT_LT(balanced.instance(i)[0], 7.0);
+  }
+}
+
+TEST(Smote, PartialTargetRatio) {
+  const Dataset d = imbalanced(100, 10, 23);
+  Rng rng(8);
+  SmoteParams params;
+  params.target_ratio = 0.5;
+  const Dataset balanced = apply_smote(d, params, rng);
+  EXPECT_EQ(balanced.class_counts()[1], 50u);
+}
+
+TEST(Smote, AlreadyBalancedDataUnchanged) {
+  const Dataset d = imbalanced(40, 40, 29);
+  Rng rng(9);
+  const Dataset out = apply_smote(d, {}, rng);
+  EXPECT_EQ(out.num_instances(), d.num_instances());
+}
+
+TEST(Smote, SingletonClassDuplicates) {
+  Dataset d({"x"}, {"a", "b"});
+  Rng rng(10);
+  for (int i = 0; i < 20; ++i) d.add(std::vector<double>{double(i)}, 0);
+  d.add(std::vector<double>{99.0}, 1);
+  const Dataset out = apply_smote(d, {}, rng);
+  EXPECT_EQ(out.class_counts()[1], 20u);
+  for (std::size_t i = d.num_instances(); i < out.num_instances(); ++i) {
+    EXPECT_DOUBLE_EQ(out.instance(i)[0], 99.0);  // pure duplication
+  }
+}
+
+TEST(Smote, EmptyClassIsIgnored) {
+  Dataset d({"x"}, {"a", "b", "ghost"});
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) d.add(std::vector<double>{double(i)}, 0);
+  for (int i = 0; i < 4; ++i) d.add(std::vector<double>{double(i) + 20}, 1);
+  const Dataset out = apply_smote(d, {}, rng);
+  EXPECT_EQ(out.class_counts()[2], 0u);
+  EXPECT_EQ(out.class_counts()[1], 10u);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,68 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace drapid {
+namespace ml {
+namespace {
+
+Dataset small() {
+  Dataset d({"f0", "f1", "f2"}, {"neg", "pos"});
+  d.add(std::vector<double>{1, 2, 3}, 0);
+  d.add(std::vector<double>{4, 5, 6}, 1);
+  d.add(std::vector<double>{7, 8, 9}, 1);
+  return d;
+}
+
+TEST(Dataset, ShapeAndAccessors) {
+  const Dataset d = small();
+  EXPECT_EQ(d.num_instances(), 3u);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_EQ(d.num_classes(), 2u);
+  EXPECT_EQ(d.instance(1)[2], 6);
+  EXPECT_EQ(d.label(2), 1);
+  EXPECT_EQ(d.feature_names()[1], "f1");
+}
+
+TEST(Dataset, RejectsBadInstances) {
+  Dataset d({"a"}, {"x", "y"});
+  EXPECT_THROW(d.add(std::vector<double>{1, 2}, 0), std::invalid_argument);
+  EXPECT_THROW(d.add(std::vector<double>{1}, 5), std::invalid_argument);
+  EXPECT_THROW(d.add(std::vector<double>{1}, -1), std::invalid_argument);
+}
+
+TEST(Dataset, FeatureColumn) {
+  const Dataset d = small();
+  EXPECT_EQ(d.feature_column(1), (std::vector<double>{2, 5, 8}));
+}
+
+TEST(Dataset, ClassCounts) {
+  const Dataset d = small();
+  EXPECT_EQ(d.class_counts(), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Dataset, SelectFeaturesReordersColumns) {
+  const Dataset d = small();
+  const Dataset sel = d.select_features({2, 0});
+  EXPECT_EQ(sel.num_features(), 2u);
+  EXPECT_EQ(sel.feature_names()[0], "f2");
+  EXPECT_EQ(sel.instance(1)[0], 6);
+  EXPECT_EQ(sel.instance(1)[1], 4);
+  EXPECT_EQ(sel.label(2), 1);
+  EXPECT_THROW(d.select_features({9}), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetKeepsRowOrder) {
+  const Dataset d = small();
+  const Dataset sub = d.subset({2, 0});
+  EXPECT_EQ(sub.num_instances(), 2u);
+  EXPECT_EQ(sub.instance(0)[0], 7);
+  EXPECT_EQ(sub.instance(1)[0], 1);
+  EXPECT_THROW(d.subset({99}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,130 @@
+#include "ml/feature_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ml/discretize.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace ml {
+namespace {
+
+/// Dataset where feature 0 determines the class, feature 1 is weakly
+/// informative, feature 2 is pure noise.
+Dataset informative_dataset(std::size_t n = 600, std::uint64_t seed = 7) {
+  Dataset d({"strong", "weak", "noise"}, {"a", "b"});
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int y = rng.chance(0.5) ? 1 : 0;
+    const double strong = y == 1 ? rng.normal(4.0, 0.5) : rng.normal(0.0, 0.5);
+    const double weak = y == 1 ? rng.normal(1.0, 2.0) : rng.normal(0.0, 2.0);
+    const double noise = rng.normal(0.0, 1.0);
+    d.add(std::vector<double>{strong, weak, noise}, y);
+  }
+  return d;
+}
+
+TEST(Discretize, EqualFrequencyCutsAreIncreasing) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.lognormal(0, 1));
+  const auto cuts = equal_frequency_cuts(values, 10);
+  ASSERT_GE(cuts.size(), 5u);
+  for (std::size_t i = 1; i < cuts.size(); ++i) {
+    ASSERT_LT(cuts[i - 1], cuts[i]);
+  }
+  // Bins should hold roughly equal mass.
+  const auto bins = apply_cuts(values, cuts);
+  std::vector<std::size_t> counts(cuts.size() + 1, 0);
+  for (auto b : bins) ++counts[b];
+  for (std::size_t b = 1; b < counts.size(); ++b) {
+    EXPECT_NEAR(static_cast<double>(counts[b]), 50.0, 30.0);
+  }
+}
+
+TEST(Discretize, ConstantFeatureHasNoCuts) {
+  std::vector<double> values(100, 3.14);
+  EXPECT_TRUE(equal_frequency_cuts(values, 10).empty());
+  const auto bins = apply_cuts(values, {});
+  for (auto b : bins) EXPECT_EQ(b, 0u);
+}
+
+TEST(Discretize, ContingencyTableSumsToN) {
+  std::vector<std::size_t> bins{0, 1, 1, 2, 0};
+  std::vector<int> labels{0, 0, 1, 1, 1};
+  const auto table = contingency_table(bins, labels, 3, 2);
+  std::size_t total = 0;
+  for (const auto& row : table) {
+    for (auto c : row) total += c;
+  }
+  EXPECT_EQ(total, 5u);
+  EXPECT_EQ(table[1][0], 1u);
+  EXPECT_EQ(table[1][1], 1u);
+}
+
+TEST(FilterNames, AllFiveFromTable4) {
+  EXPECT_EQ(all_filter_methods().size(), 5u);
+  EXPECT_EQ(filter_name(FilterMethod::kInfoGain), "InfoGain");
+  EXPECT_EQ(filter_abbreviation(FilterMethod::kInfoGain), "IG");
+  EXPECT_EQ(filter_abbreviation(FilterMethod::kGainRatio), "GR");
+  EXPECT_EQ(filter_abbreviation(FilterMethod::kSymmetricalUncertainty), "SU");
+  EXPECT_EQ(filter_abbreviation(FilterMethod::kCorrelation), "Cor");
+  EXPECT_EQ(filter_abbreviation(FilterMethod::kOneR), "1R");
+}
+
+class EveryFilter : public ::testing::TestWithParam<FilterMethod> {};
+
+TEST_P(EveryFilter, RanksStrongAboveNoise) {
+  const Dataset d = informative_dataset();
+  const auto scores = score_features(d, GetParam());
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_GT(scores[0], scores[2])
+      << filter_name(GetParam()) << " failed to beat noise";
+  // The strong feature must rank first.
+  const auto top = top_k_features(d, GetParam(), 1);
+  EXPECT_EQ(top[0], 0u);
+}
+
+TEST_P(EveryFilter, ScoresAreFiniteAndNonNegativeish) {
+  const Dataset d = informative_dataset(200, 13);
+  for (double s : score_features(d, GetParam())) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GE(s, -1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table4, EveryFilter,
+                         ::testing::ValuesIn(all_filter_methods()),
+                         [](const auto& info) {
+                           return filter_name(info.param);
+                         });
+
+TEST(TopK, ReturnsKDistinctIndicesInRankOrder) {
+  const Dataset d = informative_dataset();
+  const auto top = top_k_features(d, FilterMethod::kInfoGain, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_NE(top[0], top[1]);
+  const auto scores = score_features(d, FilterMethod::kInfoGain);
+  EXPECT_GE(scores[top[0]], scores[top[1]]);
+}
+
+TEST(TopK, KLargerThanFeaturesReturnsAll) {
+  const Dataset d = informative_dataset(100, 3);
+  EXPECT_EQ(top_k_features(d, FilterMethod::kOneR, 99).size(), 3u);
+}
+
+TEST(InfoGain, PerfectPredictorGetsFullClassEntropy) {
+  Dataset d({"perfect"}, {"a", "b"});
+  for (int i = 0; i < 50; ++i) {
+    d.add(std::vector<double>{0.0}, 0);
+    d.add(std::vector<double>{1.0}, 1);
+  }
+  const auto scores = score_features(d, FilterMethod::kInfoGain);
+  EXPECT_NEAR(scores[0], 1.0, 1e-9);  // H(Y) = 1 bit, fully explained
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,177 @@
+// Behavioural tests for individual learners beyond the shared
+// train/predict contract: decision boundaries, convergence, and the
+// execution-performance properties the paper's experiments rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/mlp.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/rules.hpp"
+#include "ml/smo.hpp"
+#include "ml/tree.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace ml {
+namespace {
+
+Dataset linear_boundary(std::size_t n, double margin, std::uint64_t seed) {
+  Dataset d({"x", "y"}, {"neg", "pos"});
+  Rng rng(seed);
+  std::size_t added = 0;
+  while (added < n) {
+    const double x = rng.uniform(-3, 3);
+    const double y = rng.uniform(-3, 3);
+    const double score = x + 2.0 * y;  // true boundary: x + 2y = 0
+    if (std::abs(score) < margin) continue;
+    d.add(std::vector<double>{x, y}, score > 0 ? 1 : 0);
+    ++added;
+  }
+  return d;
+}
+
+TEST(SmoBehavior, LearnsALinearBoundaryWithMargin) {
+  const Dataset d = linear_boundary(300, 0.5, 3);
+  SmoClassifier smo({}, 1);
+  smo.train(d);
+  // Probe points well inside each half-space.
+  EXPECT_EQ(smo.predict(std::vector<double>{2.0, 2.0}), 1);
+  EXPECT_EQ(smo.predict(std::vector<double>{-2.0, -2.0}), 0);
+  EXPECT_EQ(smo.predict(std::vector<double>{0.0, 1.5}), 1);
+  EXPECT_EQ(smo.predict(std::vector<double>{0.0, -1.5}), 0);
+}
+
+TEST(SmoBehavior, MachineCountGrowsQuadraticallyWithClasses) {
+  // The RQ5 mechanism for SMO's training-time inflation under ALM.
+  const auto machines_for = [](std::size_t classes) {
+    std::vector<std::string> names;
+    for (std::size_t c = 0; c < classes; ++c) {
+      names.push_back(std::to_string(c));
+    }
+    Dataset d({"x"}, names);
+    Rng rng(7);
+    for (std::size_t c = 0; c < classes; ++c) {
+      for (int i = 0; i < 20; ++i) {
+        d.add(std::vector<double>{static_cast<double>(c) * 3 + rng.normal()},
+              static_cast<int>(c));
+      }
+    }
+    SmoClassifier smo({}, 1);
+    smo.train(d);
+    return smo.num_binary_machines();
+  };
+  EXPECT_EQ(machines_for(2), 1u);
+  EXPECT_EQ(machines_for(4), 6u);
+  EXPECT_EQ(machines_for(8), 28u);
+}
+
+TEST(MlpBehavior, LearnsXorUnlikeASingleSplit) {
+  // The classic nonlinearity check: XOR needs the hidden layer.
+  Dataset d({"a", "b"}, {"zero", "one"});
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const bool a = rng.chance(0.5);
+    const bool b = rng.chance(0.5);
+    d.add(std::vector<double>{a + rng.normal(0.0, 0.08),
+                              b + rng.normal(0.0, 0.08)},
+          (a != b) ? 1 : 0);
+  }
+  MlpParams params;
+  params.epochs = 300;
+  MlpClassifier mlp(params, 3);
+  mlp.train(d);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.num_instances(); ++i) {
+    correct += mlp.predict(d.instance(i)) == d.label(i);
+  }
+  EXPECT_GT(static_cast<double>(correct) / d.num_instances(), 0.95);
+}
+
+TEST(MlpBehavior, WeightUpdatesScaleWithInputCount) {
+  // The Figure 6(b) mechanism: fewer inputs, fewer first-layer weights.
+  const auto updates_for = [](std::size_t features) {
+    std::vector<std::string> names;
+    for (std::size_t f = 0; f < features; ++f) {
+      names.push_back("f" + std::to_string(f));
+    }
+    Dataset d(std::move(names), {"a", "b"});
+    Rng rng(11);
+    std::vector<double> x(features);
+    for (int i = 0; i < 100; ++i) {
+      for (auto& v : x) v = rng.normal();
+      d.add(x, rng.chance(0.5) ? 1 : 0);
+    }
+    MlpParams params;
+    params.epochs = 5;
+    params.hidden = 12;  // fixed so only the input layer varies
+    MlpClassifier mlp(params, 1);
+    mlp.train(d);
+    return mlp.weight_updates();
+  };
+  const auto full = updates_for(22);
+  const auto reduced = updates_for(10);
+  // 22 -> 10 inputs removes 12 x 12 first-layer weights per update step.
+  EXPECT_LT(reduced, full);
+  EXPECT_NEAR(static_cast<double>(reduced) / static_cast<double>(full),
+              (10.0 * 12 + 12 + 2 * 13) / (22.0 * 12 + 12 + 2 * 13), 0.02);
+}
+
+TEST(TreeBehavior, SplitEvaluationsGrowWithInstanceCount) {
+  const auto evals_for = [](std::size_t n) {
+    Dataset d({"x", "y"}, {"a", "b"});
+    Rng rng(13);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = rng.uniform(-1, 1);
+      d.add(std::vector<double>{x, rng.normal()}, x > 0 ? 1 : 0);
+    }
+    DecisionTree tree;
+    tree.train(d);
+    return tree.split_evaluations();
+  };
+  EXPECT_LT(evals_for(100), evals_for(1000));
+}
+
+TEST(ForestBehavior, BaggingDiversifiesTrees) {
+  // Two trees of the same forest must generally differ (bootstrap + random
+  // feature subsets); identical trees would mean broken seeding.
+  Dataset d({"x", "y", "z"}, {"a", "b"});
+  Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(-1, 1);
+    d.add(std::vector<double>{x, rng.normal(), rng.normal()},
+          x + 0.3 * rng.normal() > 0 ? 1 : 0);
+  }
+  ForestParams params;
+  params.num_trees = 8;
+  RandomForest forest(params, 1);
+  forest.train(d);
+  // Probe disagreement: at least one point where trees disagree with the
+  // ensemble consensus would show diversity; check via vote margins being
+  // non-unanimous somewhere near the boundary.
+  bool saw_disagreement = false;
+  for (double x = -0.3; x <= 0.3 && !saw_disagreement; x += 0.05) {
+    // Re-derive per-tree predictions through the ensemble interface: a
+    // unanimous forest predicts the same label for tiny perturbations; a
+    // diverse one flips near the boundary.
+    const int a = forest.predict(std::vector<double>{x, 0.0, 0.0});
+    const int b = forest.predict(std::vector<double>{x + 0.02, 0.0, 0.0});
+    saw_disagreement |= (a != b);
+  }
+  EXPECT_TRUE(saw_disagreement);
+}
+
+TEST(PartBehavior, RuleListShrinksOnSimpleData) {
+  Dataset d({"x"}, {"a", "b"});
+  for (int i = 0; i < 100; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)}, i < 50 ? 0 : 1);
+  }
+  PartClassifier part({}, 1);
+  part.train(d);
+  // One threshold separates the data: PART needs very few rules.
+  EXPECT_LE(part.rules().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace drapid

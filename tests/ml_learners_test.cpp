@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/classifier.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/rules.hpp"
+#include "ml/smo.hpp"
+#include "ml/tree.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace ml {
+namespace {
+
+/// Well-separated Gaussian blobs, one per class.
+Dataset blobs(std::size_t classes, std::size_t per_class, double separation,
+              std::uint64_t seed) {
+  std::vector<std::string> class_names;
+  for (std::size_t c = 0; c < classes; ++c) {
+    class_names.push_back("c" + std::to_string(c));
+  }
+  Dataset d({"x", "y", "noise"}, class_names);
+  Rng rng(seed);
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double cx = separation * static_cast<double>(c);
+    const double cy = separation * static_cast<double>(c % 2);
+    for (std::size_t i = 0; i < per_class; ++i) {
+      d.add(std::vector<double>{rng.normal(cx, 0.5), rng.normal(cy, 0.5),
+                                rng.normal(0.0, 1.0)},
+            static_cast<int>(c));
+    }
+  }
+  return d;
+}
+
+double training_accuracy(Classifier& c, const Dataset& d) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.num_instances(); ++i) {
+    correct += (c.predict(d.instance(i)) == d.label(i));
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.num_instances());
+}
+
+TEST(LearnerRegistry, AllSixFromTable5) {
+  const auto& all = all_learner_types();
+  ASSERT_EQ(all.size(), 6u);
+  std::vector<std::string> names;
+  for (auto t : all) names.push_back(learner_name(t));
+  for (const char* expected : {"MPN", "SMO", "JRip", "J48", "PART", "RF"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+class EveryLearner : public ::testing::TestWithParam<LearnerType> {};
+
+TEST_P(EveryLearner, LearnsSeparableBinaryProblem) {
+  const Dataset d = blobs(2, 120, 4.0, 17);
+  auto c = make_classifier(GetParam(), 1);
+  c->train(d);
+  EXPECT_GE(training_accuracy(*c, d), 0.95) << c->name();
+}
+
+TEST_P(EveryLearner, LearnsSeparableMulticlassProblem) {
+  const Dataset d = blobs(4, 80, 5.0, 23);
+  auto c = make_classifier(GetParam(), 2);
+  c->train(d);
+  EXPECT_GE(training_accuracy(*c, d), 0.9) << c->name();
+}
+
+TEST_P(EveryLearner, DeterministicForSameSeed) {
+  const Dataset d = blobs(3, 60, 3.0, 29);
+  auto a = make_classifier(GetParam(), 42);
+  auto b = make_classifier(GetParam(), 42);
+  a->train(d);
+  b->train(d);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x{rng.uniform(-2, 14), rng.uniform(-2, 8),
+                                rng.normal()};
+    ASSERT_EQ(a->predict(x), b->predict(x)) << a->name();
+  }
+}
+
+TEST_P(EveryLearner, ThrowsOnEmptyDataset) {
+  Dataset empty({"x"}, {"a", "b"});
+  auto c = make_classifier(GetParam(), 1);
+  EXPECT_THROW(c->train(empty), std::invalid_argument);
+}
+
+TEST_P(EveryLearner, HandlesSingleClassData) {
+  Dataset d({"x"}, {"only"});
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    d.add(std::vector<double>{rng.normal()}, 0);
+  }
+  auto c = make_classifier(GetParam(), 1);
+  c->train(d);
+  EXPECT_EQ(c->predict(std::vector<double>{0.5}), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table5, EveryLearner,
+                         ::testing::ValuesIn(all_learner_types()),
+                         [](const auto& info) {
+                           return learner_name(info.param);
+                         });
+
+TEST(DecisionTree, PureLeafStopsGrowth) {
+  Dataset d({"x"}, {"a", "b"});
+  for (int i = 0; i < 20; ++i) d.add(std::vector<double>{double(i)}, i < 10 ? 0 : 1);
+  DecisionTree tree;
+  tree.train(d);
+  EXPECT_EQ(tree.node_count(), 3u);  // one split suffices
+  EXPECT_EQ(tree.depth(), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{3.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{15.0}), 1);
+}
+
+TEST(DecisionTree, PathToLeafReconstructsConditions) {
+  Dataset d({"x", "y"}, {"a", "b", "c"});
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(0, 3);
+    const double y = rng.uniform(0, 1);
+    const int label = x < 1 ? 0 : (x < 2 ? 1 : 2);
+    d.add(std::vector<double>{x, y}, label);
+  }
+  DecisionTree tree;
+  tree.train(d);
+  // For a sample of points, the leaf's path conditions must all hold.
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x{rng.uniform(0, 3), rng.uniform(0, 1)};
+    const int leaf = tree.leaf_index(x);
+    for (const auto& cond : tree.path_to_leaf(leaf)) {
+      const double v = x[static_cast<std::size_t>(cond.feature)];
+      EXPECT_TRUE(cond.less_equal ? v <= cond.threshold : v > cond.threshold);
+    }
+    EXPECT_EQ(tree.leaf_label(leaf), tree.predict(x));
+  }
+}
+
+TEST(DecisionTree, PathToInternalNodeThrows) {
+  Dataset d({"x"}, {"a", "b"});
+  for (int i = 0; i < 20; ++i) d.add(std::vector<double>{double(i)}, i < 10 ? 0 : 1);
+  DecisionTree tree;
+  tree.train(d);
+  EXPECT_THROW(tree.path_to_leaf(0), std::invalid_argument);  // root splits
+}
+
+TEST(DecisionTree, MaxDepthIsRespected) {
+  const Dataset d = blobs(2, 200, 0.5, 31);  // overlapping: wants deep trees
+  TreeParams params;
+  params.max_depth = 3;
+  DecisionTree tree(params);
+  tree.train(d);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(RandomForest, MoreTreesMoreNodes) {
+  const Dataset d = blobs(2, 100, 2.0, 37);
+  ForestParams small;
+  small.num_trees = 3;
+  ForestParams big;
+  big.num_trees = 12;
+  RandomForest a(small, 1), b(big, 1);
+  a.train(d);
+  b.train(d);
+  EXPECT_EQ(a.num_trees(), 3u);
+  EXPECT_EQ(b.num_trees(), 12u);
+  EXPECT_GT(b.total_nodes(), a.total_nodes());
+  EXPECT_GT(b.total_split_evaluations(), a.total_split_evaluations());
+}
+
+TEST(Rules, PartProducesRulesCoveringTrainingData) {
+  const Dataset d = blobs(3, 80, 4.0, 41);
+  PartClassifier part({}, 1);
+  part.train(d);
+  EXPECT_GT(part.rules().size(), 0u);
+  EXPECT_GE(training_accuracy(part, d), 0.9);
+}
+
+TEST(Rules, JripRulesTargetMinorityClassesFirst) {
+  // Imbalanced: class 1 is rare; RIPPER learns rules for it and defaults to
+  // the majority.
+  Dataset d({"x"}, {"majority", "rare"});
+  Rng rng(43);
+  for (int i = 0; i < 300; ++i) d.add(std::vector<double>{rng.normal(0, 1)}, 0);
+  for (int i = 0; i < 30; ++i) d.add(std::vector<double>{rng.normal(6, 0.3)}, 1);
+  JripClassifier jrip({}, 1);
+  jrip.train(d);
+  EXPECT_EQ(jrip.default_label(), 0);
+  ASSERT_GT(jrip.rules().size(), 0u);
+  for (const auto& rule : jrip.rules()) EXPECT_EQ(rule.label, 1);
+  EXPECT_EQ(jrip.predict(std::vector<double>{6.0}), 1);
+  EXPECT_EQ(jrip.predict(std::vector<double>{0.0}), 0);
+}
+
+TEST(Rules, RuleMatchesEvaluatesConjunction) {
+  Rule rule;
+  rule.conditions.push_back(Rule::Condition{0, 5.0, true});
+  rule.conditions.push_back(Rule::Condition{1, 2.0, false});
+  rule.label = 1;
+  EXPECT_TRUE(rule.matches(std::vector<double>{4.0, 3.0}));
+  EXPECT_FALSE(rule.matches(std::vector<double>{6.0, 3.0}));
+  EXPECT_FALSE(rule.matches(std::vector<double>{4.0, 1.0}));
+}
+
+TEST(Smo, PairwiseMachineCountMatchesClasses) {
+  const Dataset d = blobs(4, 40, 5.0, 47);
+  SmoClassifier smo({}, 1);
+  smo.train(d);
+  EXPECT_EQ(smo.num_binary_machines(), 6u);  // 4 choose 2
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace drapid

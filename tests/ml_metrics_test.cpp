@@ -1,0 +1,107 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace drapid {
+namespace ml {
+namespace {
+
+TEST(BinaryScores, PaperEquations) {
+  BinaryScores s;
+  s.tp = 90;
+  s.fn = 10;   // Recall = 90/100
+  s.fp = 30;   // Precision = 90/120
+  s.tn = 900;
+  EXPECT_DOUBLE_EQ(s.recall(), 0.9);
+  EXPECT_DOUBLE_EQ(s.precision(), 0.75);
+  const double f = 2 * 0.75 * 0.9 / (0.75 + 0.9);
+  EXPECT_DOUBLE_EQ(s.f_measure(), f);
+}
+
+TEST(BinaryScores, DegenerateCasesAreZero) {
+  BinaryScores s;
+  EXPECT_DOUBLE_EQ(s.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(s.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(s.f_measure(), 0.0);
+}
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  ConfusionMatrix m(3);
+  m.add(0, 0);
+  m.add(0, 1);
+  m.add(1, 1);
+  m.add(2, 2);
+  m.add(2, 2);
+  EXPECT_EQ(m.total(), 5u);
+  EXPECT_EQ(m.count(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 4.0 / 5.0);
+}
+
+TEST(ConfusionMatrix, PerClassScores) {
+  ConfusionMatrix m(2);
+  for (int i = 0; i < 8; ++i) m.add(1, 1);  // tp
+  for (int i = 0; i < 2; ++i) m.add(1, 0);  // fn
+  for (int i = 0; i < 4; ++i) m.add(0, 1);  // fp
+  for (int i = 0; i < 6; ++i) m.add(0, 0);  // tn
+  EXPECT_DOUBLE_EQ(m.recall(1), 0.8);
+  EXPECT_DOUBLE_EQ(m.precision(1), 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(m.recall(0), 0.6);
+}
+
+TEST(ConfusionMatrix, RejectsBadIndicesAndSizes) {
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.add(2, 0), std::invalid_argument);
+  EXPECT_THROW(m.add(0, -1), std::invalid_argument);
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+  ConfusionMatrix other(3);
+  EXPECT_THROW(m.merge(other), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, MergeAddsCellwise) {
+  ConfusionMatrix a(2), b(2);
+  a.add(0, 0);
+  b.add(0, 0);
+  b.add(1, 0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0, 0), 2u);
+  EXPECT_EQ(a.count(1, 0), 1u);
+}
+
+TEST(ConfusionMatrix, CollapseMulticlassToBinary) {
+  // 3 positive classes (1..3), class 0 negative — the ALM comparison path.
+  ConfusionMatrix m(4);
+  m.add(1, 1);  // tp (exact)
+  m.add(1, 2);  // tp under collapse: wrong subclass but still "pulsar"
+  m.add(2, 0);  // fn
+  m.add(0, 3);  // fp
+  m.add(0, 0);  // tn
+  const BinaryScores s = m.collapse_nonzero_positive();
+  EXPECT_EQ(s.tp, 2u);
+  EXPECT_EQ(s.fn, 1u);
+  EXPECT_EQ(s.fp, 1u);
+  EXPECT_EQ(s.tn, 1u);
+  EXPECT_DOUBLE_EQ(s.recall(), 2.0 / 3.0);
+}
+
+TEST(ConfusionMatrix, CollapseWithExplicitMask) {
+  ConfusionMatrix m(3);
+  m.add(2, 1);
+  std::vector<bool> positive{false, false, true};
+  const BinaryScores s = m.collapse(positive);
+  EXPECT_EQ(s.fn, 1u);  // actual positive predicted negative
+  EXPECT_THROW(m.collapse({true}), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, ToStringShowsClassNames) {
+  ConfusionMatrix m(2);
+  m.add(0, 1);
+  const auto text = m.to_string({"NonPulsar", "Pulsar"});
+  EXPECT_NE(text.find("NonPulsar"), std::string::npos);
+  EXPECT_NE(text.find("Pulsar"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,101 @@
+#include "ml/wrapper_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ml/tree.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace ml {
+namespace {
+
+/// Two informative features (x0, x1 jointly determine the class) buried in
+/// noise columns.
+Dataset xor_with_noise(std::size_t n, std::size_t noise_features,
+                       std::uint64_t seed) {
+  std::vector<std::string> names{"x0", "x1"};
+  for (std::size_t f = 0; f < noise_features; ++f) {
+    names.push_back("n" + std::to_string(f));
+  }
+  Dataset d(std::move(names), {"a", "b"});
+  Rng rng(seed);
+  std::vector<double> x(2 + noise_features);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool b0 = rng.chance(0.5);
+    const bool b1 = rng.chance(0.5);
+    x[0] = (b0 ? 1.0 : 0.0) + rng.normal(0.0, 0.15);
+    x[1] = (b1 ? 1.0 : 0.0) + rng.normal(0.0, 0.15);
+    for (std::size_t f = 0; f < noise_features; ++f) {
+      x[2 + f] = rng.normal();
+    }
+    d.add(x, (b0 != b1) ? 1 : 0);
+  }
+  return d;
+}
+
+std::function<std::unique_ptr<Classifier>()> tree_factory() {
+  return [] { return std::make_unique<DecisionTree>(TreeParams{}, 1); };
+}
+
+TEST(WrapperSelection, FindsBothXorFeatures) {
+  const Dataset d = xor_with_noise(400, 6, 3);
+  WrapperParams params;
+  params.max_features = 4;
+  const auto result = wrapper_forward_selection(d, tree_factory(), params);
+  // Both informative features must be selected (a filter scoring features
+  // one at a time would miss them — XOR has zero marginal signal).
+  ASSERT_GE(result.features.size(), 2u);
+  const bool has0 = std::find(result.features.begin(), result.features.end(),
+                              0u) != result.features.end();
+  const bool has1 = std::find(result.features.begin(), result.features.end(),
+                              1u) != result.features.end();
+  EXPECT_TRUE(has0);
+  EXPECT_TRUE(has1);
+  // Greedy trees cannot fully exploit XOR (the first split has ~zero gain),
+  // so the absolute score stays modest — the point is that the *wrapper*
+  // still identifies the interacting pair, which no single-feature filter
+  // can.
+  EXPECT_GT(result.scores.back(), 0.6);
+}
+
+TEST(WrapperSelection, ScoresAreNonDecreasing) {
+  const Dataset d = xor_with_noise(300, 4, 7);
+  const auto result = wrapper_forward_selection(d, tree_factory(), {});
+  for (std::size_t i = 1; i < result.scores.size(); ++i) {
+    EXPECT_GE(result.scores[i], result.scores[i - 1]);
+  }
+}
+
+TEST(WrapperSelection, RespectsMaxFeatures) {
+  const Dataset d = xor_with_noise(300, 8, 11);
+  WrapperParams params;
+  params.max_features = 2;
+  params.min_improvement = -1.0;  // never stop early
+  const auto result = wrapper_forward_selection(d, tree_factory(), params);
+  EXPECT_LE(result.features.size(), 2u);
+}
+
+TEST(WrapperSelection, CountsItsTrainings) {
+  const Dataset d = xor_with_noise(200, 3, 13);
+  WrapperParams params;
+  params.max_features = 2;
+  params.folds = 3;
+  const auto result = wrapper_forward_selection(d, tree_factory(), params);
+  // Each candidate evaluation costs `folds` trainings; at least one full
+  // sweep over 5 features happened.
+  EXPECT_GE(result.trainings, 15u);
+}
+
+TEST(WrapperSelection, SelectedIndicesAreUnique) {
+  const Dataset d = xor_with_noise(250, 5, 17);
+  const auto result = wrapper_forward_selection(d, tree_factory(), {});
+  auto sorted = result.features;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace drapid

@@ -1,0 +1,167 @@
+#include "dedisp/periodicity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace drapid {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> a(6);
+  EXPECT_THROW(fft_inplace(a), std::invalid_argument);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  Rng rng(3);
+  std::vector<std::complex<double>> a(256);
+  for (auto& x : a) x = {rng.normal(), rng.normal()};
+  const auto original = a;
+  fft_inplace(a);
+  fft_inplace(a, /*inverse=*/true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(a[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(5);
+  std::vector<std::complex<double>> a(128);
+  double time_energy = 0.0;
+  for (auto& x : a) {
+    x = {rng.normal(), 0.0};
+    time_energy += std::norm(x);
+  }
+  fft_inplace(a);
+  double freq_energy = 0.0;
+  for (const auto& x : a) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(a.size()), time_energy, 1e-6);
+}
+
+TEST(Fft, PureToneLandsInOneBin) {
+  const std::size_t n = 512;
+  std::vector<std::complex<double>> a(n);
+  const std::size_t k = 37;
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = std::cos(2.0 * kPi * static_cast<double>(k * i) /
+                    static_cast<double>(n));
+  }
+  fft_inplace(a);
+  for (std::size_t bin = 1; bin < n / 2; ++bin) {
+    if (bin == k) {
+      EXPECT_GT(std::abs(a[bin]), 100.0);
+    } else {
+      EXPECT_LT(std::abs(a[bin]), 1e-6) << "leak at bin " << bin;
+    }
+  }
+}
+
+TEST(PowerSpectrum, SineFrequencyRecovered) {
+  const double dt_ms = 1.0;
+  const double f_hz = 25.0;
+  std::vector<double> series;
+  Rng rng(7);
+  for (int i = 0; i < 4096; ++i) {
+    const double t = i * dt_ms * 1e-3;
+    series.push_back(std::sin(2.0 * kPi * f_hz * t) + rng.normal(0.0, 0.3));
+  }
+  const auto power = power_spectrum(series);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    if (power[k] > power[best]) best = k;
+  }
+  const double df = 1.0 / (4096.0 * dt_ms * 1e-3);
+  EXPECT_NEAR(static_cast<double>(best + 1) * df, f_hz, df * 1.5);
+}
+
+std::vector<double> pulsar_train(double period_s, double duty, double amp,
+                                 double dt_ms, std::size_t n,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> series(n);
+  const double width_s = period_s * duty;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt_ms * 1e-3;
+    const double phase = std::fmod(t, period_s);
+    const double d = (phase - period_s / 2.0) / (width_s / 2.355);
+    series[i] = amp * std::exp(-0.5 * d * d) + rng.normal(0.0, 1.0);
+  }
+  return series;
+}
+
+TEST(PeriodicitySearch, FindsPulsarPeriod) {
+  const double period = 0.5;  // 2 Hz
+  const auto series = pulsar_train(period, 0.05, 3.0, 1.0, 16384, 11);
+  const auto candidates = periodicity_search(series, 1.0);
+  ASSERT_FALSE(candidates.empty());
+  // The top candidate's frequency should be the spin frequency (or its
+  // exact harmonic relation is deduped away).
+  EXPECT_NEAR(candidates[0].frequency_hz, 2.0, 0.15);
+  EXPECT_GT(candidates[0].snr, 5.0);
+}
+
+TEST(PeriodicitySearch, HarmonicSummingBeatsSingleBinForNarrowPulses) {
+  // A 2% duty cycle puts most power into high harmonics.
+  const auto series = pulsar_train(0.25, 0.02, 2.0, 1.0, 16384, 13);
+  const auto candidates = periodicity_search(series, 1.0);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_GT(candidates[0].harmonics, 1);
+}
+
+TEST(PeriodicitySearch, PureNoiseYieldsWeakOrNoCandidates) {
+  Rng rng(17);
+  std::vector<double> noise(8192);
+  for (auto& v : noise) v = rng.normal();
+  const auto candidates = periodicity_search(noise, 1.0);
+  for (const auto& c : candidates) {
+    EXPECT_LT(c.snr, 9.0);
+  }
+}
+
+TEST(PeriodicitySearch, CandidatesAreHarmonicDeduplicated) {
+  const auto series = pulsar_train(0.5, 0.05, 4.0, 1.0, 16384, 19);
+  const auto candidates = periodicity_search(series, 1.0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      const double r = candidates[j].frequency_hz / candidates[i].frequency_hz;
+      const double ratio = r >= 1.0 ? r : 1.0 / r;
+      EXPECT_GT(std::abs(ratio - std::round(ratio)), 0.049)
+          << "harmonically related candidates survived";
+    }
+  }
+}
+
+TEST(Fold, ProfilePeaksAtPulsePhase) {
+  const auto series = pulsar_train(0.5, 0.05, 3.0, 1.0, 16384, 23);
+  const auto profile = fold(series, 1.0, 0.5, 64);
+  ASSERT_EQ(profile.size(), 64u);
+  EXPECT_GT(profile_significance(profile), 4.0);
+  // The injected pulse sits at phase 0.5.
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < profile.size(); ++b) {
+    if (profile[b] > profile[best]) best = b;
+  }
+  EXPECT_NEAR(static_cast<double>(best) / 64.0, 0.5, 0.06);
+}
+
+TEST(Fold, WrongPeriodSmearsTheProfile) {
+  const auto series = pulsar_train(0.5, 0.05, 3.0, 1.0, 16384, 29);
+  const auto right = fold(series, 1.0, 0.5, 64);
+  const auto wrong = fold(series, 1.0, 0.5 * 1.061, 64);
+  EXPECT_GT(profile_significance(right),
+            2.0 * profile_significance(wrong));
+}
+
+TEST(Fold, RejectsBadArguments) {
+  EXPECT_THROW(fold({1.0}, 1.0, 0.5, 0), std::invalid_argument);
+  EXPECT_THROW(fold({1.0}, 1.0, -1.0, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drapid

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rapid/search.hpp"
+
+namespace drapid {
+namespace {
+
+TEST(BinSize, SmallClustersUseBinSizeOne) {
+  // Equation 1: binsize = 1 when n < 12.
+  RapidParams params;
+  for (std::size_t n = 0; n < 12; ++n) {
+    EXPECT_EQ(compute_bin_size(n, params), 1u) << "n=" << n;
+  }
+}
+
+TEST(BinSize, MatchesEquationOneAboveThreshold) {
+  RapidParams params;  // w = 0.75
+  EXPECT_EQ(compute_bin_size(12, params),
+            static_cast<std::size_t>(std::floor(0.75 * std::sqrt(12.0))));
+  EXPECT_EQ(compute_bin_size(100, params), 7u);   // floor(0.75*10)
+  EXPECT_EQ(compute_bin_size(400, params), 15u);  // floor(0.75*20)
+  EXPECT_EQ(compute_bin_size(3500, params),
+            static_cast<std::size_t>(std::floor(0.75 * std::sqrt(3500.0))));
+}
+
+TEST(BinSize, WeightControlsGrowth) {
+  RapidParams slow;
+  slow.weight = 0.75;
+  RapidParams fast;
+  fast.weight = 1.75;
+  for (std::size_t n : {20u, 100u, 1000u}) {
+    EXPECT_LT(compute_bin_size(n, slow), compute_bin_size(n, fast));
+  }
+}
+
+TEST(BinSize, NeverZeroEvenForTinyWeights) {
+  RapidParams params;
+  params.weight = 0.05;
+  EXPECT_EQ(compute_bin_size(16, params), 1u);  // floor(0.05*4)=0 clamps to 1
+}
+
+TEST(BinSize, StaticModeIgnoresClusterSize) {
+  RapidParams params;
+  params.dynamic_bin_size = false;
+  params.static_bin_size = 25;  // the DPG-era setting from [10]
+  for (std::size_t n : {3u, 12u, 100u, 5000u}) {
+    EXPECT_EQ(compute_bin_size(n, params), 25u);
+  }
+}
+
+class BinSizeMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(BinSizeMonotone, NonDecreasingInClusterSize) {
+  RapidParams params;
+  params.weight = GetParam();
+  std::size_t prev = 0;
+  for (std::size_t n = 1; n < 5000; n += 13) {
+    const std::size_t b = compute_bin_size(n, params);
+    ASSERT_GE(b, prev) << "n=" << n;
+    ASSERT_LE(b, n) << "bin cannot exceed cluster";
+    prev = b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTuningRange, BinSizeMonotone,
+                         ::testing::Values(0.75, 1.0, 1.25, 1.5, 1.75));
+
+}  // namespace
+}  // namespace drapid

@@ -1,0 +1,177 @@
+#include "rapid/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace drapid {
+namespace {
+
+SinglePulseEvent spe(double dm, double snr, double t) {
+  SinglePulseEvent e;
+  e.dm = dm;
+  e.snr = snr;
+  e.time_s = t;
+  return e;
+}
+
+struct Fixture {
+  std::vector<SinglePulseEvent> events;
+  SinglePulse pulse;
+  ClusterRecord cluster;
+  DmGrid grid = DmGrid({{0.0, 50.0, 0.1}, {50.0, 300.0, 0.5}});
+
+  Fixture() {
+    // A 5-point triangular pulse from DM 10.0 to 10.8 peaking at 10.4.
+    events = {spe(10.0, 5.0, 1.00), spe(10.2, 8.0, 1.01),
+              spe(10.4, 12.0, 1.02), spe(10.6, 8.5, 1.03),
+              spe(10.8, 5.5, 1.04)};
+    pulse.begin = 0;
+    pulse.end = 5;
+    pulse.peak = 2;
+    cluster.obs.dataset = "TEST";
+    cluster.rank = 4;
+    cluster.time_min = 0.9;
+    cluster.time_max = 1.1;
+    cluster.num_spes = 5;
+  }
+};
+
+TEST(Features, NamesAlignWithIndices) {
+  const auto& names = PulseFeatures::names();
+  EXPECT_EQ(names.size(), PulseFeatures::kCount);
+  EXPECT_EQ(names[kAvgSnr], "AvgSNR");
+  EXPECT_EQ(names[kSnrPeakDm], "SNRPeakDM");
+  EXPECT_EQ(names[kDmSpacing], "DMSpacing");
+  EXPECT_EQ(names[kSnrRatio], "SNRRatio");
+  EXPECT_EQ(names[kClusterRank], "ClusterRank");
+  EXPECT_EQ(names[kPulseRank], "PulseRank");
+  EXPECT_EQ(names[kStartTime], "StartTime");
+  EXPECT_EQ(names[kStopTime], "StopTime");
+}
+
+TEST(Features, TriangularPulseValues) {
+  Fixture fx;
+  const auto f = extract_features(fx.events, fx.pulse, fx.cluster, fx.grid, 2);
+  EXPECT_DOUBLE_EQ(f[kNumSpes], 5.0);
+  EXPECT_NEAR(f[kDmRange], 0.8, 1e-9);
+  EXPECT_DOUBLE_EQ(f[kSnrMax], 12.0);
+  EXPECT_DOUBLE_EQ(f[kSnrMin], 5.0);
+  EXPECT_NEAR(f[kAvgSnr], (5.0 + 8.0 + 12.0 + 8.5 + 5.5) / 5.0, 1e-12);
+  EXPECT_NEAR(f[kSnrPeakDm], 10.4, 1e-9);
+  EXPECT_NEAR(f[kDuration], 0.04, 1e-9);
+  // Table 1 features:
+  EXPECT_DOUBLE_EQ(f[kStartTime], 0.9);   // cluster extent, not pulse extent
+  EXPECT_DOUBLE_EQ(f[kStopTime], 1.1);
+  EXPECT_DOUBLE_EQ(f[kClusterRank], 4.0);
+  EXPECT_DOUBLE_EQ(f[kPulseRank], 2.0);
+  EXPECT_DOUBLE_EQ(f[kDmSpacing], 0.1);   // peak at DM 10.4, fine segment
+  EXPECT_NEAR(f[kSnrRatio], 5.0 / 12.0, 1e-12);  // first SPE / max
+}
+
+TEST(Features, SlopesHaveOppositeSignsAroundPeak) {
+  Fixture fx;
+  const auto f = extract_features(fx.events, fx.pulse, fx.cluster, fx.grid, 1);
+  EXPECT_GT(f[kSlopeLeft], 0.0);
+  EXPECT_LT(f[kSlopeRight], 0.0);
+  EXPECT_GT(f[kFitR2Left], 0.5);
+  EXPECT_GT(f[kFitR2Right], 0.5);
+}
+
+TEST(Features, DmCentroidIsSnrWeighted) {
+  Fixture fx;
+  const auto f = extract_features(fx.events, fx.pulse, fx.cluster, fx.grid, 1);
+  double num = 0.0, den = 0.0;
+  for (const auto& e : fx.events) {
+    num += e.dm * e.snr;
+    den += e.snr;
+  }
+  EXPECT_NEAR(f[kDmCentroid], num / den, 1e-12);
+}
+
+TEST(Features, DmSpacingTracksGridSegment) {
+  Fixture fx;
+  // Move the whole pulse into the coarse segment of the grid.
+  for (auto& e : fx.events) e.dm += 100.0;
+  const auto f = extract_features(fx.events, fx.pulse, fx.cluster, fx.grid, 1);
+  EXPECT_DOUBLE_EQ(f[kDmSpacing], 0.5);
+}
+
+TEST(Features, SubRangePulseUsesOnlyItsSpan) {
+  Fixture fx;
+  SinglePulse sub;
+  sub.begin = 1;
+  sub.end = 4;  // 8.0, 12.0, 8.5
+  sub.peak = 2;
+  const auto f = extract_features(fx.events, sub, fx.cluster, fx.grid, 1);
+  EXPECT_DOUBLE_EQ(f[kNumSpes], 3.0);
+  EXPECT_DOUBLE_EQ(f[kSnrMin], 8.0);
+  EXPECT_NEAR(f[kSnrRatio], 8.0 / 12.0, 1e-12);
+}
+
+TEST(Features, OutOfBoundsPulseThrows) {
+  Fixture fx;
+  SinglePulse bad;
+  bad.begin = 3;
+  bad.end = 99;
+  bad.peak = 3;
+  EXPECT_THROW(
+      extract_features(fx.events, bad, fx.cluster, fx.grid, 1),
+      std::invalid_argument);
+  bad.begin = bad.end = 2;
+  EXPECT_THROW(
+      extract_features(fx.events, bad, fx.cluster, fx.grid, 1),
+      std::invalid_argument);
+}
+
+TEST(MlFile, HeaderListsAllFeatures) {
+  const std::string header = ml_file_header();
+  for (const auto& name : PulseFeatures::names()) {
+    EXPECT_NE(header.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(header.find("label"), std::string::npos);
+}
+
+TEST(MlFile, RowRoundTrip) {
+  Fixture fx;
+  MlRecord rec;
+  rec.obs.dataset = "PALFA";
+  rec.obs.mjd = 56001.25;
+  rec.obs.beam = 6;
+  rec.cluster_id = 42;
+  rec.pulse_index = 3;
+  rec.features = extract_features(fx.events, fx.pulse, fx.cluster, fx.grid, 1);
+  rec.truth_label = "pulsar";
+  const MlRecord back = parse_ml_row(format_ml_row(rec));
+  EXPECT_EQ(back.obs.dataset, "PALFA");
+  EXPECT_EQ(back.cluster_id, 42);
+  EXPECT_EQ(back.pulse_index, 3);
+  EXPECT_EQ(back.truth_label, "pulsar");
+  for (std::size_t i = 0; i < PulseFeatures::kCount; ++i) {
+    EXPECT_NEAR(back.features.values[i], rec.features.values[i], 1e-9);
+  }
+}
+
+TEST(MlFile, FileRoundTripPreservesOrderAndCount) {
+  Fixture fx;
+  std::vector<MlRecord> records(3);
+  for (int i = 0; i < 3; ++i) {
+    records[static_cast<std::size_t>(i)].obs.dataset = "T";
+    records[static_cast<std::size_t>(i)].cluster_id = i;
+    records[static_cast<std::size_t>(i)].features =
+        extract_features(fx.events, fx.pulse, fx.cluster, fx.grid, i + 1);
+  }
+  std::stringstream io;
+  write_ml_file(io, records);
+  const auto back = read_ml_file(io);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[1].cluster_id, 1);
+  EXPECT_DOUBLE_EQ(back[2].features[kPulseRank], 3.0);
+}
+
+TEST(MlFile, WrongFieldCountThrows) {
+  EXPECT_THROW(parse_ml_row({"a", "b", "c"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace drapid

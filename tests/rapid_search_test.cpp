@@ -1,0 +1,176 @@
+#include "rapid/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synth/dispersion.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace {
+
+SinglePulseEvent spe(double dm, double snr, double t = 1.0) {
+  SinglePulseEvent e;
+  e.dm = dm;
+  e.snr = snr;
+  e.time_s = t;
+  return e;
+}
+
+/// Synthesizes the SPEs of one pulse: a Cordes-curve SNR peak centered at
+/// `dm0`, sampled every `step` in DM, with optional noise.
+std::vector<SinglePulseEvent> make_pulse(double dm0, double peak_snr,
+                                         double width_ms, double step,
+                                         double noise_sigma = 0.0,
+                                         std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<SinglePulseEvent> events;
+  for (double dm = dm0 - 15.0; dm <= dm0 + 15.0; dm += step) {
+    const double snr = peak_snr *
+                           snr_degradation(dm - dm0, width_ms, 350.0, 100.0) +
+                       (noise_sigma > 0.0 ? rng.normal(0.0, noise_sigma) : 0.0);
+    if (snr >= 5.0) events.push_back(spe(dm, snr));
+  }
+  return events;
+}
+
+TEST(RapidSearch, EmptyAndSingletonYieldNothing) {
+  EXPECT_TRUE(rapid_search({}, {}).empty());
+  std::vector<SinglePulseEvent> one{spe(10.0, 8.0)};
+  EXPECT_TRUE(rapid_search(one, {}).empty());
+}
+
+TEST(RapidSearch, FlatProfileHasNoPulse) {
+  // Broadband RFI signature: constant SNR across DM — no peak.
+  std::vector<SinglePulseEvent> events;
+  for (int i = 0; i < 100; ++i) events.push_back(spe(10.0 + 0.1 * i, 12.0));
+  EXPECT_TRUE(rapid_search(events, {}).empty());
+}
+
+TEST(RapidSearch, MonotoneRampHasNoPulse) {
+  // Climb with no descent: peak never confirmed.
+  std::vector<SinglePulseEvent> events;
+  for (int i = 0; i < 60; ++i) events.push_back(spe(10.0 + 0.1 * i, 5.0 + i));
+  EXPECT_TRUE(rapid_search(events, {}).empty());
+}
+
+TEST(RapidSearch, CleanPeakIsFoundOnce) {
+  const auto events = make_pulse(30.0, 25.0, 3.0, 0.1);
+  ASSERT_GT(events.size(), 12u);
+  const auto pulses = rapid_search(events, {});
+  ASSERT_EQ(pulses.size(), 1u);
+  const auto& p = pulses[0];
+  // The reported peak must be the true SNR maximum, near the true DM.
+  EXPECT_NEAR(events[p.peak].dm, 30.0, 1.0);
+  for (std::size_t i = p.begin; i < p.end; ++i) {
+    EXPECT_LE(events[i].snr, events[p.peak].snr);
+  }
+}
+
+TEST(RapidSearch, TwoSeparatedPeaksAreBothFound) {
+  auto events = make_pulse(25.0, 20.0, 2.0, 0.1);
+  const auto second = make_pulse(45.0, 18.0, 2.0, 0.1);
+  events.insert(events.end(), second.begin(), second.end());
+  const auto pulses = rapid_search(events, {});
+  ASSERT_EQ(pulses.size(), 2u);
+  EXPECT_NEAR(events[pulses[0].peak].dm, 25.0, 1.5);
+  EXPECT_NEAR(events[pulses[1].peak].dm, 45.0, 1.5);
+}
+
+TEST(RapidSearch, NoisyPeakStillFound) {
+  const auto events = make_pulse(40.0, 22.0, 3.0, 0.1, /*noise=*/0.4, 7);
+  const auto pulses = rapid_search(events, {});
+  ASSERT_GE(pulses.size(), 1u);
+  bool near_truth = false;
+  for (const auto& p : pulses) {
+    near_truth |= std::abs(events[p.peak].dm - 40.0) < 2.0;
+  }
+  EXPECT_TRUE(near_truth);
+}
+
+TEST(RapidSearch, SmallClusterConnectTheDotsFindsPeak) {
+  // Fewer than 12 SPEs: Equation 1 assigns bin size 1 ("connects the dots").
+  std::vector<SinglePulseEvent> events{
+      spe(10.0, 5.5), spe(10.2, 7.0), spe(10.4, 9.5), spe(10.6, 12.0),
+      spe(10.8, 9.0), spe(11.0, 6.5), spe(11.2, 5.2)};
+  const auto pulses = rapid_search(events, {});
+  ASSERT_EQ(pulses.size(), 1u);
+  EXPECT_NEAR(events[pulses[0].peak].dm, 10.6, 1e-9);
+}
+
+TEST(RapidSearch, StaticBinSizeMissesSmallClusterPeak) {
+  // The paper's motivation for Equation 1: a static bin size of 25 puts a
+  // small cluster into one bin and can never see its peak.
+  std::vector<SinglePulseEvent> events{
+      spe(10.0, 5.5), spe(10.2, 7.0), spe(10.4, 9.5), spe(10.6, 12.0),
+      spe(10.8, 9.0), spe(11.0, 6.5), spe(11.2, 5.2)};
+  RapidParams dpg;
+  dpg.dynamic_bin_size = false;
+  dpg.static_bin_size = 25;
+  EXPECT_TRUE(rapid_search(events, dpg).empty());
+}
+
+TEST(RapidSearch, PulseRangesAreValidAndOrdered) {
+  Rng rng(11);
+  std::vector<SinglePulseEvent> events;
+  // Dense, well-resolved pulses: each rise and fall spans several bins.
+  for (double dm0 : {20.0, 32.0, 44.0, 56.0}) {
+    const auto p = make_pulse(dm0, rng.uniform(15.0, 30.0), 4.0, 0.05);
+    events.insert(events.end(), p.begin(), p.end());
+  }
+  const auto pulses = rapid_search(events, {});
+  ASSERT_GE(pulses.size(), 2u);
+  std::size_t prev_end = 0;
+  for (const auto& p : pulses) {
+    ASSERT_LT(p.begin, p.end);
+    ASSERT_LE(p.end, events.size());
+    ASSERT_GE(p.peak, p.begin);
+    ASSERT_LT(p.peak, p.end);
+    ASSERT_GE(p.begin, prev_end) << "pulses must not overlap";
+    prev_end = p.end;
+  }
+}
+
+TEST(RapidSearch, HigherSlopeThresholdIsMoreConservative) {
+  const auto events = make_pulse(30.0, 8.5, 4.0, 0.1, 0.3, 3);
+  RapidParams loose;
+  loose.slope_threshold = 0.05;
+  RapidParams strict;
+  strict.slope_threshold = 3.0;
+  EXPECT_GE(rapid_search(events, loose).size(),
+            rapid_search(events, strict).size());
+}
+
+TEST(RapidSearchCost, LinearInClusterSize) {
+  EXPECT_GT(rapid_search_cost(0), 0u);
+  EXPECT_EQ(rapid_search_cost(1000) - rapid_search_cost(0), 1000u);
+}
+
+// Property sweep over pulse shapes: one injected peak must yield at least
+// one identified pulse whose peak is within the pulse's DM half-width.
+class PulseRecovery
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(PulseRecovery, InjectedPeakRecovered) {
+  const auto [peak_snr, width_ms, step] = GetParam();
+  const auto events = make_pulse(35.0, peak_snr, width_ms, step, 0.25, 13);
+  if (events.size() < 4) GTEST_SKIP() << "pulse too faint to test";
+  const auto pulses = rapid_search(events, {});
+  ASSERT_FALSE(pulses.empty());
+  double best = 1e9;
+  for (const auto& p : pulses) {
+    best = std::min(best, std::abs(events[p.peak].dm - 35.0));
+  }
+  const double half_width = dm_width_at_level(0.5, width_ms, 350.0, 100.0);
+  EXPECT_LE(best, std::max(0.5, half_width));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PulseRecovery,
+    ::testing::Combine(::testing::Values(10.0, 18.0, 30.0),
+                       ::testing::Values(1.5, 4.0, 10.0),
+                       ::testing::Values(0.05, 0.1, 0.3)));
+
+}  // namespace
+}  // namespace drapid

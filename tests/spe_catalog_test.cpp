@@ -1,0 +1,96 @@
+#include "spe/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace drapid {
+namespace {
+
+SourceCatalog sample_catalog() {
+  SourceCatalog cat;
+  cat.add({"B1853+01", 284.0, 1.2, 96.7, 0.267, false});
+  cat.add({"J1819-1458", 274.9, -14.9, 196.0, 4.26, true});
+  cat.add({"J0000+00", 0.0, 0.0, 10.0, 1.0, false});
+  return cat;
+}
+
+TEST(AngularSeparation, ZeroForSamePoint) {
+  EXPECT_NEAR(angular_separation_deg(120.0, 30.0, 120.0, 30.0), 0.0, 1e-12);
+}
+
+TEST(AngularSeparation, KnownValues) {
+  // Pole to equator = 90 degrees, any RA.
+  EXPECT_NEAR(angular_separation_deg(0.0, 90.0, 123.0, 0.0), 90.0, 1e-9);
+  // One degree of declination at fixed RA.
+  EXPECT_NEAR(angular_separation_deg(10.0, 0.0, 10.0, 1.0), 1.0, 1e-9);
+  // RA separation shrinks with cos(dec).
+  EXPECT_NEAR(angular_separation_deg(0.0, 60.0, 2.0, 60.0), 1.0, 1e-2);
+}
+
+TEST(AngularSeparation, SymmetricAndBounded) {
+  const double a = angular_separation_deg(10, 20, 200, -45);
+  const double b = angular_separation_deg(200, -45, 10, 20);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LE(a, 180.0);
+}
+
+TEST(SourceCatalog, FindByName) {
+  const auto cat = sample_catalog();
+  const auto hit = cat.find("J1819-1458");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->is_rrat);
+  EXPECT_NEAR(hit->dm, 196.0, 1e-9);
+  EXPECT_FALSE(cat.find("J9999+99").has_value());
+}
+
+TEST(SourceCatalog, ConeSearchOrdersByDistance) {
+  SourceCatalog cat;
+  cat.add({"near", 100.0, 10.0, 5.0, 0, false});
+  cat.add({"far", 100.0, 12.0, 5.0, 0, false});
+  cat.add({"outside", 100.0, 40.0, 5.0, 0, false});
+  const auto hits = cat.cone_search(100.0, 10.5, 3.0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].name, "near");
+  EXPECT_EQ(hits[1].name, "far");
+}
+
+TEST(SourceCatalog, CrossmatchRequiresPositionAndDm) {
+  const auto cat = sample_catalog();
+  // Right position, right DM.
+  const auto hit = cat.crossmatch(284.1, 1.25, 97.0, 0.5, 3.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->name, "B1853+01");
+  // Right position, wrong DM.
+  EXPECT_FALSE(cat.crossmatch(284.1, 1.25, 300.0, 0.5, 3.0).has_value());
+  // Wrong position, right DM.
+  EXPECT_FALSE(cat.crossmatch(30.0, 50.0, 97.0, 0.5, 3.0).has_value());
+}
+
+TEST(SourceCatalog, SaveLoadRoundTrip) {
+  const auto cat = sample_catalog();
+  std::stringstream io;
+  cat.save(io);
+  const auto back = SourceCatalog::load(io);
+  ASSERT_EQ(back.size(), cat.size());
+  const auto rrat = back.find("J1819-1458");
+  ASSERT_TRUE(rrat.has_value());
+  EXPECT_TRUE(rrat->is_rrat);
+  EXPECT_NEAR(rrat->period_s, 4.26, 1e-9);
+}
+
+TEST(SourceCatalog, LoadRejectsMalformedRows) {
+  std::istringstream in("header\nonly,three,fields\n");
+  EXPECT_THROW(SourceCatalog::load(in), std::runtime_error);
+}
+
+TEST(SourceCatalog, EmptyCatalogBehaves) {
+  SourceCatalog cat;
+  EXPECT_EQ(cat.size(), 0u);
+  EXPECT_TRUE(cat.cone_search(0, 0, 180).empty());
+  EXPECT_FALSE(cat.crossmatch(0, 0, 10, 5, 5).has_value());
+}
+
+}  // namespace
+}  // namespace drapid

@@ -1,0 +1,86 @@
+#include "spe/dm_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace drapid {
+namespace {
+
+TEST(DmGrid, RejectsMalformedPlans) {
+  EXPECT_THROW(DmGrid({}), std::invalid_argument);
+  EXPECT_THROW(DmGrid({{0.0, 10.0, -0.1}}), std::invalid_argument);
+  EXPECT_THROW(DmGrid({{0.0, 10.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(DmGrid({{10.0, 5.0, 0.1}}), std::invalid_argument);
+  // Gap between segments.
+  EXPECT_THROW(DmGrid({{0.0, 10.0, 0.1}, {20.0, 30.0, 0.1}}),
+               std::invalid_argument);
+}
+
+TEST(DmGrid, TrialsAreStrictlyIncreasing) {
+  const DmGrid grid = DmGrid::gbt350drift();
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    ASSERT_LT(grid.dm_at(i - 1), grid.dm_at(i)) << "at index " << i;
+  }
+}
+
+TEST(DmGrid, IndexOfFindsNearestTrial) {
+  const DmGrid grid({{0.0, 1.0, 0.1}});
+  EXPECT_EQ(grid.index_of(0.0), 0u);
+  EXPECT_EQ(grid.index_of(0.34), 3u);
+  EXPECT_EQ(grid.index_of(0.36), 4u);
+  // Clamped at the ends.
+  EXPECT_EQ(grid.index_of(-5.0), 0u);
+  EXPECT_EQ(grid.index_of(99.0), grid.size() - 1);
+}
+
+TEST(DmGrid, SpacingMatchesPaperEnvelope) {
+  // §5.1.3: "increases from 0.01 for low DM values to 2.00 for very high DM".
+  for (const DmGrid& grid : {DmGrid::gbt350drift(), DmGrid::palfa()}) {
+    EXPECT_DOUBLE_EQ(grid.spacing_at(1.0), 0.01);
+    EXPECT_DOUBLE_EQ(grid.spacing_at(grid.max_dm()), 2.00);
+  }
+}
+
+TEST(DmGrid, SpacingIsMonotoneNonDecreasingInDm) {
+  const DmGrid grid = DmGrid::palfa();
+  double prev = 0.0;
+  for (double dm = 0.0; dm < grid.max_dm(); dm += 10.0) {
+    const double s = grid.spacing_at(dm);
+    ASSERT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(DmGrid, IndexAndDmAtAreConsistent) {
+  const DmGrid grid = DmGrid::gbt350drift();
+  for (std::size_t i = 0; i < grid.size(); i += 97) {
+    EXPECT_EQ(grid.index_of(grid.dm_at(i)), i);
+  }
+}
+
+TEST(DmGrid, SurveysCoverExpectedRanges) {
+  const DmGrid gbt = DmGrid::gbt350drift();
+  EXPECT_DOUBLE_EQ(gbt.min_dm(), 0.0);
+  EXPECT_GT(gbt.max_dm(), 900.0);
+  const DmGrid palfa = DmGrid::palfa();
+  EXPECT_GT(palfa.max_dm(), 2000.0);
+  EXPECT_GT(palfa.size(), 5000u);
+}
+
+class DmGridRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(DmGridRoundTrip, NearestTrialWithinLocalSpacing) {
+  const DmGrid grid = DmGrid::palfa();
+  const double dm = GetParam();
+  const double nearest = grid.dm_at(grid.index_of(dm));
+  EXPECT_LE(std::abs(nearest - dm), grid.spacing_at(dm) / 2 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dms, DmGridRoundTrip,
+                         ::testing::Values(0.5, 3.17, 24.99, 57.3, 119.9,
+                                           200.0, 333.3, 599.0, 765.4,
+                                           1500.0, 2399.0));
+
+}  // namespace
+}  // namespace drapid

@@ -1,0 +1,66 @@
+#include "spe/spe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace drapid {
+namespace {
+
+ObservationId sample_obs() {
+  ObservationId id;
+  id.dataset = "PALFA";
+  id.mjd = 55555.1234567;
+  id.ra_deg = 290.25;
+  id.dec_deg = 11.5;
+  id.beam = 3;
+  return id;
+}
+
+TEST(ObservationId, KeyRoundTrips) {
+  const ObservationId id = sample_obs();
+  const ObservationId back = ObservationId::from_key(id.key());
+  EXPECT_EQ(back, id);
+}
+
+TEST(ObservationId, DistinctObservationsHaveDistinctKeys) {
+  ObservationId a = sample_obs();
+  ObservationId b = a;
+  b.beam = 4;
+  EXPECT_NE(a.key(), b.key());
+  b = a;
+  b.mjd += 0.001;
+  EXPECT_NE(a.key(), b.key());
+  b = a;
+  b.dataset = "GBT350Drift";
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ObservationId, MalformedKeyThrows) {
+  EXPECT_THROW(ObservationId::from_key("only|three|parts"),
+               std::runtime_error);
+  EXPECT_THROW(ObservationId::from_key("a|b|c|d|notanint"),
+               std::runtime_error);
+}
+
+TEST(SinglePulseEvent, EqualityComparesAllFields) {
+  SinglePulseEvent a{10.0, 6.5, 12.25, 4900, 2};
+  SinglePulseEvent b = a;
+  EXPECT_EQ(a, b);
+  b.snr = 6.6;
+  EXPECT_NE(a, b);
+}
+
+TEST(ClusterRecord, EqualityComparesObservation) {
+  ClusterRecord a;
+  a.obs = sample_obs();
+  a.cluster_id = 7;
+  a.num_spes = 19;
+  ClusterRecord b = a;
+  EXPECT_EQ(a, b);
+  b.obs.beam = 9;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace drapid

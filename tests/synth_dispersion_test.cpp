@@ -1,0 +1,102 @@
+#include "synth/dispersion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace drapid {
+namespace {
+
+TEST(DispersionDelay, MatchesHandbookFormula) {
+  // Δt = 4.148808e3 * DM / f² seconds. DM = 100 at 1400 MHz → ~0.2117 s.
+  EXPECT_NEAR(dispersion_delay_s(100.0, 1400.0), 4.148808e5 / (1400.0 * 1400.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(dispersion_delay_s(0.0, 350.0), 0.0);
+}
+
+TEST(DispersionDelay, LowerFrequencyDelaysMore) {
+  EXPECT_GT(dispersion_delay_s(50.0, 350.0), dispersion_delay_s(50.0, 1400.0));
+}
+
+TEST(DispersionDelay, LinearInDm) {
+  const double d1 = dispersion_delay_s(10.0, 400.0);
+  const double d2 = dispersion_delay_s(20.0, 400.0);
+  EXPECT_NEAR(d2, 2.0 * d1, 1e-12);
+}
+
+TEST(Smearing, ZeroDmErrorMeansNoSmearing) {
+  EXPECT_DOUBLE_EQ(smearing_s(0.0, 1400.0, 300.0), 0.0);
+}
+
+TEST(Smearing, SymmetricInDmErrorSign) {
+  EXPECT_DOUBLE_EQ(smearing_s(5.0, 350.0, 100.0),
+                   smearing_s(-5.0, 350.0, 100.0));
+}
+
+TEST(Smearing, WiderBandSmearsMore) {
+  EXPECT_GT(smearing_s(5.0, 1400.0, 300.0), smearing_s(5.0, 1400.0, 100.0));
+}
+
+TEST(SnrDegradation, UnityAtTrueDm) {
+  EXPECT_DOUBLE_EQ(snr_degradation(0.0, 5.0, 1400.0, 300.0), 1.0);
+}
+
+TEST(SnrDegradation, MonotoneDecreasingInDmError) {
+  double prev = 1.0;
+  for (double err = 0.5; err < 50.0; err += 0.5) {
+    const double s = snr_degradation(err, 5.0, 1400.0, 300.0);
+    ASSERT_LT(s, prev) << "at err=" << err;
+    ASSERT_GT(s, 0.0);
+    prev = s;
+  }
+}
+
+TEST(SnrDegradation, SymmetricInSign) {
+  EXPECT_DOUBLE_EQ(snr_degradation(3.0, 5.0, 1400.0, 300.0),
+                   snr_degradation(-3.0, 5.0, 1400.0, 300.0));
+}
+
+TEST(SnrDegradation, NarrowPulsesAreMoreSensitiveToDmError) {
+  // A narrower pulse loses S/N faster with DM error.
+  EXPECT_LT(snr_degradation(2.0, 1.0, 1400.0, 300.0),
+            snr_degradation(2.0, 20.0, 1400.0, 300.0));
+}
+
+TEST(SnrDegradation, LowFrequencySurveyHasNarrowerDmResponse) {
+  // At 350 MHz the same DM error hurts far more than at 1400 MHz.
+  EXPECT_LT(snr_degradation(1.0, 5.0, 350.0, 100.0),
+            snr_degradation(1.0, 5.0, 1400.0, 300.0));
+}
+
+TEST(DmWidthAtLevel, BracketsTheLevelCrossing) {
+  const double w = dm_width_at_level(0.5, 5.0, 1400.0, 300.0);
+  EXPECT_GT(snr_degradation(w * 0.99, 5.0, 1400.0, 300.0), 0.5);
+  EXPECT_LT(snr_degradation(w * 1.01, 5.0, 1400.0, 300.0), 0.5);
+}
+
+TEST(DmWidthAtLevel, RejectsBadLevels) {
+  EXPECT_THROW(dm_width_at_level(0.0, 5.0, 1400.0, 300.0),
+               std::invalid_argument);
+  EXPECT_THROW(dm_width_at_level(1.0, 5.0, 1400.0, 300.0),
+               std::invalid_argument);
+}
+
+class DegradationSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DegradationSweep, InUnitIntervalEverywhere) {
+  const auto [width, freq] = GetParam();
+  for (double err = 0.0; err < 100.0; err += 1.7) {
+    const double s = snr_degradation(err, width, freq, freq * 0.2);
+    ASSERT_GT(s, 0.0);
+    ASSERT_LE(s, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndFreqs, DegradationSweep,
+    ::testing::Combine(::testing::Values(0.5, 2.0, 10.0, 50.0),
+                       ::testing::Values(350.0, 820.0, 1400.0)));
+
+}  // namespace
+}  // namespace drapid

@@ -1,0 +1,185 @@
+#include "synth/survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "synth/dispersion.hpp"
+
+namespace drapid {
+namespace {
+
+ObservationId test_obs(const std::string& dataset) {
+  ObservationId id;
+  id.dataset = dataset;
+  id.mjd = 56123.0;
+  id.ra_deg = 100.0;
+  id.dec_deg = 20.0;
+  id.beam = 0;
+  return id;
+}
+
+SyntheticSource bright_pulsar() {
+  SyntheticSource src;
+  src.name = "TEST1";
+  src.type = SourceType::kPulsar;
+  src.dm = 60.0;
+  src.period_s = 2.0;
+  src.width_ms = 8.0;
+  src.median_snr = 20.0;
+  src.snr_sigma = 0.2;
+  src.emission_rate = 0.8;
+  return src;
+}
+
+TEST(Population, DrawsRequestedCountsWithinRanges) {
+  PopulationConfig cfg;
+  cfg.num_pulsars = 30;
+  cfg.num_rrats = 5;
+  cfg.dm_min = 10.0;
+  cfg.dm_max = 200.0;
+  Rng rng(11);
+  const auto sources = draw_population(cfg, rng);
+  ASSERT_EQ(sources.size(), 35u);
+  int rrats = 0;
+  std::set<std::string> names;
+  for (const auto& s : sources) {
+    rrats += (s.type == SourceType::kRrat);
+    EXPECT_GE(s.dm, cfg.dm_min);
+    EXPECT_LE(s.dm, cfg.dm_max);
+    EXPECT_GT(s.period_s, 0.0);
+    EXPECT_GT(s.width_ms, 0.0);
+    EXPECT_GT(s.median_snr, 5.0);
+    names.insert(s.name);
+  }
+  EXPECT_EQ(rrats, 5);
+}
+
+TEST(Population, DeterministicForSeed) {
+  PopulationConfig cfg;
+  Rng a(99), b(99);
+  const auto s1 = draw_population(cfg, a);
+  const auto s2 = draw_population(cfg, b);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].name, s2[i].name);
+    EXPECT_DOUBLE_EQ(s1[i].dm, s2[i].dm);
+    EXPECT_DOUBLE_EQ(s1[i].period_s, s2[i].period_s);
+  }
+}
+
+TEST(SurveySimulator, DeterministicForSeed) {
+  const auto run = [] {
+    SurveySimulator sim(SurveyConfig::gbt350drift(), 7);
+    return sim.simulate(test_obs("GBT350Drift"), {bright_pulsar()});
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.data.events.size(), b.data.events.size());
+  EXPECT_EQ(a.truth.size(), b.truth.size());
+  for (std::size_t i = 0; i < a.data.events.size(); i += 37) {
+    EXPECT_EQ(a.data.events[i], b.data.events[i]);
+  }
+}
+
+TEST(SurveySimulator, EmptyBeamStillHasNoiseButNoTruth) {
+  SurveySimulator sim(SurveyConfig::gbt350drift(), 13);
+  const auto obs = sim.simulate(test_obs("GBT350Drift"), {});
+  EXPECT_TRUE(obs.truth.empty());
+  EXPECT_GT(obs.data.events.size(), 100u);  // noise + junk still present
+}
+
+TEST(SurveySimulator, BrightPulsarProducesTruthPulses) {
+  SurveySimulator sim(SurveyConfig::gbt350drift(), 17);
+  const auto obs = sim.simulate(test_obs("GBT350Drift"), {bright_pulsar()});
+  ASSERT_FALSE(obs.truth.empty());
+  // ~140 s / 2 s period * 0.8 emission — expect dozens of pulses.
+  EXPECT_GT(obs.truth.size(), 20u);
+  for (const auto& gt : obs.truth) {
+    EXPECT_EQ(gt.source_name, "TEST1");
+    EXPECT_GE(gt.peak_snr, sim.config().snr_threshold);
+    EXPECT_GT(gt.num_spes, 0u);
+    EXPECT_NEAR(gt.dm, 60.0, 1e-9);
+    EXPECT_GE(gt.time_s, 0.0);
+    EXPECT_LE(gt.time_s, sim.config().obs_length_s + 2.0);
+  }
+}
+
+TEST(SurveySimulator, PulseSpesPeakNearTrueDm) {
+  SurveySimulator sim(SurveyConfig::gbt350drift(), 23);
+  const auto src = bright_pulsar();
+  const auto obs = sim.simulate(test_obs("GBT350Drift"), {src});
+  ASSERT_FALSE(obs.truth.empty());
+  // Collect SPEs near the first truth pulse in time and find the SNR-max DM.
+  const auto& gt = obs.truth.front();
+  double best_snr = 0.0, best_dm = -1.0;
+  for (const auto& e : obs.data.events) {
+    if (std::abs(e.time_s - gt.time_s) < 0.05 && e.snr > best_snr) {
+      best_snr = e.snr;
+      best_dm = e.dm;
+    }
+  }
+  ASSERT_GT(best_snr, 0.0);
+  // SNR peak should land within a few trial spacings of the true DM.
+  EXPECT_NEAR(best_dm, src.dm, 2.0);
+}
+
+TEST(SurveySimulator, EventsAreSortedAndAboveThreshold) {
+  SurveySimulator sim(SurveyConfig::palfa(), 29);
+  const auto sources = sim.draw_sources();
+  const auto obs = sim.simulate(
+      test_obs("PALFA"), {sources.begin(), sources.begin() + 3});
+  const auto& events = obs.data.events;
+  ASSERT_GT(events.size(), 0u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ASSERT_LE(events[i - 1].dm, events[i].dm);
+  }
+  for (const auto& e : events) {
+    ASSERT_GE(e.snr, sim.config().snr_threshold - 1e-9);
+    ASSERT_GE(e.downfact, 1);
+  }
+}
+
+TEST(SurveySimulator, SimulateManyRespectsCountAndDataset) {
+  SurveySimulator sim(SurveyConfig::gbt350drift(), 31);
+  const auto sources = sim.draw_sources();
+  const auto all = sim.simulate_many(5, sources, 0.05);
+  ASSERT_EQ(all.size(), 5u);
+  std::set<std::string> keys;
+  for (const auto& o : all) {
+    EXPECT_EQ(o.data.id.dataset, "GBT350Drift");
+    keys.insert(o.data.id.key());
+  }
+  EXPECT_EQ(keys.size(), 5u);  // distinct observations
+}
+
+TEST(SurveySimulator, SurveysMatchPaperPopulations) {
+  const auto gbt = SurveyConfig::gbt350drift();
+  EXPECT_EQ(gbt.population.num_pulsars, 48u);  // §4: 48 distinct pulsars
+  const auto palfa = SurveyConfig::palfa();
+  EXPECT_EQ(palfa.population.num_pulsars + palfa.population.num_rrats,
+            98u);  // §4: 98 pulsars and RRATs
+  EXPECT_GT(palfa.center_freq_mhz, gbt.center_freq_mhz);
+}
+
+TEST(SurveySimulator, FainterPulsarYieldsFewerSpesPerPulse) {
+  SurveySimulator sim(SurveyConfig::gbt350drift(), 41);
+  auto faint = bright_pulsar();
+  faint.median_snr = 6.5;
+  faint.name = "FAINT";
+  const auto obs = sim.simulate(test_obs("GBT350Drift"), {faint});
+  SurveySimulator sim2(SurveyConfig::gbt350drift(), 41);
+  const auto obs2 = sim2.simulate(test_obs("GBT350Drift"), {bright_pulsar()});
+  const auto avg_spes = [](const SimulatedObservation& o) {
+    if (o.truth.empty()) return 0.0;
+    double total = 0.0;
+    for (const auto& gt : o.truth) total += gt.num_spes;
+    return total / static_cast<double>(o.truth.size());
+  };
+  EXPECT_LT(avg_spes(obs), avg_spes(obs2));
+}
+
+}  // namespace
+}  // namespace drapid

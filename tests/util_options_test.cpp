@@ -1,0 +1,63 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace drapid {
+namespace {
+
+Options make(std::vector<const char*> args,
+             std::map<std::string, std::string> spec) {
+  args.insert(args.begin(), "prog");
+  return Options(static_cast<int>(args.size()), args.data(), std::move(spec));
+}
+
+TEST(Options, DefaultsApplyWhenAbsent) {
+  auto opts = make({}, {{"scale", "1.0"}, {"name", "demo"}});
+  EXPECT_DOUBLE_EQ(opts.number("scale"), 1.0);
+  EXPECT_EQ(opts.str("name"), "demo");
+  EXPECT_FALSE(opts.provided("scale"));
+}
+
+TEST(Options, SpaceAndEqualsSyntax) {
+  auto opts = make({"--scale", "2.5", "--name=run7"},
+                   {{"scale", "1.0"}, {"name", "demo"}});
+  EXPECT_DOUBLE_EQ(opts.number("scale"), 2.5);
+  EXPECT_EQ(opts.str("name"), "run7");
+  EXPECT_TRUE(opts.provided("scale"));
+  EXPECT_TRUE(opts.provided("name"));
+}
+
+TEST(Options, BareFlagBecomesTrue) {
+  auto opts = make({"--verbose"}, {{"verbose", "false"}});
+  EXPECT_TRUE(opts.flag("verbose"));
+}
+
+TEST(Options, UnknownOptionThrows) {
+  EXPECT_THROW(make({"--nope", "1"}, {{"scale", "1"}}), std::runtime_error);
+}
+
+TEST(Options, PositionalArgumentThrows) {
+  EXPECT_THROW(make({"stray"}, {{"scale", "1"}}), std::runtime_error);
+}
+
+TEST(Options, IntegerParsing) {
+  auto opts = make({"--n", "42"}, {{"n", "0"}});
+  EXPECT_EQ(opts.integer("n"), 42);
+}
+
+TEST(Options, UndeclaredLookupThrows) {
+  auto opts = make({}, {{"n", "0"}});
+  EXPECT_THROW(opts.str("missing"), std::runtime_error);
+}
+
+TEST(Options, DescribeListsEverything) {
+  auto opts = make({}, {{"alpha", "1"}, {"beta", "x"}});
+  const std::string desc = opts.describe();
+  EXPECT_NE(desc.find("--alpha"), std::string::npos);
+  EXPECT_NE(desc.find("--beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace drapid

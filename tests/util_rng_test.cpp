@@ -1,0 +1,138 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace drapid {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfParentContinuation) {
+  Rng parent(99);
+  Rng child = parent.split();
+  // The child must not replay the parent's stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent() == child());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    const double v = rng.uniform(3.0, 7.0);
+    ASSERT_GE(v, 3.0);
+    ASSERT_LT(v, 7.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedAcrossBuckets) {
+  Rng rng(17);
+  const std::uint64_t buckets = 7;
+  std::vector<int> counts(buckets, 0);
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.below(buckets)];
+  for (auto c : counts) {
+    EXPECT_NEAR(c, draws / static_cast<int>(buckets), 600);
+  }
+}
+
+TEST(Rng, BetweenCoversInclusiveRange) {
+  Rng rng(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(31);
+  std::vector<double> v;
+  for (int i = 0; i < 50000; ++i) v.push_back(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(mean(v), 10.0, 0.05);
+  EXPECT_NEAR(stddev(v), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(37);
+  std::vector<double> v;
+  for (int i = 0; i < 50000; ++i) v.push_back(rng.exponential(4.0));
+  EXPECT_NEAR(mean(v), 0.25, 0.01);
+}
+
+TEST(Rng, PoissonMeanMatchesLambdaSmallAndLarge) {
+  Rng rng(41);
+  for (double lambda : {0.5, 3.0, 20.0, 200.0}) {
+    double total = 0.0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i) {
+      total += static_cast<double>(rng.poisson(lambda));
+    }
+    EXPECT_NEAR(total / draws, lambda, std::max(0.05, lambda * 0.05))
+        << "lambda=" << lambda;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(43);
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(draws), 0.3, 0.01);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(47);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(53);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+class BelowBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BelowBounds, NeverReachesBound) {
+  Rng rng(GetParam());
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.below(n), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BelowBounds, ::testing::Values(1, 7, 77, 777));
+
+}  // namespace
+}  // namespace drapid

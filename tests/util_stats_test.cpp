@@ -1,0 +1,173 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace {
+
+TEST(LinearRegression, PerfectLineRecovered) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.5 * i - 2.0);
+  }
+  const LinearFit fit = linear_regression(x, y);
+  EXPECT_NEAR(fit.slope, 3.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(fit.n, 50u);
+}
+
+TEST(LinearRegression, FlatLineHasZeroSlope) {
+  std::vector<double> x{0, 1, 2, 3}, y{7, 7, 7, 7};
+  const LinearFit fit = linear_regression(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 7.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 0.0);
+}
+
+TEST(LinearRegression, DegenerateInputs) {
+  EXPECT_EQ(linear_regression({}, {}).n, 0u);
+  std::vector<double> one{1.0};
+  const LinearFit single = linear_regression(one, one);
+  EXPECT_EQ(single.n, 1u);
+  EXPECT_DOUBLE_EQ(single.slope, 0.0);
+  // All x identical: slope must stay 0 rather than blowing up.
+  std::vector<double> x{2, 2, 2}, y{1, 5, 9};
+  const LinearFit vertical = linear_regression(x, y);
+  EXPECT_DOUBLE_EQ(vertical.slope, 0.0);
+  EXPECT_NEAR(vertical.intercept, 5.0, 1e-12);
+}
+
+TEST(LinearRegression, NoisyLineApproximatelyRecovered) {
+  Rng rng(42);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(i * 0.01);
+    y.push_back(1.25 * x.back() + 0.5 + rng.normal(0.0, 0.05));
+  }
+  const LinearFit fit = linear_regression(x, y);
+  EXPECT_NEAR(fit.slope, 1.25, 0.01);
+  EXPECT_NEAR(fit.intercept, 0.5, 0.01);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(RunningFit, MatchesBatchFitUnderSlidingWindow) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(rng.uniform(0, 10));
+    y.push_back(rng.uniform(-5, 5));
+  }
+  RunningFit running;
+  const std::size_t window = 25;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    running.add(x[i], y[i]);
+    if (i >= window) running.remove(x[i - window], y[i - window]);
+    const std::size_t begin = (i >= window) ? i - window + 1 : 0;
+    const std::size_t n = i - begin + 1;
+    const LinearFit batch = linear_regression(
+        std::span(x).subspan(begin, n), std::span(y).subspan(begin, n));
+    const LinearFit inc = running.fit();
+    ASSERT_EQ(inc.n, batch.n);
+    EXPECT_NEAR(inc.slope, batch.slope, 1e-8) << "at i=" << i;
+    EXPECT_NEAR(inc.intercept, batch.intercept, 1e-8);
+  }
+}
+
+TEST(Summary, KnownFiveNumberSummary) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.n, 9u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.median, 5);
+  EXPECT_DOUBLE_EQ(s.max, 9);
+  EXPECT_DOUBLE_EQ(s.q1, 3);
+  EXPECT_DOUBLE_EQ(s.q3, 7);
+  EXPECT_DOUBLE_EQ(s.mean, 5);
+}
+
+TEST(Summary, EmptyInputIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0);
+  EXPECT_DOUBLE_EQ(s.max, 0);
+}
+
+TEST(Quantile, InterpolatesBetweenValues) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+}
+
+TEST(Stddev, SampleAndPopulation) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(v, /*sample=*/false), 2.0, 1e-12);
+  EXPECT_NEAR(stddev(v, /*sample=*/true), 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Pearson, PerfectAndAnticorrelated) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{2, 4, 6, 8};
+  std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+  std::vector<double> flat{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, flat), 0.0);
+}
+
+TEST(Moments, SymmetricDataHasZeroSkew) {
+  std::vector<double> v{-2, -1, 0, 1, 2};
+  EXPECT_NEAR(skewness(v), 0.0, 1e-12);
+}
+
+TEST(Moments, RightTailIsPositiveSkew) {
+  std::vector<double> v{1, 1, 1, 1, 10};
+  EXPECT_GT(skewness(v), 1.0);
+}
+
+TEST(Moments, GaussianSampleNearZeroExcessKurtosis) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(rng.normal());
+  EXPECT_NEAR(excess_kurtosis(v), 0.0, 0.15);
+  EXPECT_NEAR(skewness(v), 0.0, 0.05);
+}
+
+TEST(Entropy, UniformAndDegenerate) {
+  std::vector<std::size_t> uniform{10, 10, 10, 10};
+  EXPECT_NEAR(entropy_from_counts(uniform), 2.0, 1e-12);
+  std::vector<std::size_t> pure{42, 0, 0};
+  EXPECT_DOUBLE_EQ(entropy_from_counts(pure), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_from_counts({}), 0.0);
+}
+
+// Property sweep: quantile(q) is monotone in q for random data.
+class QuantileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotone, MonotoneInQ) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  const int n = 1 + static_cast<int>(rng.below(200));
+  for (int i = 0; i < n; ++i) v.push_back(rng.uniform(-100, 100));
+  double prev = quantile(v, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(v, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotone,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace drapid

@@ -1,0 +1,62 @@
+#include "util/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drapid {
+namespace {
+
+TEST(FormatNumber, TrimsTrailingZeros) {
+  EXPECT_EQ(format_number(1.500, 3), "1.5");
+  EXPECT_EQ(format_number(2.000, 3), "2");
+  EXPECT_EQ(format_number(0.125, 3), "0.125");
+  EXPECT_EQ(format_number(-0.0, 3), "0");
+}
+
+TEST(RenderTable, AlignsColumnsAndUnderlinesHeader) {
+  const auto text = render_table({{"name", "value"}, {"alpha", "1"},
+                                  {"longer-name", "22"}});
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  // Header separator comes before data rows.
+  EXPECT_LT(text.find("----"), text.find("alpha"));
+}
+
+TEST(RenderTable, EmptyInputIsEmpty) {
+  EXPECT_TRUE(render_table({}).empty());
+}
+
+TEST(RenderBoxplots, ContainsMedianMarkersAndLabels) {
+  Summary s;
+  s.n = 5;
+  s.min = 0;
+  s.q1 = 1;
+  s.median = 2;
+  s.q3 = 3;
+  s.max = 4;
+  const auto text = render_boxplots("title", {{"rowA", s}, {"rowB", s}});
+  EXPECT_NE(text.find("title"), std::string::npos);
+  EXPECT_NE(text.find("rowA"), std::string::npos);
+  EXPECT_NE(text.find('M'), std::string::npos);
+  EXPECT_NE(text.find("med=2"), std::string::npos);
+}
+
+TEST(RenderBoxplots, DegenerateAllEqualDistributionDoesNotCrash) {
+  Summary s;
+  s.n = 3;
+  s.min = s.q1 = s.median = s.q3 = s.max = 7.0;
+  const auto text = render_boxplots("flat", {{"r", s}});
+  EXPECT_NE(text.find('M'), std::string::npos);
+}
+
+TEST(RenderSeries, OneRowPerSeries) {
+  const auto text = render_series("time(s)", {"1", "5", "10"},
+                                  {{"drapid", {10, 4, 3}},
+                                   {"multithreaded", {20, 12, 11}}});
+  EXPECT_NE(text.find("drapid"), std::string::npos);
+  EXPECT_NE(text.find("multithreaded"), std::string::npos);
+  EXPECT_NE(text.find("time(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace drapid

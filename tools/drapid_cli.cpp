@@ -1,0 +1,236 @@
+// drapid — command-line front end to the library.
+//
+//   drapid simulate --survey gbt350|palfa --observations N --out DIR
+//       writes DIR/data.csv, DIR/clusters.csv and DIR/truth.csv
+//   drapid search --data FILE --clusters FILE --out FILE [--executors N]
+//       runs the D-RAPID job on real files and writes the ML file
+//   drapid classify --ml FILE [--scheme 2|4*|4|7|8] [--filter IG|GR|SU|Cor|1R]
+//                   [--learner RF|J48|PART|JRip|SMO|MPN] [--smote]
+//       5-fold cross-validates a labeled ML file and reports the scores
+//
+// Every subcommand is deterministic for a given --seed.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "dataflow/cluster_model.hpp"
+#include "drapid/pipeline.hpp"
+#include "exp/trial_runner.hpp"
+#include "util/log.hpp"
+#include "util/options.hpp"
+#include "util/text_table.hpp"
+
+using namespace drapid;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << contents;
+}
+
+int cmd_simulate(int argc, const char* const argv[]) {
+  Options opts(argc, argv,
+               {{"survey", "gbt350"},
+                {"observations", "8"},
+                {"visibility", "0.06"},
+                {"seed", "1"},
+                {"out", "."}});
+  PipelineConfig config;
+  config.survey = opts.str("survey") == "palfa" ? SurveyConfig::palfa()
+                                                : SurveyConfig::gbt350drift();
+  config.num_observations =
+      static_cast<std::size_t>(opts.integer("observations"));
+  config.visibility = opts.number("visibility");
+  config.seed = static_cast<std::uint64_t>(opts.integer("seed"));
+  const PipelineData data = prepare_pipeline_data(config);
+
+  const std::string dir = opts.str("out");
+  write_file(dir + "/data.csv", data.data_csv);
+  write_file(dir + "/clusters.csv", data.cluster_csv);
+  {
+    // The known-source catalogue (the ATNF/RRATalog stand-in, §4).
+    std::ostringstream cat;
+    catalog_from_population(data.sources).save(cat);
+    write_file(dir + "/catalog.csv", cat.str());
+  }
+  std::ostringstream truth;
+  truth << "observation,source,type,time_s,dm,peak_snr,num_spes\n";
+  for (const auto& obs : data.observations) {
+    for (const auto& gt : obs.truth) {
+      truth << obs.data.id.key() << ',' << gt.source_name << ','
+            << (gt.type == SourceType::kRrat ? "rrat" : "pulsar") << ','
+            << gt.time_s << ',' << gt.dm << ',' << gt.peak_snr << ','
+            << gt.num_spes << '\n';
+    }
+  }
+  write_file(dir + "/truth.csv", truth.str());
+  std::cout << "wrote " << dir << "/data.csv (" << data.total_spes
+            << " SPEs), clusters.csv (" << data.clusters.size()
+            << " clusters), truth.csv, catalog.csv ("
+            << data.sources.size() << " sources)\n";
+  return 0;
+}
+
+int cmd_search(int argc, const char* const argv[]) {
+  Options opts(argc, argv, {{"data", "data.csv"},
+                            {"clusters", "clusters.csv"},
+                            {"out", "ml.csv"},
+                            {"truth", ""},
+                            {"catalog", ""},
+                            {"survey", "gbt350"},
+                            {"executors", "4"},
+                            {"threads", "2"}});
+  BlockStore store(15);
+  store.put("data", read_file(opts.str("data")));
+  store.put("clusters", read_file(opts.str("clusters")));
+
+  EngineConfig engine_config;
+  engine_config.num_executors =
+      static_cast<std::size_t>(opts.integer("executors"));
+  engine_config.worker_threads =
+      static_cast<std::size_t>(opts.integer("threads"));
+  Engine engine(engine_config);
+  const DmGrid grid = opts.str("survey") == "palfa" ? DmGrid::palfa()
+                                                    : DmGrid::gbt350drift();
+  auto result = run_drapid(engine, store, "data", "clusters", "ml", grid, {});
+
+  // Optional ground truth (as written by `drapid simulate`): label the ML
+  // records so `drapid classify` can train on them.
+  if (!opts.str("truth").empty()) {
+    std::map<std::string, std::vector<GroundTruthPulse>> truth;
+    std::istringstream truth_in(read_file(opts.str("truth")));
+    std::string line;
+    std::getline(truth_in, line);  // header
+    while (std::getline(truth_in, line)) {
+      if (line.empty()) continue;
+      const auto row = parse_csv_line(line);
+      if (row.size() != 7) {
+        throw std::runtime_error("malformed truth row: " + line);
+      }
+      GroundTruthPulse gt;
+      gt.source_name = row[1];
+      gt.type = row[2] == "rrat" ? SourceType::kRrat : SourceType::kPulsar;
+      gt.time_s = parse_double(row[3]);
+      gt.dm = parse_double(row[4]);
+      gt.peak_snr = parse_double(row[5]);
+      gt.num_spes = static_cast<std::uint32_t>(parse_int(row[6]));
+      truth[row[0]].push_back(gt);
+    }
+    label_records(result.records, truth);
+    std::ostringstream labeled;
+    write_ml_file(labeled, result.records);
+    store.put("ml", labeled.str());
+    std::size_t positives = 0;
+    for (const auto& rec : result.records) {
+      positives += !rec.truth_label.empty();
+    }
+    std::cout << "labeled " << positives << " of " << result.records.size()
+              << " records as pulsar/RRAT\n";
+  }
+  if (!opts.str("catalog").empty()) {
+    std::istringstream cat_in(read_file(opts.str("catalog")));
+    const auto catalog = SourceCatalog::load(cat_in);
+    label_records_by_catalog(result.records, catalog);
+    std::ostringstream labeled;
+    write_ml_file(labeled, result.records);
+    store.put("ml", labeled.str());
+    std::size_t positives = 0;
+    for (const auto& rec : result.records) {
+      positives += !rec.truth_label.empty();
+    }
+    std::cout << "catalogue crossmatch labeled " << positives << " of "
+              << result.records.size() << " records\n";
+  }
+  write_file(opts.str("out"), store.get("ml"));
+  std::cout << "searched " << result.clusters_searched << " clusters ("
+            << result.spes_scanned << " SPEs scanned), found "
+            << result.records.size() << " single pulses in "
+            << format_number(result.wall_seconds, 2) << " s\n"
+            << "wrote " << opts.str("out") << '\n'
+            << "\nmeasured work:\n"
+            << result.metrics.summary();
+  return 0;
+}
+
+int cmd_classify(int argc, const char* const argv[]) {
+  Options opts(argc, argv, {{"ml", "ml.csv"},
+                            {"scheme", "8"},
+                            {"filter", "IG"},
+                            {"learner", "RF"},
+                            {"smote", "false"},
+                            {"seed", "1"}});
+  std::ifstream in(opts.str("ml"));
+  if (!in) throw std::runtime_error("cannot open " + opts.str("ml"));
+  const auto records = read_ml_file(in);
+  std::vector<LabeledPulse> pulses;
+  for (const auto& rec : records) {
+    LabeledPulse lp;
+    lp.features = rec.features;
+    lp.is_pulsar = !rec.truth_label.empty();
+    lp.is_rrat = rec.truth_label == "rrat";
+    pulses.push_back(lp);
+  }
+
+  TrialSpec spec;
+  for (ml::AlmScheme s : ml::all_alm_schemes()) {
+    if (ml::alm_scheme_name(s) == opts.str("scheme")) spec.scheme = s;
+  }
+  spec.filter.reset();
+  for (ml::FilterMethod f : ml::all_filter_methods()) {
+    if (ml::filter_abbreviation(f) == opts.str("filter")) spec.filter = f;
+  }
+  bool learner_found = false;
+  for (ml::LearnerType l : ml::all_learner_types()) {
+    if (ml::learner_name(l) == opts.str("learner")) {
+      spec.learner = l;
+      learner_found = true;
+    }
+  }
+  if (!learner_found) {
+    throw std::runtime_error("unknown learner: " + opts.str("learner"));
+  }
+  spec.smote = opts.flag("smote");
+  spec.seed = static_cast<std::uint64_t>(opts.integer("seed"));
+
+  const TrialResult result = run_trial(pulses, spec);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"configuration", "Recall", "Precision", "F-Measure",
+                  "train(s)"});
+  rows.push_back({spec.describe(), format_number(result.recall),
+                  format_number(result.precision),
+                  format_number(result.f_measure),
+                  format_number(result.train_seconds)});
+  std::cout << render_table(rows);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: drapid <simulate|search|classify> [--options]\n"
+                 "see the header of tools/drapid_cli.cpp for details\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "search") return cmd_search(argc - 1, argv + 1);
+    if (command == "classify") return cmd_classify(argc - 1, argv + 1);
+    std::cerr << "unknown command: " << command << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
