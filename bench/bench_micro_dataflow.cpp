@@ -114,6 +114,39 @@ void BM_SpillRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_SpillRoundTrip)->Arg(10000);
 
+// materialize() copies an in-memory cache; borrow() hands out a const
+// reference in O(1). The pair documents why the driver borrows the cached
+// SPE RDD instead of materializing it (same data, no deep copy).
+void BM_MaterializeCopy(benchmark::State& state) {
+  Engine engine(bench_config());
+  CachedStringRdd cached(
+      engine,
+      parallelize(engine,
+                  make_pairs(static_cast<std::size_t>(state.range(0)), 100), 4),
+      "bm");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cached.materialize());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MaterializeCopy)->Arg(10000)->Arg(100000);
+
+void BM_BorrowInMemory(benchmark::State& state) {
+  Engine engine(bench_config());
+  CachedStringRdd cached(
+      engine,
+      parallelize(engine,
+                  make_pairs(static_cast<std::size_t>(state.range(0)), 100), 4),
+      "bm");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&cached.borrow());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BorrowInMemory)->Arg(10000)->Arg(100000);
+
 void BM_StableHash(benchmark::State& state) {
   const std::string key = "PALFA|56000.01|213.77|15.22|3";
   for (auto _ : state) {

@@ -49,6 +49,30 @@ std::vector<std::string> BlockStore::list() const {
   return names;
 }
 
+void BlockStore::mark_node_dead(int node) {
+  if (node < 0 || static_cast<std::size_t>(node) >= num_nodes_) return;
+  dead_nodes_.insert(node);
+}
+
+int BlockStore::live_replica_or_throw(const std::string& name,
+                                      std::size_t block_index,
+                                      const BlockInfo& block) const {
+  for (std::size_t r = 0; r < block.replicas.size(); ++r) {
+    const int node = block.replicas[r];
+    if (dead_nodes_.count(node)) continue;
+    if (r > 0) failovers_.fetch_add(1);
+    return node;
+  }
+  std::string dead;
+  for (const int node : block.replicas) {
+    if (!dead.empty()) dead += ", ";
+    dead += std::to_string(node);
+  }
+  throw std::runtime_error("block store: all replicas of " + name + " block " +
+                           std::to_string(block_index) +
+                           " live on dead nodes [" + dead + "]");
+}
+
 const BlockStore::File& BlockStore::file_or_throw(
     const std::string& name) const {
   const auto it = files_.find(name);
@@ -79,6 +103,7 @@ std::string BlockStore::read_block(const std::string& name,
                              name);
   }
   const BlockInfo& block = file.layout[block_index];
+  live_replica_or_throw(name, block_index, block);
   return file.contents.substr(block.offset, block.size);
 }
 
@@ -89,6 +114,7 @@ std::vector<std::string> BlockStore::line_chunks(
   std::vector<std::string> chunks;
   std::size_t record_start = 0;  // first byte not yet assigned to a chunk
   for (std::size_t b = 0; b < file.layout.size(); ++b) {
+    live_replica_or_throw(name, b, file.layout[b]);
     const std::size_t block_end = file.layout[b].offset + file.layout[b].size;
     if (record_start >= block_end && b + 1 < file.layout.size()) {
       chunks.emplace_back();  // a previous chunk consumed past this block

@@ -6,10 +6,18 @@
 // block, so a task reading a block can run where the data lives — the
 // property the paper's D-RAPID relies on when it reads the SPE and cluster
 // files out of HDFS (Figure 2).
+//
+// Fault tolerance: data nodes can be marked dead (mark_node_dead). Reads
+// then fail over to a surviving replica of each block, exactly as an HDFS
+// client walks the replica list; only when every replica of some block is
+// dead does a read throw. Placement stays deterministic, so which replica
+// serves a block is a pure function of the file name and the dead set.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -30,6 +38,15 @@ class BlockStore {
 
   std::size_t num_nodes() const { return num_nodes_; }
   std::size_t block_size() const { return block_size_; }
+
+  /// Marks a data node as failed: its replicas stop serving reads. Out-of-
+  /// range ids are ignored (a plan may name nodes a smaller cluster lacks).
+  void mark_node_dead(int node);
+  bool node_dead(int node) const { return dead_nodes_.count(node) > 0; }
+  std::size_t num_dead_nodes() const { return dead_nodes_.size(); }
+  /// Block reads served by a non-primary replica because the primary's node
+  /// was dead (cumulative, for tests and fault reporting).
+  std::size_t replica_failovers() const { return failovers_.load(); }
 
   /// Stores `contents` under `name`, replacing any existing file.
   void put(const std::string& name, std::string contents);
@@ -60,11 +77,17 @@ class BlockStore {
     std::vector<BlockInfo> layout;
   };
   const File& file_or_throw(const std::string& name) const;
+  /// First live replica of `block`, counting a failover if that is not the
+  /// primary; throws a descriptive error when every replica is dead.
+  int live_replica_or_throw(const std::string& name, std::size_t block_index,
+                            const BlockInfo& block) const;
 
   std::size_t num_nodes_;
   std::size_t block_size_;
   std::size_t replication_;
   std::map<std::string, File> files_;
+  std::set<int> dead_nodes_;
+  mutable std::atomic<std::size_t> failovers_{0};
 };
 
 }  // namespace drapid

@@ -1,6 +1,7 @@
 #include "dataflow/cluster_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 namespace drapid {
@@ -71,9 +72,18 @@ SimResult simulate_cluster(const JobMetrics& job, const ClusterSpec& spec) {
     std::vector<double> durations;
     durations.reserve(stage.tasks.size());
     for (const auto& task : stage.tasks) {
+      // Recovery: each retry reschedules the task (another per-task
+      // overhead), waits out an exponentially growing backoff, and repeats
+      // the wasted attempts' compute recorded in retry_cost.
+      const std::size_t retries = task.attempts > 1 ? task.attempts - 1 : 0;
+      const double backoff_s =
+          retries == 0 ? 0.0
+                       : spec.retry_backoff_ms * 1e-3 *
+                             (std::ldexp(1.0, static_cast<int>(retries)) - 1.0);
       durations.push_back(
-          spec.per_task_overhead_ms * 1e-3 +
+          spec.per_task_overhead_ms * 1e-3 * (1.0 + retries) + backoff_s +
           static_cast<double>(task.compute_cost) * unit_s +
+          static_cast<double>(task.retry_cost) * unit_s +
           static_cast<double>(task.shuffle_bytes) / net_bw_per_slot +
           static_cast<double>(task.spill_bytes) / disk_bw_per_slot);
     }
@@ -141,6 +151,9 @@ JobMetrics scale_metrics(const JobMetrics& job, double factor) {
       task.shuffle_bytes = mul(task.shuffle_bytes);
       task.spill_bytes = mul(task.spill_bytes);
       task.compute_cost = mul(task.compute_cost);
+      // retry_cost is wasted compute, so it scales with data volume;
+      // attempts is an event count and does not.
+      task.retry_cost = mul(task.retry_cost);
     }
   }
   return scaled;

@@ -50,6 +50,11 @@ struct ClusterSpec {
   double per_task_overhead_ms = 3.0;
   /// Fixed per-stage cost: stage barrier + DAG scheduling.
   double per_stage_overhead_s = 0.25;
+  /// Base delay before the first reattempt of a failed task; each further
+  /// reattempt doubles it (Spark-style exponential backoff). Priced per
+  /// task as backoff_ms * (2^retries - 1), alongside the wasted attempts'
+  /// compute (TaskMetrics::retry_cost) and rescheduling overhead.
+  double retry_backoff_ms = 50.0;
 
   /// The paper's testbed (§6.1): 15 Fairmont State data nodes (mix of
   /// 3.2 GHz quad i5-3470 and 3.33 GHz Core2 Duo), executors with 2 vcores

@@ -1,5 +1,6 @@
 #include "dataflow/engine.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <sstream>
 
@@ -31,6 +32,14 @@ std::size_t StageMetrics::total_spill_bytes() const {
 std::size_t StageMetrics::total_compute_cost() const {
   return sum_tasks(*this, &TaskMetrics::compute_cost);
 }
+std::size_t StageMetrics::total_retries() const {
+  std::size_t total = 0;
+  for (const auto& t : tasks) total += t.attempts > 1 ? t.attempts - 1 : 0;
+  return total;
+}
+std::size_t StageMetrics::total_retry_cost() const {
+  return sum_tasks(*this, &TaskMetrics::retry_cost);
+}
 
 std::size_t JobMetrics::total_shuffle_bytes() const {
   std::size_t total = 0;
@@ -47,25 +56,37 @@ std::size_t JobMetrics::total_compute_cost() const {
   for (const auto& s : stages) total += s.total_compute_cost();
   return total;
 }
+std::size_t JobMetrics::total_retries() const {
+  std::size_t total = 0;
+  for (const auto& s : stages) total += s.total_retries();
+  return total;
+}
+std::size_t JobMetrics::total_retry_cost() const {
+  std::size_t total = 0;
+  for (const auto& s : stages) total += s.total_retry_cost();
+  return total;
+}
 
 std::string JobMetrics::summary() const {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"stage", "tasks", "records_in", "bytes_in", "shuffle_bytes",
-                  "spill_bytes", "compute_cost"});
+                  "spill_bytes", "compute_cost", "retries"});
   for (const auto& s : stages) {
     rows.push_back({s.name, std::to_string(s.tasks.size()),
                     std::to_string(s.total_records_in()),
                     std::to_string(s.total_bytes_in()),
                     std::to_string(s.total_shuffle_bytes()),
                     std::to_string(s.total_spill_bytes()),
-                    std::to_string(s.total_compute_cost())});
+                    std::to_string(s.total_compute_cost()),
+                    std::to_string(s.total_retries())});
   }
   return render_table(rows);
 }
 
 Engine::Engine(EngineConfig config)
     : config_(config),
-      pool_(config.worker_threads == 0 ? 1 : config.worker_threads) {
+      pool_(config.worker_threads == 0 ? 1 : config.worker_threads),
+      faults_(config.faults) {
   namespace fs = std::filesystem;
   fs::path dir = config_.spill_dir.empty()
                      ? fs::temp_directory_path() / "drapid_spill"
@@ -88,8 +109,37 @@ StageMetrics& Engine::begin_stage(const std::string& name, std::size_t tasks) {
   stage.name = name;
   stage.tasks.resize(tasks);
   for (std::size_t i = 0; i < tasks; ++i) stage.tasks[i].partition = i;
+  std::lock_guard lock(stages_mutex_);
   metrics_.stages.push_back(std::move(stage));
   return metrics_.stages.back();
+}
+
+void Engine::run_stage(StageMetrics& stage,
+                       const std::function<void(std::size_t)>& body) {
+  const std::size_t max_attempts =
+      std::max<std::size_t>(1, config_.max_task_attempts);
+  pool_.parallel_for(stage.tasks.size(), [&](std::size_t p) {
+    auto& task = stage.tasks[p];
+    for (std::size_t attempt = 0;; ++attempt) {
+      task.attempts = attempt + 1;
+      if (faults_.fail_task(stage.name, p, attempt)) {
+        if (attempt + 1 >= max_attempts) {
+          throw TaskFailure("task failed permanently after " +
+                            std::to_string(attempt + 1) +
+                            " attempts: stage=" + stage.name +
+                            " partition=" + std::to_string(p));
+        }
+        continue;  // the reattempt backoff is modeled, not slept
+      }
+      body(p);
+      if (attempt > 0) {
+        // Each failed attempt is modeled as dying just before completion:
+        // one full attempt's compute is wasted per failure.
+        task.retry_cost += attempt * task.compute_cost;
+      }
+      return;
+    }
+  });
 }
 
 std::string Engine::next_spill_path() {

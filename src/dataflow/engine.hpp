@@ -5,12 +5,22 @@
 // the configured executor memory (the mechanism behind the paper's
 // one-executor cliff in Figure 4: "portions of the RDDs must be frequently
 // swapped out to disk").
+//
+// Fault tolerance: every stage executes through run_stage, which retries a
+// task attempt killed by the engine's FaultInjector up to max_task_attempts
+// times (Spark's spark.task.maxFailures). A failed attempt is modeled as
+// dying just before completion, so the wasted work lands in the task's
+// attempts/retry_cost counters and the cluster cost model prices recovery
+// time — reattempt scheduling plus exponential backoff — into the makespan.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
+#include <mutex>
 #include <string>
 
+#include "dataflow/fault.hpp"
 #include "dataflow/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,6 +41,11 @@ struct EngineConfig {
   std::size_t worker_threads = 4;
   /// Directory for spill files; empty selects the system temp directory.
   std::string spill_dir;
+  /// Attempt budget per task (first run + retries). A task whose every
+  /// attempt is killed fails the job with TaskFailure.
+  std::size_t max_task_attempts = 4;
+  /// Faults to inject into this engine's runs (none by default).
+  FaultPlan faults;
 
   std::size_t total_cores() const { return num_executors * cores_per_executor; }
   std::size_t total_memory_bytes() const {
@@ -51,15 +66,27 @@ class Engine {
 
   const EngineConfig& config() const { return config_; }
   ThreadPool& pool() { return pool_; }
+  const FaultInjector& faults() const { return faults_; }
 
   const JobMetrics& metrics() const { return metrics_; }
   JobMetrics& metrics() { return metrics_; }
   void reset_metrics() { metrics_.stages.clear(); }
 
   /// Appends a stage with `tasks` zeroed task slots and returns it. The
-  /// reference stays valid until the next begin_stage (deque storage is not
-  /// needed: transformations finish a stage before starting another).
+  /// reference stays valid for the engine's lifetime (until reset_metrics):
+  /// stages live in a deque and begin_stage is serialized by a mutex, so
+  /// stages begun later — including recomputation stages nested inside a
+  /// running one — never invalidate it.
   StageMetrics& begin_stage(const std::string& name, std::size_t tasks);
+
+  /// Runs body(p) for every task slot of `stage` on the worker pool, giving
+  /// each task up to config().max_task_attempts attempts. Injected failures
+  /// kill an attempt *at launch* (so a body observes either a complete
+  /// prior run or none; bodies need not be idempotent mid-flight) and are
+  /// retried with the wasted work recorded in attempts/retry_cost; genuine
+  /// exceptions from the body propagate immediately, first one wins.
+  void run_stage(StageMetrics& stage,
+                 const std::function<void(std::size_t)>& body);
 
   /// Unique path for one spill file; files live until the engine dies.
   std::string next_spill_path();
@@ -67,7 +94,9 @@ class Engine {
  private:
   EngineConfig config_;
   ThreadPool pool_;
+  FaultInjector faults_;
   JobMetrics metrics_;
+  std::mutex stages_mutex_;
   std::string spill_dir_;
   std::atomic<std::size_t> spill_counter_{0};
 };

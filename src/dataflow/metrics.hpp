@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,15 @@ struct TaskMetrics {
   /// Domain compute units (defaults to records_in; the D-RAPID search stage
   /// reports SPEs scanned by Algorithm 1).
   std::size_t compute_cost = 0;
+  /// Execution attempts this task took (1 = clean first run; >1 after
+  /// injected failures or lineage recomputation). Zero only for tasks whose
+  /// stage never executed.
+  std::size_t attempts = 0;
+  /// Compute units wasted on failed attempts (each failure is modeled as
+  /// dying just before completion, so one full attempt's work per failure).
+  /// The cluster cost model prices this plus an exponential reattempt
+  /// backoff into the makespan.
+  std::size_t retry_cost = 0;
 };
 
 struct StageMetrics {
@@ -40,14 +50,23 @@ struct StageMetrics {
   std::size_t total_shuffle_bytes() const;
   std::size_t total_spill_bytes() const;
   std::size_t total_compute_cost() const;
+  /// Sum over tasks of attempts beyond the first (0 on a fault-free run).
+  std::size_t total_retries() const;
+  std::size_t total_retry_cost() const;
 };
 
 struct JobMetrics {
-  std::vector<StageMetrics> stages;
+  /// Deque, not vector: begin_stage hands out references that must survive
+  /// later begin_stage calls (lineage recomputation interleaves stages, so
+  /// "transformations finish a stage before starting another" no longer
+  /// holds). Deque never relocates existing elements on push_back.
+  std::deque<StageMetrics> stages;
 
   std::size_t total_shuffle_bytes() const;
   std::size_t total_spill_bytes() const;
   std::size_t total_compute_cost() const;
+  std::size_t total_retries() const;
+  std::size_t total_retry_cost() const;
   /// Human-readable per-stage summary table.
   std::string summary() const;
 };

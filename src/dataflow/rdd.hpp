@@ -197,7 +197,7 @@ auto map_pairs(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
   out.partitions.resize(in.num_partitions());
   out.partitioner_id = preserves_partitioning ? in.partitioner_id : 0;
   auto& stage = engine.begin_stage(name, in.num_partitions());
-  engine.pool().parallel_for(in.num_partitions(), [&](std::size_t p) {
+  engine.run_stage(stage, [&](std::size_t p) {
     auto& task = stage.tasks[p];
     detail::record_input(task, in.partitions[p]);
     out.partitions[p].reserve(in.partitions[p].size());
@@ -216,7 +216,7 @@ auto map_values(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
   out.partitions.resize(in.num_partitions());
   out.partitioner_id = in.partitioner_id;
   auto& stage = engine.begin_stage(name, in.num_partitions());
-  engine.pool().parallel_for(in.num_partitions(), [&](std::size_t p) {
+  engine.run_stage(stage, [&](std::size_t p) {
     auto& task = stage.tasks[p];
     detail::record_input(task, in.partitions[p]);
     out.partitions[p].reserve(in.partitions[p].size());
@@ -236,7 +236,7 @@ Rdd<K, V> filter_pairs(Engine& engine, const Rdd<K, V>& in, Pred&& pred,
   out.partitions.resize(in.num_partitions());
   out.partitioner_id = in.partitioner_id;
   auto& stage = engine.begin_stage(name, in.num_partitions());
-  engine.pool().parallel_for(in.num_partitions(), [&](std::size_t p) {
+  engine.run_stage(stage, [&](std::size_t p) {
     auto& task = stage.tasks[p];
     detail::record_input(task, in.partitions[p]);
     for (const auto& kv : in.partitions[p]) {
@@ -258,7 +258,7 @@ auto flat_map_metered(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
   Rdd<typename OutPair::first_type, typename OutPair::second_type> out;
   out.partitions.resize(in.num_partitions());
   auto& stage = engine.begin_stage(name, in.num_partitions());
-  engine.pool().parallel_for(in.num_partitions(), [&](std::size_t p) {
+  engine.run_stage(stage, [&](std::size_t p) {
     auto& task = stage.tasks[p];
     detail::record_input(task, in.partitions[p]);
     task.compute_cost = 0;  // reported by fn instead of records_in
@@ -292,7 +292,8 @@ Rdd<K, V> partition_by(Engine& engine, const Rdd<K, V>& in,
 
   std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(sources);
   auto& stage = engine.begin_stage(name, sources);
-  engine.pool().parallel_for(in.num_partitions(), [&](std::size_t p) {
+  engine.run_stage(stage, [&](std::size_t p) {
+    if (p >= in.num_partitions()) return;  // sources is clamped to >= 1
     auto& task = stage.tasks[p];
     detail::record_input(task, in.partitions[p]);
     // Bucketing is a hash + pointer move per record — far cheaper than a
@@ -335,7 +336,7 @@ Rdd<K, Agg> aggregate_by_key(Engine& engine, const Rdd<K, V>& in,
   combined.partitions.resize(in.num_partitions());
   combined.partitioner_id = in.partitioner_id;
   auto& stage = engine.begin_stage(name + ":combine", in.num_partitions());
-  engine.pool().parallel_for(in.num_partitions(), [&](std::size_t p) {
+  engine.run_stage(stage, [&](std::size_t p) {
     auto& task = stage.tasks[p];
     detail::record_input(task, in.partitions[p]);
     task.compute_cost = task.records_in / 4;  // hash-fold per record
@@ -365,7 +366,7 @@ Rdd<K, Agg> aggregate_by_key(Engine& engine, const Rdd<K, V>& in,
   out.partitioner_id = partitioner.id();
   auto& merge_stage =
       engine.begin_stage(name + ":merge", shuffled.num_partitions());
-  engine.pool().parallel_for(shuffled.num_partitions(), [&](std::size_t p) {
+  engine.run_stage(merge_stage, [&](std::size_t p) {
     auto& task = merge_stage.tasks[p];
     detail::record_input(task, shuffled.partitions[p]);
     task.compute_cost = task.records_in / 4;  // hash-merge per record
@@ -441,7 +442,7 @@ Rdd<K, std::pair<V, std::optional<W>>> left_outer_join(
   out.partitions.resize(partitioner.num_partitions);
   out.partitioner_id = partitioner.id();
   auto& stage = engine.begin_stage(name, partitioner.num_partitions);
-  engine.pool().parallel_for(partitioner.num_partitions, [&](std::size_t p) {
+  engine.run_stage(stage, [&](std::size_t p) {
     auto& task = stage.tasks[p];
     detail::record_input(task, lhs->partitions[p]);
     std::unordered_multimap<K, const W*> index;

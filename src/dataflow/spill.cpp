@@ -1,12 +1,19 @@
 #include "dataflow/spill.hpp"
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
-#include <stdexcept>
 
 namespace drapid {
 
 namespace {
+
+/// Spill file layout: magic, record count, (klen, k, vlen, v)*, checksum.
+/// The trailing checksum covers everything between magic and itself, so any
+/// flipped byte — count, a length prefix, or payload — fails validation.
+constexpr std::uint64_t kSpillMagic = 0x3153504C4C495244ULL;  // "DRILLPS1"
+constexpr std::size_t kHeaderBytes = 16;   // magic + count
+constexpr std::size_t kTrailerBytes = 8;   // checksum
 
 void write_u64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -18,11 +25,53 @@ std::uint64_t read_u64(std::istream& in) {
   return v;
 }
 
+std::uint64_t checksum_fold(std::uint64_t h, const void* data,
+                            std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t checksum_fold_u64(std::uint64_t h, std::uint64_t v) {
+  return checksum_fold(h, &v, sizeof(v));
+}
+
+constexpr std::uint64_t kChecksumSeed = 0xcbf29ce484222325ULL;
+
+[[noreturn]] void spill_fail(const std::string& file, const std::string& why) {
+  throw SpillError("spill file " + file + ": " + why);
+}
+
+/// Damages a freshly-written spill file per the injected fault: flips one
+/// byte past the magic (detected by length validation or the checksum) or
+/// deletes the file outright.
+void apply_spill_fault(const std::string& path, SpillFault fault) {
+  namespace fs = std::filesystem;
+  if (fault == SpillFault::kLose) {
+    std::error_code ec;
+    fs::remove(path, ec);
+    return;
+  }
+  if (fault != SpillFault::kCorrupt) return;
+  const auto size = static_cast<std::size_t>(fs::file_size(path));
+  const std::size_t offset = std::max<std::size_t>(8, size / 2);
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5a);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+}
+
 }  // namespace
 
 CachedStringRdd::CachedStringRdd(Engine& engine, StringRdd rdd,
-                                 const std::string& name)
-    : engine_(engine), name_(name) {
+                                 const std::string& name, Producer producer)
+    : engine_(engine), name_(name), producer_(std::move(producer)) {
   bytes_ = rdd.estimated_bytes();
   partitioner_id_ = rdd.partitioner_id;
   auto& stage = engine_.begin_stage(name_ + ":cache", rdd.num_partitions());
@@ -35,24 +84,103 @@ CachedStringRdd::CachedStringRdd(Engine& engine, StringRdd rdd,
   }
   spilled_ = true;
   files_.resize(rdd.num_partitions());
-  engine_.pool().parallel_for(rdd.num_partitions(), [&](std::size_t p) {
-    files_[p] = engine_.next_spill_path();
-    std::ofstream out(files_[p], std::ios::binary);
-    if (!out) throw std::runtime_error("cannot open spill file " + files_[p]);
+  engine_.run_stage(stage, [&](std::size_t p) {
     auto& task = stage.tasks[p];
-    write_u64(out, rdd.partitions[p].size());
-    for (const auto& [k, v] : rdd.partitions[p]) {
-      write_u64(out, k.size());
-      out.write(k.data(), static_cast<std::streamsize>(k.size()));
-      write_u64(out, v.size());
-      out.write(v.data(), static_cast<std::streamsize>(v.size()));
-      task.spill_bytes += k.size() + v.size() + 16;
-    }
+    files_[p] = write_partition(rdd.partitions[p], task);
     task.records_in = rdd.partitions[p].size();
-    if (!out) throw std::runtime_error("spill write failed: " + files_[p]);
     rdd.partitions[p].clear();
     rdd.partitions[p].shrink_to_fit();
+    // Injected spill damage (corrupt/lose) strikes after a healthy write,
+    // the way silent disk corruption does.
+    apply_spill_fault(files_[p], engine_.faults().spill_fault(name_, p));
   });
+}
+
+std::string CachedStringRdd::write_partition(
+    const std::vector<StringRdd::Pair>& records, TaskMetrics& task) const {
+  const std::string path = engine_.next_spill_path();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw SpillError("cannot open spill file " + path);
+  write_u64(out, kSpillMagic);
+  std::uint64_t checksum = checksum_fold_u64(kChecksumSeed, records.size());
+  write_u64(out, records.size());
+  for (const auto& [k, v] : records) {
+    write_u64(out, k.size());
+    out.write(k.data(), static_cast<std::streamsize>(k.size()));
+    write_u64(out, v.size());
+    out.write(v.data(), static_cast<std::streamsize>(v.size()));
+    checksum = checksum_fold_u64(checksum, k.size());
+    checksum = checksum_fold(checksum, k.data(), k.size());
+    checksum = checksum_fold_u64(checksum, v.size());
+    checksum = checksum_fold(checksum, v.data(), v.size());
+    task.spill_bytes += k.size() + v.size() + 16;
+  }
+  write_u64(out, checksum);
+  if (!out) throw SpillError("spill write failed: " + path);
+  return path;
+}
+
+void CachedStringRdd::read_partition(std::size_t p,
+                                     std::vector<StringRdd::Pair>& out,
+                                     TaskMetrics& task) const {
+  const std::string& file = files_[p];
+  std::ifstream in(file, std::ios::binary);
+  if (!in) spill_fail(file, "missing or unreadable (lost replica?)");
+  std::error_code ec;
+  const auto file_size =
+      static_cast<std::size_t>(std::filesystem::file_size(file, ec));
+  if (ec) spill_fail(file, "cannot stat: " + ec.message());
+  if (file_size < kHeaderBytes + kTrailerBytes) {
+    spill_fail(file, "truncated: " + std::to_string(file_size) +
+                         " bytes is smaller than header + checksum");
+  }
+  if (read_u64(in) != kSpillMagic) {
+    spill_fail(file, "bad header magic (not a spill file, or corrupted)");
+  }
+  // Bytes between the count prefix we are about to read and the trailing
+  // checksum; every length prefix is validated against it so a corrupt
+  // prefix cannot trigger a multi-GB allocation or a silent short read.
+  std::size_t remaining = file_size - 8 - kTrailerBytes;
+  const std::uint64_t count = read_u64(in);
+  remaining -= 8;
+  std::uint64_t checksum = checksum_fold_u64(kChecksumSeed, count);
+  if (count > remaining / 16) {
+    spill_fail(file, "record count " + std::to_string(count) +
+                         " impossible for " + std::to_string(remaining) +
+                         " payload bytes");
+  }
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto read_string = [&](const char* what) {
+      if (remaining < 8) spill_fail(file, std::string(what) + ": truncated");
+      const std::uint64_t len = read_u64(in);
+      remaining -= 8;
+      if (len > remaining) {
+        spill_fail(file, std::string(what) + " length " + std::to_string(len) +
+                             " exceeds the " + std::to_string(remaining) +
+                             " bytes left in the file");
+      }
+      std::string s(len, '\0');
+      in.read(s.data(), static_cast<std::streamsize>(len));
+      remaining -= len;
+      checksum = checksum_fold_u64(checksum, len);
+      checksum = checksum_fold(checksum, s.data(), s.size());
+      return s;
+    };
+    std::string k = read_string("record key");
+    std::string v = read_string("record value");
+    task.spill_bytes += k.size() + v.size() + 16;
+    out.emplace_back(std::move(k), std::move(v));
+  }
+  if (remaining != 0) {
+    spill_fail(file, std::to_string(remaining) +
+                         " unexpected trailing payload bytes");
+  }
+  if (read_u64(in) != checksum) {
+    spill_fail(file, "checksum mismatch (corrupted on disk)");
+  }
+  if (!in) spill_fail(file, "read failed");
+  task.records_out = out.size();
 }
 
 CachedStringRdd::StringRdd CachedStringRdd::materialize() {
@@ -61,24 +189,48 @@ CachedStringRdd::StringRdd CachedStringRdd::materialize() {
   rdd.partitions.resize(files_.size());
   rdd.partitioner_id = partitioner_id_;
   auto& stage = engine_.begin_stage(name_ + ":materialize", files_.size());
-  engine_.pool().parallel_for(files_.size(), [&](std::size_t p) {
-    std::ifstream in(files_[p], std::ios::binary);
-    if (!in) throw std::runtime_error("cannot reopen spill file " + files_[p]);
-    auto& task = stage.tasks[p];
-    const std::uint64_t count = read_u64(in);
-    rdd.partitions[p].reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-      std::string k(read_u64(in), '\0');
-      in.read(k.data(), static_cast<std::streamsize>(k.size()));
-      std::string v(read_u64(in), '\0');
-      in.read(v.data(), static_cast<std::streamsize>(v.size()));
-      task.spill_bytes += k.size() + v.size() + 16;
-      rdd.partitions[p].emplace_back(std::move(k), std::move(v));
+  std::vector<char> lost(files_.size(), 0);
+  engine_.run_stage(stage, [&](std::size_t p) {
+    try {
+      read_partition(p, rdd.partitions[p], stage.tasks[p]);
+    } catch (const SpillError&) {
+      // Lineage recovery happens below, outside the parallel phase — the
+      // producer may itself run engine stages. Without a producer the
+      // partition is unrecoverable: let the descriptive error fly.
+      if (!producer_) throw;
+      rdd.partitions[p].clear();
+      lost[p] = 1;
     }
-    if (!in) throw std::runtime_error("spill read failed: " + files_[p]);
-    task.records_out = rdd.partitions[p].size();
   });
+
+  std::size_t lost_count = 0;
+  for (char l : lost) lost_count += l != 0;
+  if (lost_count > 0) {
+    auto& recover = engine_.begin_stage(name_ + ":recover", lost_count);
+    std::size_t slot = 0;
+    for (std::size_t p = 0; p < files_.size(); ++p) {
+      if (!lost[p]) continue;
+      auto& task = recover.tasks[slot++];
+      task.partition = p;
+      task.attempts = 1;
+      rdd.partitions[p] = producer_(p);
+      detail::record_input(task, rdd.partitions[p]);
+      // Re-spill the recomputed partition so later reads are healthy (no
+      // fault re-injection: recovery writes are assumed to land).
+      files_[p] = write_partition(rdd.partitions[p], task);
+      // The failed read counts as a lost attempt of the materialize task.
+      stage.tasks[p].attempts += 1;
+      stage.tasks[p].retry_cost += stage.tasks[p].compute_cost;
+      ++recovered_;
+    }
+  }
   return rdd;
+}
+
+const CachedStringRdd::StringRdd& CachedStringRdd::borrow() {
+  if (!spilled_) return in_memory_;
+  if (!restored_) restored_ = materialize();
+  return *restored_;
 }
 
 }  // namespace drapid

@@ -31,13 +31,17 @@ std::pair<std::string, std::string> split_key_value(const std::string& line) {
 
 /// Loads a keyed CSV file from the block store as one RDD partition per
 /// block chunk (data locality granularity), stripping the header.
+/// `stage_prefix` distinguishes lineage-recomputation reloads from the
+/// original load in the recorded metrics.
 StringRdd load_keyed_file(Engine& engine, BlockStore& store,
-                          const std::string& name) {
+                          const std::string& name,
+                          const std::string& stage_prefix = {}) {
   const auto chunks = store.line_chunks(name);
   StringRdd rdd;
   rdd.partitions.resize(chunks.size());
-  auto& stage = engine.begin_stage("load:" + name, chunks.size());
-  engine.pool().parallel_for(chunks.size(), [&](std::size_t c) {
+  auto& stage =
+      engine.begin_stage(stage_prefix + "load:" + name, chunks.size());
+  engine.run_stage(stage, [&](std::size_t c) {
     auto& task = stage.tasks[c];
     task.bytes_in = chunks[c].size();
     std::istringstream in(chunks[c]);
@@ -169,6 +173,12 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
   engine.reset_metrics();
   DrapidResult result;
 
+  // Apply the engine's fault plan to the storage layer: kill the planned
+  // data nodes before any read, so block access exercises replica failover.
+  for (const int node : engine.faults().dead_nodes(store.num_nodes())) {
+    store.mark_node_dead(node);
+  }
+
   const std::size_t num_partitions = config.num_partitions != 0
                                          ? config.num_partitions
                                          : engine.config().default_partitions();
@@ -209,9 +219,30 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
 
   // The big SPE RDD is cached under the executor-memory budget; if it does
   // not fit it spills to disk here and is read back for the join — the
-  // Figure 4 one-executor mechanism.
-  CachedStringRdd cached_data(engine, std::move(data_agg), "data");
-  StringRdd data_for_join = cached_data.materialize();
+  // Figure 4 one-executor mechanism. The producer closure records the
+  // RDD's lineage: a spill partition later found corrupt or missing is
+  // recomputed by re-running the deterministic load→partition→aggregate
+  // chain (recorded under "recompute:" stages, so recovery work is priced
+  // into the makespan) and keeping only the lost partition.
+  auto recompute_data_partition =
+      [&engine, &store, data_file, join_part, upstream_part,
+       copartition = config.copartition](std::size_t p) {
+        StringRdd kvp =
+            load_keyed_file(engine, store, data_file, "recompute:");
+        if (copartition) {
+          kvp = partition_by(engine, kvp, join_part,
+                             "recompute:partition:data");
+        }
+        StringRdd agg = aggregate_lines(engine, kvp, upstream_part,
+                                        "recompute:aggregate:data");
+        return std::move(agg.partitions.at(p));
+      };
+  CachedStringRdd cached_data(engine, std::move(data_agg), "data",
+                              recompute_data_partition);
+  // Borrow, don't copy: in-memory caches hand out a const reference in
+  // O(1); spilled caches are read back (through checksum validation and,
+  // if needed, lineage recovery) exactly once.
+  const StringRdd& data_for_join = cached_data.borrow();
 
   // Stage 3c: the co-located left outer join.
   auto joined = left_outer_join(engine, cluster_side, data_for_join, join_part,
@@ -260,6 +291,8 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
       result.clusters_searched = stage.total_records_in();
     }
   }
+  result.partitions_recovered = cached_data.partitions_recovered();
+  result.replica_failovers = store.replica_failovers();
   result.metrics = engine.metrics();
   result.wall_seconds = watch.elapsed_seconds();
   return result;

@@ -47,6 +47,11 @@ struct DrapidResult {
   JobMetrics metrics;
   std::size_t clusters_searched = 0;
   std::size_t spes_scanned = 0;
+  /// Spill partitions of the cached SPE RDD recomputed from lineage after
+  /// their on-disk copy failed validation (0 in a fault-free run).
+  std::size_t partitions_recovered = 0;
+  /// Block reads served by a non-primary replica (dead-node failover).
+  std::size_t replica_failovers = 0;
   double wall_seconds = 0.0;
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <memory>
 
 namespace drapid {
 
@@ -24,11 +26,12 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  auto future = packaged.get_future();
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  auto future = packaged->get_future();
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(packaged));
+    queue_.push_back([packaged] { (*packaged)(); });
   }
   cv_.notify_one();
   return future;
@@ -37,30 +40,68 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+
+  // Join-side state shared with the chunk tasks. Chunks report completion
+  // through `remaining`; the caller both helps drain the queue and waits on
+  // `done` — never a blind blocking wait, so nesting cannot deadlock.
+  struct Join {
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr first_error;
+  };
   const std::size_t chunks = std::min(n, thread_count() * 4);
   const std::size_t chunk = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t begin = 0; begin < n; begin += chunk) {
-    const std::size_t end = std::min(begin + chunk, n);
-    futures.push_back(submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+  auto join = std::make_shared<Join>();
+  join->remaining.store((n + chunk - 1) / chunk, std::memory_order_relaxed);
+
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, n);
+      queue_.push_back([join, &fn, begin, end] {
+        try {
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard guard(join->mutex);
+          if (!join->first_error) join->first_error = std::current_exception();
+        }
+        std::lock_guard guard(join->mutex);
+        if (join->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          join->done.notify_all();
+        }
+      });
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  cv_.notify_all();
+
+  // Help: run pending tasks (ours or anyone's) while our chunks are still
+  // outstanding; once the queue is dry, sleep until the last chunk reports.
+  while (join->remaining.load(std::memory_order_acquire) != 0) {
+    if (run_one_pending()) continue;
+    std::unique_lock lock(join->mutex);
+    join->done.wait_for(lock, std::chrono::milliseconds(1), [&join] {
+      return join->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (join->first_error) std::rethrow_exception(join->first_error);
+}
+
+bool ThreadPool::run_one_pending() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });

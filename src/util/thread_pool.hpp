@@ -4,6 +4,13 @@
 // The pool mirrors the execution model the paper benchmarks against: a fixed
 // number of threads pulling independent tasks from a shared queue. parallel_for
 // provides the data-parallel "same operation over every cluster" pattern.
+//
+// parallel_for is reentrant: a task running on a pool worker may itself call
+// parallel_for on the same pool. While waiting for its chunks, the calling
+// thread *helps* — it drains pending tasks from the queue instead of
+// blocking — so nested data parallelism completes even on a 1-thread pool
+// (a blocked wait would deadlock: the worker would sleep on chunks queued
+// behind the very task it is running).
 #pragma once
 
 #include <condition_variable>
@@ -33,14 +40,17 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all done.
   /// Work is handed out in contiguous chunks to bound queue overhead; any
-  /// exception from fn is rethrown (first one wins).
+  /// exception from fn is rethrown (first one wins). Safe to call from
+  /// inside a pool task: the waiting thread runs pending tasks itself.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
+  /// Pops and runs one pending task. Returns false if the queue was empty.
+  bool run_one_pending();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -78,6 +78,26 @@ TEST(Engine, TwoEnginesUseSeparateSpillDirs) {
   EXPECT_NE(pa, pb);
 }
 
+// Regression: stages used to live in a std::vector, so a begin_stage nested
+// inside a running stage (lineage recomputation does exactly this) could
+// reallocate and invalidate the outer stage reference. Stages now live in a
+// deque; references stay valid for the engine's lifetime.
+TEST(Engine, StageReferenceSurvivesNestedStages) {
+  EngineConfig cfg;
+  cfg.worker_threads = 1;
+  Engine engine(cfg);
+  auto& outer = engine.begin_stage("outer", 2);
+  outer.tasks[0].records_in = 42;
+  // Enough nested stages to force a vector to reallocate several times.
+  for (int i = 0; i < 100; ++i) {
+    engine.begin_stage("nested" + std::to_string(i), 3);
+  }
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.tasks[0].records_in, 42u);
+  EXPECT_EQ(&outer, &engine.metrics().stages.front());
+  EXPECT_EQ(engine.metrics().stages.size(), 101u);
+}
+
 TEST(StageMetrics, TotalsSumOverTasks) {
   StageMetrics stage;
   stage.name = "t";

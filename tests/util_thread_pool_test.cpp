@@ -55,6 +55,42 @@ TEST(ThreadPool, SubmitPropagatesExceptionViaFuture) {
   EXPECT_THROW(f.get(), std::logic_error);
 }
 
+// Regression: parallel_for used to deadlock when called from inside a pool
+// task (the lone worker blocked waiting for chunks only it could run). The
+// waiting caller now helps drain the queue, so nesting completes even on a
+// one-thread pool.
+TEST(ThreadPool, NestedParallelForOnOneThreadPoolCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> inner_hits{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { inner_hits.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_hits.load(), 4 * 8);
+}
+
+TEST(ThreadPool, ParallelForInsideSubmittedTaskCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> hits{0};
+  auto f = pool.submit([&] {
+    pool.parallel_for(16, [&](std::size_t) { hits.fetch_add(1); });
+  });
+  f.get();
+  EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(2,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(4, [](std::size_t i) {
+                                     if (i == 3) {
+                                       throw std::runtime_error("inner");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
 TEST(ThreadPool, ParallelSumMatchesSerial) {
   ThreadPool pool(4);
   std::vector<long long> values(10000);

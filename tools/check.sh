@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI-style concurrency check: builds the tree with ThreadSanitizer and runs
+# the thread-pool, engine, spill, and fault-injection tests under it. These
+# are the suites that exercise the helping parallel_for join, the mutex-
+# protected stage registry, and concurrent spill I/O — the places a data
+# race would live.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+TARGETS=(
+  util_thread_pool_test
+  dataflow_engine_test
+  dataflow_spill_test
+  dataflow_fault_test
+  dataflow_rdd_test
+)
+
+cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Debug -DDRAPID_TSAN=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
+
+# halt_on_error makes a race fail the script, not just print a report.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+for test in "${TARGETS[@]}"; do
+  echo "=== $test (TSan) ==="
+  "$BUILD_DIR/tests/$test"
+done
+echo "tsan check: all clean"

@@ -3,7 +3,10 @@
 //   drapid simulate --survey gbt350|palfa --observations N --out DIR
 //       writes DIR/data.csv, DIR/clusters.csv and DIR/truth.csv
 //   drapid search --data FILE --clusters FILE --out FILE [--executors N]
-//       runs the D-RAPID job on real files and writes the ML file
+//                 [--fault-rate R] [--fault-seed S] [--max-attempts K]
+//       runs the D-RAPID job on real files and writes the ML file;
+//       --fault-rate injects task kills, spill damage, and dead data nodes
+//       at rate R and lets retry + lineage recovery absorb them
 //   drapid classify --ml FILE [--scheme 2|4*|4|7|8] [--filter IG|GR|SU|Cor|1R]
 //                   [--learner RF|J48|PART|JRip|SMO|MPN] [--smote]
 //       5-fold cross-validates a labeled ML file and reports the scores
@@ -89,7 +92,10 @@ int cmd_search(int argc, const char* const argv[]) {
                             {"catalog", ""},
                             {"survey", "gbt350"},
                             {"executors", "4"},
-                            {"threads", "2"}});
+                            {"threads", "2"},
+                            {"fault-rate", "0"},
+                            {"fault-seed", "24077"},
+                            {"max-attempts", "4"}});
   BlockStore store(15);
   store.put("data", read_file(opts.str("data")));
   store.put("clusters", read_file(opts.str("clusters")));
@@ -99,6 +105,19 @@ int cmd_search(int argc, const char* const argv[]) {
       static_cast<std::size_t>(opts.integer("executors"));
   engine_config.worker_threads =
       static_cast<std::size_t>(opts.integer("threads"));
+  engine_config.max_task_attempts =
+      static_cast<std::size_t>(opts.integer("max-attempts"));
+  // --fault-rate R injects task kills, spill-file damage, and dead data
+  // nodes at rate R (deterministic per --fault-seed); the job retries and
+  // recovers, and the summary's retries column shows the cost.
+  const double fault_rate = opts.number("fault-rate");
+  if (fault_rate > 0.0) {
+    engine_config.faults.seed =
+        static_cast<std::uint64_t>(opts.integer("fault-seed"));
+    engine_config.faults.task_failure_rate = fault_rate;
+    engine_config.faults.spill_fault_rate = fault_rate;
+    engine_config.faults.node_fault_rate = fault_rate;
+  }
   Engine engine(engine_config);
   const DmGrid grid = opts.str("survey") == "palfa" ? DmGrid::palfa()
                                                     : DmGrid::gbt350drift();
@@ -152,6 +171,13 @@ int cmd_search(int argc, const char* const argv[]) {
               << result.records.size() << " records\n";
   }
   write_file(opts.str("out"), store.get("ml"));
+  if (fault_rate > 0.0) {
+    std::cout << "faults injected at rate " << fault_rate << ": "
+              << result.metrics.total_retries() << " task retries, "
+              << result.partitions_recovered
+              << " spill partitions recomputed from lineage, "
+              << result.replica_failovers << " replica failovers\n";
+  }
   std::cout << "searched " << result.clusters_searched << " clusters ("
             << result.spes_scanned << " SPEs scanned), found "
             << result.records.size() << " single pulses in "
