@@ -6,9 +6,9 @@
 // under both policies, plus a weight sweep.
 #include <iostream>
 
+#include "obs/bench.hpp"
 #include "rapid/search.hpp"
 #include "synth/dispersion.hpp"
-#include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/text_table.hpp"
 
@@ -45,9 +45,17 @@ std::vector<SinglePulseEvent> make_cluster(std::size_t target_size, Rng& rng,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"trials", "300"}, {"seed", "7"}});
+  // The extras map overrides the shared-spec seed: this ablation's published
+  // numbers were produced with seed 7, not the suite-wide 2018.
+  obs::BenchOptions bench(
+      "bench_ablation_binsize", argc, argv, {{"trials", "300"}, {"seed", "7"}},
+      "Ablation of Equation 1's dynamic histogram bin size against the "
+      "DPG-era static bin size of 25.");
+  if (bench.help()) return 0;
+  const Options& opts = bench.opts();
   std::cout << "=== Ablation: Equation 1 dynamic bin size vs static 25 ===\n\n";
-  const auto trials = static_cast<std::size_t>(opts.integer("trials"));
+  const auto trials =
+      static_cast<std::size_t>(bench.scaled(opts.integer("trials")));
 
   const std::vector<std::size_t> cluster_sizes = {6, 10, 16, 25, 60, 200, 1000};
   std::vector<std::vector<std::string>> rows;
@@ -55,7 +63,7 @@ int main(int argc, char** argv) {
                   "dynamic pulses/cluster", "static pulses/cluster"});
 
   for (std::size_t size : cluster_sizes) {
-    Rng rng(static_cast<std::uint64_t>(opts.integer("seed")) + size);
+    Rng rng(bench.seed() + size);
     std::size_t dyn_hits = 0, static_hits = 0, dyn_pulses = 0, static_pulses = 0;
     for (std::size_t t = 0; t < trials; ++t) {
       double true_dm = 0.0;
@@ -85,9 +93,19 @@ int main(int argc, char** argv) {
          format_number(static_cast<double>(static_hits) / trials, 3),
          format_number(static_cast<double>(dyn_pulses) / trials, 2),
          format_number(static_cast<double>(static_pulses) / trials, 2)});
+    obs::Json row = obs::Json::object();
+    row.set("cluster_size", static_cast<std::int64_t>(size));
+    row.set("dynamic_recall", static_cast<double>(dyn_hits) / trials);
+    row.set("static_recall", static_cast<double>(static_hits) / trials);
+    row.set("dynamic_pulses_per_cluster",
+            static_cast<double>(dyn_pulses) / trials);
+    row.set("static_pulses_per_cluster",
+            static_cast<double>(static_pulses) / trials);
+    bench.report().add_result(std::move(row));
   }
   std::cout << render_table(rows)
             << "\n(expected: static 25 recovers ~nothing below ~25 SPEs — "
                "the Equation 1 motivation — and both recover large clusters)\n";
+  bench.finish();
   return 0;
 }

@@ -8,24 +8,30 @@
 #include <iostream>
 
 #include "dataflow/cluster_model.hpp"
+#include "dataflow/obs_bridge.hpp"
 #include "drapid/pipeline.hpp"
-#include "util/options.hpp"
+#include "obs/bench.hpp"
 #include "util/text_table.hpp"
 
 using namespace drapid;
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv,
-               {{"observations", "24"}, {"seed", "2018"}, {"executors", "10"}});
+  obs::BenchOptions bench(
+      "bench_ablation_join", argc, argv,
+      {{"observations", "24"}, {"executors", "10"}},
+      "Ablation of the two Figure 3 join optimizations: uniform "
+      "co-partitioning and pre-join key aggregation.");
+  if (bench.help()) return 0;
+  const Options& opts = bench.opts();
   std::cout << "=== Ablation: co-partitioning and key aggregation ===\n";
 
   PipelineConfig config;
   config.survey = SurveyConfig::gbt350drift();
   config.survey.obs_length_s = 30.0;
   config.num_observations =
-      static_cast<std::size_t>(opts.integer("observations"));
+      static_cast<std::size_t>(bench.scaled(opts.integer("observations")));
   config.visibility = 0.04;
-  config.seed = static_cast<std::uint64_t>(opts.integer("seed"));
+  config.seed = bench.seed();
   const PipelineData data = prepare_pipeline_data(config);
   std::cout << "test set: " << data.total_spes << " SPEs, "
             << data.clusters.size() << " clusters\n\n";
@@ -43,7 +49,8 @@ int main(int argc, char** argv) {
     for (const bool aggregate : {true, false}) {
       EngineConfig engine_config;
       engine_config.num_executors = executors;
-      engine_config.worker_threads = 2;
+      engine_config.worker_threads =
+          static_cast<std::size_t>(opts.integer("threads"));
       engine_config.partitions_per_core = 8;
       Engine engine(engine_config);
       DrapidConfig drapid_config;
@@ -71,11 +78,24 @@ int main(int argc, char** argv) {
            format_number(result.metrics.total_shuffle_bytes() / 1048576.0, 2),
            format_number(sim.total_seconds, 2),
            std::to_string(result.records.size())});
+      bench.report().add_job(
+          make_job_report("plan=" + plan, result.metrics,
+                          result.replica_failovers));
+      obs::Json row = obs::Json::object();
+      row.set("plan", plan);
+      row.set("join_shuffle_bytes", static_cast<std::int64_t>(join_shuffle));
+      row.set("join_output_bytes", static_cast<std::int64_t>(join_out));
+      row.set("total_shuffle_bytes",
+              static_cast<std::int64_t>(result.metrics.total_shuffle_bytes()));
+      row.set("modeled_seconds", sim.total_seconds);
+      row.set("pulses", static_cast<std::int64_t>(result.records.size()));
+      bench.report().add_result(std::move(row));
     }
   }
   std::cout << render_table(rows)
             << "\n(expected: the partition+aggregate plan — Figure 3 — joins "
                "with zero shuffle and the smallest join output; identical "
                "pulse counts everywhere)\n";
+  bench.finish();
   return 0;
 }

@@ -18,20 +18,22 @@
 #include <iostream>
 
 #include "dataflow/cluster_model.hpp"
+#include "dataflow/obs_bridge.hpp"
 #include "drapid/pipeline.hpp"
+#include "obs/bench.hpp"
 #include "rapid/multithreaded.hpp"
-#include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/text_table.hpp"
 
 using namespace drapid;
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"observations", "64"},
-                            {"seed", "2018"},
-                            {"threads", "2"},
-                            {"fault-rate", "0"},
-                            {"paper-bytes", "10951518822"}});  // 10.2 GB
+  obs::BenchOptions bench(
+      "bench_fig4_identification", argc, argv,
+      {{"observations", "64"}, {"paper-bytes", "10951518822"}},  // 10.2 GB
+      "Figure 4: D-RAPID vs multithreaded RAPID elapsed-time model.");
+  if (bench.help()) return 0;
+  const Options& opts = bench.opts();
   std::cout << "=== Figure 4: D-RAPID vs multithreaded RAPID ===\n";
 
   // Stage 1-2: synthetic PALFA subset.
@@ -41,7 +43,7 @@ int main(int argc, char** argv) {
   config.survey = SurveyConfig::palfa();
   config.survey.obs_length_s = 30.0;
   config.num_observations =
-      static_cast<std::size_t>(opts.integer("observations"));
+      static_cast<std::size_t>(bench.scaled(opts.integer("observations")));
   config.visibility = 0.015;
   config.seed = static_cast<std::uint64_t>(opts.integer("seed"));
   const PipelineData data = prepare_pipeline_data(config);
@@ -143,6 +145,19 @@ int main(int argc, char** argv) {
         task_costs, paper_bytes, paper_bytes,
         ClusterSpec::paper_workstation(), executors /* thread count */);
     rapid_series.values.push_back(ws_sim.total_seconds);
+
+    bench.report().add_job(make_job_report(
+        "executors=" + std::to_string(executors), result.metrics,
+        result.replica_failovers));
+    obs::Json row = obs::Json::object();
+    row.set("executors", static_cast<std::int64_t>(executors));
+    row.set("drapid_modeled_seconds", cluster_sim.total_seconds);
+    row.set("rapid_mt_modeled_seconds", ws_sim.total_seconds);
+    row.set("spill_bytes",
+            static_cast<std::int64_t>(result.metrics.total_spill_bytes()));
+    row.set("wall_seconds", result.wall_seconds);
+    row.set("records", static_cast<std::int64_t>(result.records.size()));
+    bench.report().add_result(std::move(row));
   }
 
   std::vector<std::string> x_labels;
@@ -172,7 +187,7 @@ int main(int argc, char** argv) {
   // rate (a fault at rate r is also injected at every r' > r), so the
   // modeled makespan must grow with the rate while the output stays
   // byte-identical — recovery is overhead, never data loss.
-  const double fault_rate = opts.number("fault-rate");
+  const double fault_rate = bench.fault_rate();
   if (fault_rate > 0.0) {
     std::cout << "\n=== Recovery overhead under faults (1 executor) ===\n";
     const std::vector<double> rates = {0.0, fault_rate / 4, fault_rate / 2,
@@ -212,6 +227,9 @@ int main(int argc, char** argv) {
       } else if (output != baseline_output) {
         identical = false;
       }
+      bench.report().add_job(make_job_report(
+          "fault_rate=" + format_number(rate, 4), result.metrics,
+          result.replica_failovers));
       const auto sim = simulate_cluster(scale_metrics(result.metrics, scale),
                                         ClusterSpec::paper_beowulf(1));
       if (rate == 0.0) baseline_s = sim.total_seconds;
@@ -232,6 +250,13 @@ int main(int argc, char** argv) {
               << (identical ? "yes" : "NO — RECOVERY IS BROKEN") << '\n'
               << "makespan strictly increasing with fault rate: "
               << (monotone ? "yes" : "NO") << '\n';
+    bench.report().add_metric("fault_output_identical", identical);
+    bench.report().add_metric("fault_makespan_monotone", monotone);
   }
+  bench.report().add_metric("mt_pulses_found",
+                            static_cast<std::int64_t>(mt_stats.pulses_found));
+  bench.report().add_metric("drapid_pulses_found",
+                            static_cast<std::int64_t>(drapid_pulses));
+  bench.finish();
   return 0;
 }

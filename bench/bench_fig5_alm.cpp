@@ -14,7 +14,7 @@
 #include <map>
 
 #include "exp/trial_runner.hpp"
-#include "util/options.hpp"
+#include "obs/bench.hpp"
 #include "util/text_table.hpp"
 
 using namespace drapid;
@@ -40,15 +40,19 @@ std::vector<LabeledPulse> build(const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"positives", "250"},
-                            {"negatives", "1500"},
-                            {"seed", "2018"},
-                            {"smote", "false"}});
+  obs::BenchOptions bench(
+      "bench_fig5_alm", argc, argv,
+      {{"positives", "250"}, {"negatives", "1500"}, {"smote", "false"}},
+      "Figure 5: recall/F-measure/training-time of learners x ALM schemes.");
+  if (bench.help()) return 0;
+  const Options& opts = bench.opts();
   std::cout << "=== Figure 5: ALM schemes x learners ===\n";
 
-  const auto seed = static_cast<std::uint64_t>(opts.integer("seed"));
-  const auto positives = static_cast<std::size_t>(opts.integer("positives"));
-  const auto negatives = static_cast<std::size_t>(opts.integer("negatives"));
+  const auto seed = static_cast<std::uint64_t>(bench.seed());
+  const auto positives =
+      static_cast<std::size_t>(bench.scaled(opts.integer("positives")));
+  const auto negatives =
+      static_cast<std::size_t>(bench.scaled(opts.integer("negatives")));
   std::map<std::string, std::vector<LabeledPulse>> datasets;
   datasets["GBT350Drift"] = build("GBT350Drift", SurveyConfig::gbt350drift(),
                                   positives, negatives, seed);
@@ -69,6 +73,13 @@ int main(int argc, char** argv) {
         spec.smote = opts.flag("smote");
         spec.seed = seed;
         const TrialResult r = run_trial(pulses, spec);
+        obs::Json row = obs::Json::object();
+        row.set("dataset", dataset_name);
+        row.set("trial", spec.describe());
+        row.set("recall", r.recall);
+        row.set("f_measure", r.f_measure);
+        row.set("train_seconds", r.train_seconds);
+        bench.report().add_result(std::move(row));
         recall_rows.push_back(
             {ml::learner_name(learner), summarize(r.fold_recalls)});
         f_rows.push_back(
@@ -87,5 +98,6 @@ int main(int argc, char** argv) {
   std::cout << "\n(paper: scheme 4* poorest; ALM schemes within ~2% of "
                "binary Recall/F for most learners; RF best overall; J48/PART "
                "fastest; SMO training inflates with class count)\n";
+  bench.finish();
   return 0;
 }

@@ -10,18 +10,20 @@
 #include <optional>
 
 #include "exp/trial_runner.hpp"
-#include "util/options.hpp"
+#include "obs/bench.hpp"
 #include "util/text_table.hpp"
 
 using namespace drapid;
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"positives", "250"},
-                            {"negatives", "1500"},
-                            {"seed", "2018"},
-                            {"both-datasets", "true"}});
+  obs::BenchOptions bench(
+      "bench_fig6_fs", argc, argv,
+      {{"positives", "250"}, {"negatives", "1500"}, {"both-datasets", "true"}},
+      "Figure 6: feature-selection filters x RF/MPN training time.");
+  if (bench.help()) return 0;
+  const Options& opts = bench.opts();
   std::cout << "=== Figure 6: feature selection x training time ===\n";
-  const auto seed = static_cast<std::uint64_t>(opts.integer("seed"));
+  const auto seed = static_cast<std::uint64_t>(bench.seed());
 
   std::map<std::string, std::vector<LabeledPulse>> datasets;
   const auto build = [&](const std::string& name, SurveyConfig survey,
@@ -29,8 +31,10 @@ int main(int argc, char** argv) {
     BenchmarkConfig cfg;
     cfg.survey = std::move(survey);
     cfg.survey.obs_length_s = 70.0;
-    cfg.target_positives = static_cast<std::size_t>(opts.integer("positives"));
-    cfg.target_negatives = static_cast<std::size_t>(opts.integer("negatives"));
+    cfg.target_positives =
+        static_cast<std::size_t>(bench.scaled(opts.integer("positives")));
+    cfg.target_negatives =
+        static_cast<std::size_t>(bench.scaled(opts.integer("negatives")));
     cfg.visibility = 0.10;
     cfg.seed = s;
     std::cerr << "building " << name << " benchmark...\n";
@@ -70,6 +74,13 @@ int main(int argc, char** argv) {
           spec.filter = filter;
           spec.seed = seed;
           const TrialResult r = run_trial(pulses, spec);
+          obs::Json row = obs::Json::object();
+          row.set("dataset", dataset_name);
+          row.set("trial", spec.describe());
+          row.set("recall", r.recall);
+          row.set("f_measure", r.f_measure);
+          row.set("train_seconds", r.train_seconds);
+          bench.report().add_result(std::move(row));
           const std::string label =
               filter ? ml::filter_abbreviation(*filter) : "None";
           time_rows.push_back({label, summarize(r.fold_train_seconds)});
@@ -99,5 +110,6 @@ int main(int argc, char** argv) {
   std::cout << "\n(paper: all filters cut MPN times — IG binary MPN ~64% "
                "faster; IG consistently fastest for multiclass RF; "
                "classification performance unaffected by IG/GR/SU)\n";
+  bench.finish();
   return 0;
 }

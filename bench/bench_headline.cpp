@@ -9,23 +9,29 @@
 #include <iostream>
 
 #include "exp/trial_runner.hpp"
-#include "util/options.hpp"
+#include "obs/bench.hpp"
 #include "util/text_table.hpp"
 
 using namespace drapid;
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv,
-               {{"positives", "250"}, {"negatives", "1500"}, {"seed", "2018"}});
+  obs::BenchOptions bench(
+      "bench_headline", argc, argv,
+      {{"positives", "250"}, {"negatives", "1500"}},
+      "Headline classification numbers, paper vs measured.");
+  if (bench.help()) return 0;
+  const Options& opts = bench.opts();
   std::cout << "=== Headline classification numbers (paper vs measured) ===\n";
 
   BenchmarkConfig cfg;
   cfg.survey = SurveyConfig::gbt350drift();
   cfg.survey.obs_length_s = 70.0;
-  cfg.target_positives = static_cast<std::size_t>(opts.integer("positives"));
-  cfg.target_negatives = static_cast<std::size_t>(opts.integer("negatives"));
+  cfg.target_positives =
+      static_cast<std::size_t>(bench.scaled(opts.integer("positives")));
+  cfg.target_negatives =
+      static_cast<std::size_t>(bench.scaled(opts.integer("negatives")));
   cfg.visibility = 0.10;
-  cfg.seed = static_cast<std::uint64_t>(opts.integer("seed"));
+  cfg.seed = static_cast<std::uint64_t>(bench.seed());
   std::cerr << "building benchmark...\n";
   const auto pulses = build_benchmark_pulses(cfg);
 
@@ -36,8 +42,15 @@ int main(int argc, char** argv) {
     spec.scheme = scheme;
     spec.filter = filter;
     spec.learner = learner;
-    spec.seed = static_cast<std::uint64_t>(opts.integer("seed"));
-    return run_trial(pulses, spec);
+    spec.seed = static_cast<std::uint64_t>(bench.seed());
+    TrialResult r = run_trial(pulses, spec);
+    obs::Json row = obs::Json::object();
+    row.set("trial", spec.describe());
+    row.set("recall", r.recall);
+    row.set("f_measure", r.f_measure);
+    row.set("train_seconds", r.train_seconds);
+    bench.report().add_result(std::move(row));
+    return r;
   };
 
   const auto rf_binary =
@@ -84,5 +97,6 @@ int main(int argc, char** argv) {
   std::cout << "\nSee EXPERIMENTS.md for the discussion of which deltas "
                "reproduce mechanically and which depended on the original "
                "Weka setup.\n";
+  bench.finish();
   return 0;
 }

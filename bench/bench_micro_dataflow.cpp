@@ -3,6 +3,8 @@
 // spill round trip.
 #include <benchmark/benchmark.h>
 
+#include "micro_support.hpp"
+
 #include "dataflow/rdd.hpp"
 #include "dataflow/spill.hpp"
 #include "util/rng.hpp"
@@ -158,4 +160,5 @@ BENCHMARK(BM_StableHash);
 }  // namespace
 }  // namespace drapid
 
-BENCHMARK_MAIN();
+DRAPID_MICRO_MAIN("bench_micro_dataflow",
+                  "Micro-benchmarks for the dataflow engine primitives: partition, aggregate, join, spill round-trips.")

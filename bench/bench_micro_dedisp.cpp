@@ -2,6 +2,8 @@
 // detection, FFT and folding.
 #include <benchmark/benchmark.h>
 
+#include "micro_support.hpp"
+
 #include "dedisp/periodicity.hpp"
 #include "dedisp/single_pulse_search.hpp"
 #include "util/rng.hpp"
@@ -96,4 +98,5 @@ BENCHMARK(BM_Fold);
 }  // namespace
 }  // namespace drapid
 
-BENCHMARK_MAIN();
+DRAPID_MICRO_MAIN("bench_micro_dedisp",
+                  "Micro-benchmarks for the dedispersion layer: single-pulse search and periodicity folding.")

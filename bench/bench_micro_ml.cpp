@@ -2,6 +2,8 @@
 // cost, the Table 4 filters, and SMOTE.
 #include <benchmark/benchmark.h>
 
+#include "micro_support.hpp"
+
 #include "ml/classifier.hpp"
 #include "ml/feature_selection.hpp"
 #include "ml/smote.hpp"
@@ -91,4 +93,5 @@ BENCHMARK(BM_Smote);
 }  // namespace ml
 }  // namespace drapid
 
-BENCHMARK_MAIN();
+DRAPID_MICRO_MAIN("bench_micro_ml",
+                  "Micro-benchmarks for the ML layer: classifier training, feature-selection filters, SMOTE.")

@@ -3,6 +3,8 @@
 // customized DBSCAN.
 #include <benchmark/benchmark.h>
 
+#include "micro_support.hpp"
+
 #include "clustering/dbscan.hpp"
 #include "rapid/features.hpp"
 #include "rapid/search.hpp"
@@ -125,4 +127,5 @@ BENCHMARK(BM_SnrDegradation);
 }  // namespace
 }  // namespace drapid
 
-BENCHMARK_MAIN();
+DRAPID_MICRO_MAIN("bench_micro_rapid",
+                  "Micro-benchmarks for the RAPID single-pulse search path: DBSCAN, peak search, feature extraction.")

@@ -12,23 +12,29 @@
 #include <numeric>
 
 #include "exp/trial_runner.hpp"
-#include "util/options.hpp"
+#include "obs/bench.hpp"
 #include "util/text_table.hpp"
 
 using namespace drapid;
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv,
-               {{"positives", "250"}, {"negatives", "1500"}, {"seed", "2018"}});
+  obs::BenchOptions bench(
+      "bench_rq4_rare_events", argc, argv,
+      {{"positives", "250"}, {"negatives", "1500"}},
+      "RQ4: rare-event classification, binary vs ALM schemes.");
+  if (bench.help()) return 0;
+  const Options& opts = bench.opts();
   std::cout << "=== RQ4: rare-event classification, binary vs ALM ===\n";
 
   BenchmarkConfig cfg;
   cfg.survey = SurveyConfig::gbt350drift();
   cfg.survey.obs_length_s = 70.0;
-  cfg.target_positives = static_cast<std::size_t>(opts.integer("positives"));
-  cfg.target_negatives = static_cast<std::size_t>(opts.integer("negatives"));
+  cfg.target_positives =
+      static_cast<std::size_t>(bench.scaled(opts.integer("positives")));
+  cfg.target_negatives =
+      static_cast<std::size_t>(bench.scaled(opts.integer("negatives")));
   cfg.visibility = 0.10;
-  cfg.seed = static_cast<std::uint64_t>(opts.integer("seed"));
+  cfg.seed = static_cast<std::uint64_t>(bench.seed());
   std::cerr << "building benchmark...\n";
   const auto pulses = build_benchmark_pulses(cfg);
 
@@ -47,7 +53,7 @@ int main(int argc, char** argv) {
         spec.scheme = scheme;
         spec.learner = learner;
         spec.smote = smote;
-        spec.seed = static_cast<std::uint64_t>(opts.integer("seed"));
+        spec.seed = static_cast<std::uint64_t>(bench.seed());
         TrialResult r = run_trial(pulses, spec);
         if (labels.empty()) {
           labels.reserve(r.cv_labels.size());
@@ -130,5 +136,10 @@ int main(int argc, char** argv) {
             << format_number(b_n > 0 ? binary20 / b_n * 100 : 0, 1)
             << "% vs ALM " << format_number(a_n > 0 ? alm20 / a_n * 100 : 0, 1)
             << "% correct\n";
+  obs::Json row = obs::Json::object();
+  row.set("top20_binary_correct_rate", b_n > 0 ? binary20 / b_n : 0.0);
+  row.set("top20_alm_correct_rate", a_n > 0 ? alm20 / a_n : 0.0);
+  bench.report().add_result(std::move(row));
+  bench.finish();
   return 0;
 }

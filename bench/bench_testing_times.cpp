@@ -11,25 +11,30 @@
 #include <iostream>
 
 #include "exp/trial_runner.hpp"
-#include "util/options.hpp"
+#include "obs/bench.hpp"
 #include "util/stopwatch.hpp"
 #include "util/text_table.hpp"
 
 using namespace drapid;
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv,
-               {{"positives", "250"}, {"negatives", "1500"}, {"seed", "2018"},
-                {"repeats", "5"}});
+  obs::BenchOptions bench(
+      "bench_testing_times", argc, argv,
+      {{"positives", "250"}, {"negatives", "1500"}, {"repeats", "5"}},
+      "Per-instance prediction latency per learner x ALM scheme.");
+  if (bench.help()) return 0;
+  const Options& opts = bench.opts();
   std::cout << "=== Testing times (the paper's deferred evaluation) ===\n";
 
   BenchmarkConfig cfg;
   cfg.survey = SurveyConfig::gbt350drift();
   cfg.survey.obs_length_s = 70.0;
-  cfg.target_positives = static_cast<std::size_t>(opts.integer("positives"));
-  cfg.target_negatives = static_cast<std::size_t>(opts.integer("negatives"));
+  cfg.target_positives =
+      static_cast<std::size_t>(bench.scaled(opts.integer("positives")));
+  cfg.target_negatives =
+      static_cast<std::size_t>(bench.scaled(opts.integer("negatives")));
   cfg.visibility = 0.10;
-  cfg.seed = static_cast<std::uint64_t>(opts.integer("seed"));
+  cfg.seed = static_cast<std::uint64_t>(bench.seed());
   std::cerr << "building benchmark...\n";
   const auto pulses = build_benchmark_pulses(cfg);
   const auto repeats = static_cast<std::size_t>(opts.integer("repeats"));
@@ -60,6 +65,12 @@ int main(int argc, char** argv) {
       const double us_per =
           predictions > 0 ? test_s * 1e6 / static_cast<double>(predictions)
                           : 0.0;
+      obs::Json result_row = obs::Json::object();
+      result_row.set("learner", ml::learner_name(learner));
+      result_row.set("scheme", ml::alm_scheme_name(scheme));
+      result_row.set("train_seconds", train_s);
+      result_row.set("test_us_per_instance", us_per);
+      bench.report().add_result(std::move(result_row));
       rows.push_back({ml::learner_name(learner), ml::alm_scheme_name(scheme),
                       format_number(train_s),
                       format_number(us_per, 2),
@@ -70,5 +81,6 @@ int main(int argc, char** argv) {
             << "\n(expected: trees/rules predict in well under a µs; SMO "
                "grows with one-vs-one machine count under ALM; MPN with its "
                "dense layers is the slowest per instance)\n";
+  bench.finish();
   return 0;
 }

@@ -1,0 +1,99 @@
+// Shared main() for the google-benchmark micro suites.
+//
+// The micro benches speak two flag dialects: google-benchmark's own
+// --benchmark_* flags (filter, repetitions, ...) and the suite-wide drapid
+// set from obs::BenchOptions (--seed, --json-out, --trace-out, ...).
+// DRAPID_MICRO_MAIN splits argv between the two parsers, runs the registered
+// benchmarks through a reporter that mirrors every measurement into the run
+// report, and exports the report/trace artifacts on exit — so a micro bench
+// replaces BENCHMARK_MAIN() with one macro line and gains the same
+// observability surface as the table/figure benches.
+#pragma once
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/bench.hpp"
+
+namespace drapid {
+namespace micro {
+
+/// Console reporter that additionally records each finished run — iteration
+/// runs and aggregates alike — as a result row in the bench's RunReport.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(obs::RunReport& report)
+      : ConsoleReporter(::isatty(::fileno(stdout)) ? OO_ColorTabular
+                                                   : OO_Tabular),
+        report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      obs::Json row = obs::Json::object();
+      row.set("benchmark", run.benchmark_name());
+      row.set("iterations", static_cast<std::int64_t>(run.iterations));
+      row.set("real_time", run.GetAdjustedRealTime());
+      row.set("cpu_time", run.GetAdjustedCPUTime());
+      row.set("time_unit",
+              std::string(benchmark::GetTimeUnitString(run.time_unit)));
+      report_.add_result(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::RunReport& report_;
+};
+
+/// Runs the registered benchmarks with argv split between google-benchmark
+/// (--benchmark_* flags) and BenchOptions (everything else).
+inline int run_micro_main(const std::string& tool, int argc, char** argv,
+                          const std::string& summary) {
+  std::vector<char*> gbench_argv = {argv[0]};
+  std::vector<const char*> drapid_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--benchmark_", 0) == 0) {
+      gbench_argv.push_back(argv[i]);
+    } else {
+      drapid_argv.push_back(argv[i]);
+    }
+  }
+
+  obs::BenchOptions bench(tool, static_cast<int>(drapid_argv.size()),
+                          drapid_argv.data(), {},
+                          summary + "\ngoogle-benchmark --benchmark_* flags "
+                                    "pass through unchanged.");
+  if (bench.help()) return 0;
+
+  int gbench_argc = static_cast<int>(gbench_argv.size());
+  benchmark::Initialize(&gbench_argc, gbench_argv.data());
+  if (gbench_argc > 1) {
+    // Initialize() leaves unrecognized flags behind; with the argv split
+    // above, anything left is a typo in a --benchmark_* flag.
+    benchmark::ReportUnrecognizedArguments(gbench_argc, gbench_argv.data());
+    return 1;
+  }
+
+  CaptureReporter reporter(bench.report());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  bench.finish();
+  return 0;
+}
+
+}  // namespace micro
+}  // namespace drapid
+
+/// Drop-in replacement for BENCHMARK_MAIN(): same registered-benchmark run,
+/// plus the shared drapid bench flag set and report/trace export.
+#define DRAPID_MICRO_MAIN(tool, summary)                              \
+  int main(int argc, char** argv) {                                   \
+    return drapid::micro::run_micro_main(tool, argc, argv, summary);  \
+  }

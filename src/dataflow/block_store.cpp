@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "dataflow/rdd.hpp"  // stable_hash
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace drapid {
 
@@ -60,7 +62,18 @@ int BlockStore::live_replica_or_throw(const std::string& name,
   for (std::size_t r = 0; r < block.replicas.size(); ++r) {
     const int node = block.replicas[r];
     if (dead_nodes_.count(node)) continue;
-    if (r > 0) failovers_.fetch_add(1);
+    if (r > 0) {
+      failovers_.fetch_add(1);
+      obs::global_counters().add("block_store.replica_failovers");
+      if (obs::global_tracer().enabled()) {
+        obs::Json args = obs::Json::object();
+        args.set("file", name);
+        args.set("block", static_cast<std::int64_t>(block_index));
+        args.set("replica", static_cast<std::int64_t>(r));
+        obs::global_tracer().instant("block_store.failover", std::move(args),
+                                     "fault");
+      }
+    }
     return node;
   }
   std::string dead;

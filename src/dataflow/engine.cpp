@@ -86,7 +86,13 @@ std::string JobMetrics::summary() const {
 Engine::Engine(EngineConfig config)
     : config_(config),
       pool_(config.worker_threads == 0 ? 1 : config.worker_threads),
-      faults_(config.faults) {
+      faults_(config.faults),
+      tracer_(config.tracer ? *config.tracer : obs::global_tracer()),
+      stages_counter_(obs::global_counters().counter("engine.stages")),
+      tasks_counter_(obs::global_counters().counter("engine.tasks")),
+      retries_counter_(obs::global_counters().counter("engine.task_retries")),
+      failures_counter_(
+          obs::global_counters().counter("engine.task_failures")) {
   namespace fs = std::filesystem;
   fs::path dir = config_.spill_dir.empty()
                      ? fs::temp_directory_path() / "drapid_spill"
@@ -110,20 +116,37 @@ StageMetrics& Engine::begin_stage(const std::string& name, std::size_t tasks) {
   stage.tasks.resize(tasks);
   for (std::size_t i = 0; i < tasks; ++i) stage.tasks[i].partition = i;
   std::lock_guard lock(stages_mutex_);
+  stages_counter_.add();
   metrics_.stages.push_back(std::move(stage));
   return metrics_.stages.back();
 }
 
 void Engine::run_stage(StageMetrics& stage,
-                       const std::function<void(std::size_t)>& body) {
+                       const std::function<void(TaskContext&)>& body) {
   const std::size_t max_attempts =
       std::max<std::size_t>(1, config_.max_task_attempts);
+  obs::ScopedSpan stage_span(tracer_, "stage", stage.name, "dataflow");
+  stage_span.arg("tasks", static_cast<std::int64_t>(stage.tasks.size()));
   pool_.parallel_for(stage.tasks.size(), [&](std::size_t p) {
     auto& task = stage.tasks[p];
+    obs::ScopedSpan task_span(tracer_, "task", stage.name, "dataflow");
+    task_span.arg("partition", static_cast<std::int64_t>(p));
+    TaskContext ctx(stage.name, p, task, task_span);
     for (std::size_t attempt = 0;; ++attempt) {
+      ctx.attempt_ = attempt;
       task.attempts = attempt + 1;
       if (faults_.fail_task(stage.name, p, attempt)) {
+        retries_counter_.add();
+        if (tracer_.enabled()) {
+          obs::Json args = obs::Json::object();
+          args.set("stage", stage.name);
+          args.set("partition", static_cast<std::int64_t>(p));
+          args.set("attempt", static_cast<std::int64_t>(attempt));
+          tracer_.instant("task.retry", std::move(args), "fault");
+        }
         if (attempt + 1 >= max_attempts) {
+          failures_counter_.add();
+          task_span.arg("failed", true);
           throw TaskFailure("task failed permanently after " +
                             std::to_string(attempt + 1) +
                             " attempts: stage=" + stage.name +
@@ -131,11 +154,13 @@ void Engine::run_stage(StageMetrics& stage,
         }
         continue;  // the reattempt backoff is modeled, not slept
       }
-      body(p);
+      body(ctx);
+      tasks_counter_.add();
       if (attempt > 0) {
         // Each failed attempt is modeled as dying just before completion:
         // one full attempt's compute is wasted per failure.
         task.retry_cost += attempt * task.compute_cost;
+        task_span.arg("attempts", static_cast<std::int64_t>(task.attempts));
       }
       return;
     }

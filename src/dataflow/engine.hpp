@@ -22,6 +22,8 @@
 
 #include "dataflow/fault.hpp"
 #include "dataflow/metrics.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace drapid {
@@ -46,6 +48,10 @@ struct EngineConfig {
   std::size_t max_task_attempts = 4;
   /// Faults to inject into this engine's runs (none by default).
   FaultPlan faults;
+  /// Tracer the engine records stage/task spans and fault instants into;
+  /// nullptr selects obs::global_tracer(). Spans cost nothing while the
+  /// tracer is disabled (the default until a bench passes --trace-out).
+  obs::Tracer* tracer = nullptr;
 
   std::size_t total_cores() const { return num_executors * cores_per_executor; }
   std::size_t total_memory_bytes() const {
@@ -54,6 +60,45 @@ struct EngineConfig {
   std::size_t default_partitions() const {
     return total_cores() * partitions_per_core;
   }
+};
+
+/// Per-task view handed to every run_stage body. Bundles what the old
+/// `std::size_t partition` parameter made callers fish out of shared state:
+/// the partition index, the task's metrics slot, the current attempt (the
+/// fault-injection site), and the task's trace span for custom annotations.
+class TaskContext {
+ public:
+  std::size_t partition() const { return partition_; }
+  /// 0-based attempt currently executing; > 0 only after injected failures
+  /// killed earlier attempts of this task.
+  std::size_t attempt() const { return attempt_; }
+  const std::string& stage_name() const { return stage_name_; }
+
+  /// This task's metrics slot (same object as stage.tasks[partition()]).
+  TaskMetrics& metrics() { return metrics_; }
+  const TaskMetrics& metrics() const { return metrics_; }
+
+  /// The task's trace span; inactive (all methods no-ops) when tracing is
+  /// off. Bodies may attach args reported with the span's close event.
+  obs::ScopedSpan& span() { return span_; }
+
+  TaskContext(const TaskContext&) = delete;
+  TaskContext& operator=(const TaskContext&) = delete;
+
+ private:
+  friend class Engine;
+  TaskContext(const std::string& stage_name, std::size_t partition,
+              TaskMetrics& metrics, obs::ScopedSpan& span)
+      : stage_name_(stage_name),
+        partition_(partition),
+        metrics_(metrics),
+        span_(span) {}
+
+  const std::string& stage_name_;
+  std::size_t partition_;
+  std::size_t attempt_ = 0;
+  TaskMetrics& metrics_;
+  obs::ScopedSpan& span_;
 };
 
 class Engine {
@@ -79,14 +124,19 @@ class Engine {
   /// running one — never invalidate it.
   StageMetrics& begin_stage(const std::string& name, std::size_t tasks);
 
-  /// Runs body(p) for every task slot of `stage` on the worker pool, giving
-  /// each task up to config().max_task_attempts attempts. Injected failures
-  /// kill an attempt *at launch* (so a body observes either a complete
-  /// prior run or none; bodies need not be idempotent mid-flight) and are
-  /// retried with the wasted work recorded in attempts/retry_cost; genuine
-  /// exceptions from the body propagate immediately, first one wins.
+  /// Runs body(ctx) for every task slot of `stage` on the worker pool,
+  /// giving each task up to config().max_task_attempts attempts. Injected
+  /// failures kill an attempt *at launch* (so a body observes either a
+  /// complete prior run or none; bodies need not be idempotent mid-flight)
+  /// and are retried with the wasted work recorded in attempts/retry_cost;
+  /// genuine exceptions from the body propagate immediately, first one
+  /// wins. The whole stage runs under a "stage" trace span and each task
+  /// under a nested "task" span; retries emit "task.retry" instants.
   void run_stage(StageMetrics& stage,
-                 const std::function<void(std::size_t)>& body);
+                 const std::function<void(TaskContext&)>& body);
+
+  /// The tracer this engine records into (config().tracer or the global).
+  obs::Tracer& tracer() { return tracer_; }
 
   /// Unique path for one spill file; files live until the engine dies.
   std::string next_spill_path();
@@ -99,6 +149,12 @@ class Engine {
   std::mutex stages_mutex_;
   std::string spill_dir_;
   std::atomic<std::size_t> spill_counter_{0};
+  obs::Tracer& tracer_;
+  // Registry lookups happen once here; task loops pay one relaxed add.
+  obs::CounterRegistry::Counter& stages_counter_;
+  obs::CounterRegistry::Counter& tasks_counter_;
+  obs::CounterRegistry::Counter& retries_counter_;
+  obs::CounterRegistry::Counter& failures_counter_;
 };
 
 }  // namespace drapid

@@ -1,0 +1,25 @@
+// JobMetrics -> obs::JobReport conversion.
+//
+// Lives on the dataflow side (in its own small library, drapid_dataflow_obs)
+// so the obs layer stays free of dataflow types: obs defines the report
+// schema, this bridge populates it from an engine run. Fault events are
+// derived from the metrics themselves — tasks with attempts > 1 become
+// "retry" events and ":recover" stages become "recover" events — so a
+// report reconstructed from any JobMetrics tells the same fault story the
+// engine counters do.
+#pragma once
+
+#include <string>
+
+#include "dataflow/metrics.hpp"
+#include "obs/report.hpp"
+
+namespace drapid {
+
+/// Converts one engine job's metrics into report form. `replica_failovers`
+/// (from BlockStore::replica_failovers()) is appended as a "failover" event
+/// when non-zero; it is tracked outside JobMetrics.
+obs::JobReport make_job_report(std::string label, const JobMetrics& metrics,
+                               std::size_t replica_failovers = 0);
+
+}  // namespace drapid

@@ -197,8 +197,9 @@ auto map_pairs(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
   out.partitions.resize(in.num_partitions());
   out.partitioner_id = preserves_partitioning ? in.partitioner_id : 0;
   auto& stage = engine.begin_stage(name, in.num_partitions());
-  engine.run_stage(stage, [&](std::size_t p) {
-    auto& task = stage.tasks[p];
+  engine.run_stage(stage, [&](TaskContext& ctx) {
+    const std::size_t p = ctx.partition();
+    auto& task = ctx.metrics();
     detail::record_input(task, in.partitions[p]);
     out.partitions[p].reserve(in.partitions[p].size());
     for (const auto& kv : in.partitions[p]) out.partitions[p].push_back(fn(kv));
@@ -216,8 +217,9 @@ auto map_values(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
   out.partitions.resize(in.num_partitions());
   out.partitioner_id = in.partitioner_id;
   auto& stage = engine.begin_stage(name, in.num_partitions());
-  engine.run_stage(stage, [&](std::size_t p) {
-    auto& task = stage.tasks[p];
+  engine.run_stage(stage, [&](TaskContext& ctx) {
+    const std::size_t p = ctx.partition();
+    auto& task = ctx.metrics();
     detail::record_input(task, in.partitions[p]);
     out.partitions[p].reserve(in.partitions[p].size());
     for (const auto& kv : in.partitions[p]) {
@@ -236,8 +238,9 @@ Rdd<K, V> filter_pairs(Engine& engine, const Rdd<K, V>& in, Pred&& pred,
   out.partitions.resize(in.num_partitions());
   out.partitioner_id = in.partitioner_id;
   auto& stage = engine.begin_stage(name, in.num_partitions());
-  engine.run_stage(stage, [&](std::size_t p) {
-    auto& task = stage.tasks[p];
+  engine.run_stage(stage, [&](TaskContext& ctx) {
+    const std::size_t p = ctx.partition();
+    auto& task = ctx.metrics();
     detail::record_input(task, in.partitions[p]);
     for (const auto& kv : in.partitions[p]) {
       if (pred(kv)) out.partitions[p].push_back(kv);
@@ -258,8 +261,9 @@ auto flat_map_metered(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
   Rdd<typename OutPair::first_type, typename OutPair::second_type> out;
   out.partitions.resize(in.num_partitions());
   auto& stage = engine.begin_stage(name, in.num_partitions());
-  engine.run_stage(stage, [&](std::size_t p) {
-    auto& task = stage.tasks[p];
+  engine.run_stage(stage, [&](TaskContext& ctx) {
+    const std::size_t p = ctx.partition();
+    auto& task = ctx.metrics();
     detail::record_input(task, in.partitions[p]);
     task.compute_cost = 0;  // reported by fn instead of records_in
     for (const auto& kv : in.partitions[p]) {
@@ -292,9 +296,10 @@ Rdd<K, V> partition_by(Engine& engine, const Rdd<K, V>& in,
 
   std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(sources);
   auto& stage = engine.begin_stage(name, sources);
-  engine.run_stage(stage, [&](std::size_t p) {
+  engine.run_stage(stage, [&](TaskContext& ctx) {
+    const std::size_t p = ctx.partition();
     if (p >= in.num_partitions()) return;  // sources is clamped to >= 1
-    auto& task = stage.tasks[p];
+    auto& task = ctx.metrics();
     detail::record_input(task, in.partitions[p]);
     // Bucketing is a hash + pointer move per record — far cheaper than a
     // parse or search step; the bytes cost is paid at the network term.
@@ -336,8 +341,9 @@ Rdd<K, Agg> aggregate_by_key(Engine& engine, const Rdd<K, V>& in,
   combined.partitions.resize(in.num_partitions());
   combined.partitioner_id = in.partitioner_id;
   auto& stage = engine.begin_stage(name + ":combine", in.num_partitions());
-  engine.run_stage(stage, [&](std::size_t p) {
-    auto& task = stage.tasks[p];
+  engine.run_stage(stage, [&](TaskContext& ctx) {
+    const std::size_t p = ctx.partition();
+    auto& task = ctx.metrics();
     detail::record_input(task, in.partitions[p]);
     task.compute_cost = task.records_in / 4;  // hash-fold per record
     std::unordered_map<K, Agg> local;
@@ -366,8 +372,9 @@ Rdd<K, Agg> aggregate_by_key(Engine& engine, const Rdd<K, V>& in,
   out.partitioner_id = partitioner.id();
   auto& merge_stage =
       engine.begin_stage(name + ":merge", shuffled.num_partitions());
-  engine.run_stage(merge_stage, [&](std::size_t p) {
-    auto& task = merge_stage.tasks[p];
+  engine.run_stage(merge_stage, [&](TaskContext& ctx) {
+    const std::size_t p = ctx.partition();
+    auto& task = ctx.metrics();
     detail::record_input(task, shuffled.partitions[p]);
     task.compute_cost = task.records_in / 4;  // hash-merge per record
     std::unordered_map<K, Agg> local;
@@ -442,8 +449,9 @@ Rdd<K, std::pair<V, std::optional<W>>> left_outer_join(
   out.partitions.resize(partitioner.num_partitions);
   out.partitioner_id = partitioner.id();
   auto& stage = engine.begin_stage(name, partitioner.num_partitions);
-  engine.run_stage(stage, [&](std::size_t p) {
-    auto& task = stage.tasks[p];
+  engine.run_stage(stage, [&](TaskContext& ctx) {
+    const std::size_t p = ctx.partition();
+    auto& task = ctx.metrics();
     detail::record_input(task, lhs->partitions[p]);
     std::unordered_multimap<K, const W*> index;
     index.reserve(rhs->partitions[p].size());

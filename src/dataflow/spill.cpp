@@ -4,6 +4,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace drapid {
 
 namespace {
@@ -84,8 +87,9 @@ CachedStringRdd::CachedStringRdd(Engine& engine, StringRdd rdd,
   }
   spilled_ = true;
   files_.resize(rdd.num_partitions());
-  engine_.run_stage(stage, [&](std::size_t p) {
-    auto& task = stage.tasks[p];
+  engine_.run_stage(stage, [&](TaskContext& ctx) {
+    const std::size_t p = ctx.partition();
+    auto& task = ctx.metrics();
     files_[p] = write_partition(rdd.partitions[p], task);
     task.records_in = rdd.partitions[p].size();
     rdd.partitions[p].clear();
@@ -190,9 +194,10 @@ CachedStringRdd::StringRdd CachedStringRdd::materialize() {
   rdd.partitioner_id = partitioner_id_;
   auto& stage = engine_.begin_stage(name_ + ":materialize", files_.size());
   std::vector<char> lost(files_.size(), 0);
-  engine_.run_stage(stage, [&](std::size_t p) {
+  engine_.run_stage(stage, [&](TaskContext& ctx) {
+    const std::size_t p = ctx.partition();
     try {
-      read_partition(p, rdd.partitions[p], stage.tasks[p]);
+      read_partition(p, rdd.partitions[p], ctx.metrics());
     } catch (const SpillError&) {
       // Lineage recovery happens below, outside the parallel phase — the
       // producer may itself run engine stages. Without a producer the
@@ -222,6 +227,13 @@ CachedStringRdd::StringRdd CachedStringRdd::materialize() {
       stage.tasks[p].attempts += 1;
       stage.tasks[p].retry_cost += stage.tasks[p].compute_cost;
       ++recovered_;
+      obs::global_counters().add("spill.recoveries");
+      if (engine_.tracer().enabled()) {
+        obs::Json args = obs::Json::object();
+        args.set("rdd", name_);
+        args.set("partition", static_cast<std::int64_t>(p));
+        engine_.tracer().instant("spill.recover", std::move(args), "fault");
+      }
     }
   }
   return rdd;

@@ -1,10 +1,12 @@
 #include "drapid/driver.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "dataflow/rdd.hpp"
 #include "dataflow/spill.hpp"
+#include "obs/trace.hpp"
 #include "spe/spe_io.hpp"
 #include "util/stopwatch.hpp"
 
@@ -41,8 +43,9 @@ StringRdd load_keyed_file(Engine& engine, BlockStore& store,
   rdd.partitions.resize(chunks.size());
   auto& stage =
       engine.begin_stage(stage_prefix + "load:" + name, chunks.size());
-  engine.run_stage(stage, [&](std::size_t c) {
-    auto& task = stage.tasks[c];
+  engine.run_stage(stage, [&](TaskContext& ctx) {
+    const std::size_t c = ctx.partition();
+    auto& task = ctx.metrics();
     task.bytes_in = chunks[c].size();
     std::istringstream in(chunks[c]);
     std::string line;
@@ -173,6 +176,13 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
   engine.reset_metrics();
   DrapidResult result;
 
+  // One span per Figure-3 phase, all nested under the driver span; the
+  // per-stage/task spans the engine records nest inside whichever phase is
+  // open. `phase` is an optional so each emplace closes the previous phase
+  // before opening the next.
+  obs::ScopedSpan run_span(engine.tracer(), "drapid", data_file, "driver");
+  std::optional<obs::ScopedSpan> phase;
+
   // Apply the engine's fault plan to the storage layer: kill the planned
   // data nodes before any read, so block access exercises replica failover.
   for (const int node : engine.faults().dead_nodes(store.num_nodes())) {
@@ -193,10 +203,12 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
                          : HashPartitioner{num_partitions, 0x5ca1ab1edeadbeefULL};
 
   // Stage 1 & 2: load and prepare the two input files.
+  phase.emplace(engine.tracer(), "phase", "load", "driver");
   StringRdd data_kvp = load_keyed_file(engine, store, data_file);
   StringRdd cluster_kvp = load_keyed_file(engine, store, cluster_file);
 
   // Stage 3a: uniform partitioning (Figure 3 "Partition" phase).
+  phase.emplace(engine.tracer(), "phase", "partition", "driver");
   if (config.copartition) {
     data_kvp = partition_by(engine, data_kvp, join_part, "partition:data");
     cluster_kvp =
@@ -207,6 +219,7 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
   // blob per observation); the cluster side only when the optimization is
   // on — turning it off reproduces the duplicate-key join inflation the
   // paper warns about, measurably.
+  phase.emplace(engine.tracer(), "phase", "aggregate", "driver");
   StringRdd data_agg =
       aggregate_lines(engine, data_kvp, upstream_part, "aggregate:data");
   data_kvp.partitions.clear();
@@ -237,6 +250,7 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
                                         "recompute:aggregate:data");
         return std::move(agg.partitions.at(p));
       };
+  phase.emplace(engine.tracer(), "phase", "cache", "driver");
   CachedStringRdd cached_data(engine, std::move(data_agg), "data",
                               recompute_data_partition);
   // Borrow, don't copy: in-memory caches hand out a const reference in
@@ -245,10 +259,12 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
   const StringRdd& data_for_join = cached_data.borrow();
 
   // Stage 3c: the co-located left outer join.
+  phase.emplace(engine.tracer(), "phase", "join", "driver");
   auto joined = left_outer_join(engine, cluster_side, data_for_join, join_part,
                                 "join:clusters+data");
 
   // Stage 3d: the search phase.
+  phase.emplace(engine.tracer(), "phase", "search", "driver");
   const RapidParams rapid_params = config.rapid;
   const DmGrid* grid_ptr = &grid;
   auto ml_rows = flat_map_metered(
@@ -265,6 +281,7 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
       "search");
 
   // Collect, order deterministically, and write the ML file back.
+  phase.emplace(engine.tracer(), "phase", "collect", "driver");
   for (const auto& [key, row] : ml_rows.collect()) {
     result.records.push_back(parse_ml_row(parse_csv_line(row)));
   }
@@ -291,10 +308,18 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
       result.clusters_searched = stage.total_records_in();
     }
   }
+  phase.reset();
   result.partitions_recovered = cached_data.partitions_recovered();
   result.replica_failovers = store.replica_failovers();
   result.metrics = engine.metrics();
   result.wall_seconds = watch.elapsed_seconds();
+  run_span.arg("records", static_cast<std::int64_t>(result.records.size()));
+  run_span.arg("spes_scanned",
+               static_cast<std::int64_t>(result.spes_scanned));
+  run_span.arg("partitions_recovered",
+               static_cast<std::int64_t>(result.partitions_recovered));
+  run_span.arg("replica_failovers",
+               static_cast<std::int64_t>(result.replica_failovers));
   return result;
 }
 

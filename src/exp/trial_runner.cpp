@@ -1,6 +1,7 @@
 #include "exp/trial_runner.hpp"
 
 #include "ml/smote.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace drapid {
@@ -18,6 +19,10 @@ TrialResult run_trial(const std::vector<LabeledPulse>& pulses,
                       const TrialSpec& spec) {
   TrialResult result;
   result.spec = spec;
+  // One span per scheme×filter×learner×fold-seed combination; the cv.fold
+  // spans recorded by ml::cross_validate nest inside it.
+  obs::ScopedSpan trial_span(obs::global_tracer(), "trial", spec.describe(),
+                             "exp");
   const ml::Dataset full = make_alm_dataset(pulses, spec.scheme);
 
   // Six stratified folds: fold 0 feeds feature selection, folds 1–5 the CV.
@@ -61,6 +66,9 @@ TrialResult run_trial(const std::vector<LabeledPulse>& pulses,
     result.fold_recalls.push_back(scores.recall());
     result.fold_f_measures.push_back(scores.f_measure());
   }
+  trial_span.arg("recall", result.recall);
+  trial_span.arg("f_measure", result.f_measure);
+  trial_span.arg("train_seconds", result.train_seconds);
   result.cv_labels = cv_data.labels();
   result.correct.resize(predictions.size());
   for (std::size_t i = 0; i < predictions.size(); ++i) {

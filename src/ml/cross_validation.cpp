@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace drapid {
@@ -47,6 +48,8 @@ CvResult cross_validate(
   if (out_predictions) out_predictions->assign(data.num_instances(), -1);
   const auto folds = stratified_folds(data, k, rng);
   for (int f = 0; f < k; ++f) {
+    obs::ScopedSpan fold_span(obs::global_tracer(), "cv.fold",
+                              std::to_string(f), "ml");
     FoldResult fold_result;
     fold_result.confusion = ConfusionMatrix(data.num_classes());
     Dataset train = data.subset(rows_in_fold(folds, f, false));
@@ -66,6 +69,8 @@ CvResult cross_validate(
       if (out_predictions) (*out_predictions)[test_rows[i]] = predicted;
     }
     fold_result.test_seconds = test_watch.elapsed_seconds();
+    fold_span.arg("train_seconds", fold_result.train_seconds);
+    fold_span.arg("test_seconds", fold_result.test_seconds);
 
     result.pooled.merge(fold_result.confusion);
     result.total_train_seconds += fold_result.train_seconds;

@@ -10,7 +10,7 @@
 #include <functional>
 
 #include "ml/classifier.hpp"
-#include "ml/metrics.hpp"
+#include "ml/eval.hpp"
 #include "util/rng.hpp"
 
 namespace drapid {

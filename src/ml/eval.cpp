@@ -1,4 +1,4 @@
-#include "ml/metrics.hpp"
+#include "ml/eval.hpp"
 
 #include <sstream>
 #include <stdexcept>

@@ -1,0 +1,105 @@
+#include "obs/chrome_trace.hpp"
+
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace drapid {
+namespace obs {
+
+Json chrome_trace_json(const std::vector<TraceEvent>& events) {
+  Json trace_events = Json::array();
+  for (const TraceEvent& e : events) {
+    Json row = Json::object();
+    row.set("ph", std::string(1, static_cast<char>(e.phase)));
+    if (!e.name.empty()) row.set("name", e.name);
+    if (!e.category.empty()) row.set("cat", e.category);
+    row.set("ts", static_cast<double>(e.ts_ns) / 1000.0);
+    row.set("pid", 1);
+    row.set("tid", static_cast<std::int64_t>(e.tid));
+    if (e.phase == TraceEvent::Phase::kInstant) row.set("s", "t");
+    if (!e.args.is_null()) row.set("args", e.args);
+    trace_events.push_back(std::move(row));
+  }
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(trace_events));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open trace output file: " + path);
+  }
+  out << chrome_trace_json(events).dump(1) << '\n';
+  if (!out) {
+    throw std::runtime_error("failed writing trace output file: " + path);
+  }
+}
+
+std::string validate_chrome_trace(const Json& trace) {
+  const Json* events = trace.find("traceEvents");
+  if (!events) return "missing traceEvents";
+  if (!events->is_array()) return "traceEvents is not an array";
+
+  struct Frame {
+    std::string name;
+    double ts = 0.0;
+  };
+  std::map<std::int64_t, std::vector<Frame>> stacks;
+  std::size_t index = 0;
+  for (const Json& e : events->as_array()) {
+    const std::string where = "event " + std::to_string(index++);
+    if (!e.is_object()) return where + ": not an object";
+    const Json* ph = e.find("ph");
+    if (!ph || !ph->is_string() || ph->as_string().size() != 1) {
+      return where + ": missing or malformed ph";
+    }
+    const Json* ts = e.find("ts");
+    if (!ts || !ts->is_number()) return where + ": missing ts";
+    const Json* tid = e.find("tid");
+    if (!tid || !tid->is_number()) return where + ": missing tid";
+    auto& stack = stacks[tid->as_int()];
+
+    switch (ph->as_string()[0]) {
+      case 'B': {
+        const Json* name = e.find("name");
+        if (!name || !name->is_string()) return where + ": B without name";
+        if (!stack.empty() && ts->as_double() < stack.back().ts) {
+          return where + ": B timestamp precedes enclosing span \"" +
+                 stack.back().name + "\"";
+        }
+        stack.push_back({name->as_string(), ts->as_double()});
+        break;
+      }
+      case 'E': {
+        if (stack.empty()) {
+          return where + ": E with no open span on tid " +
+                 std::to_string(tid->as_int());
+        }
+        if (ts->as_double() < stack.back().ts) {
+          return where + ": E before its B (\"" + stack.back().name + "\")";
+        }
+        stack.pop_back();
+        break;
+      }
+      case 'i':
+        break;
+      default:
+        return where + ": unknown phase '" + ph->as_string() + "'";
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    if (!stack.empty()) {
+      return "tid " + std::to_string(tid) + ": " +
+             std::to_string(stack.size()) + " unclosed span(s), innermost \"" +
+             stack.back().name + "\"";
+    }
+  }
+  return "";
+}
+
+}  // namespace obs
+}  // namespace drapid

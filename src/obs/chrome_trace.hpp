@@ -1,0 +1,37 @@
+// Chrome trace_event exporter + validator.
+//
+// Converts Tracer events into the JSON format chrome://tracing and Perfetto
+// load directly: {"traceEvents": [{"ph": "B"/"E"/"i", "ts": µs, ...}]}.
+// The validator walks a parsed trace and checks the span invariants the
+// tracer promises (per-thread balance, strict nesting, monotone stacks);
+// tools/trace_check and the obs tests share it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace drapid {
+namespace obs {
+
+/// Builds the trace_event document. Events keep their per-thread record
+/// order; timestamps are exported in microseconds (Chrome's unit) with
+/// sub-µs precision as fractional values.
+Json chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Writes chrome_trace_json() to `path`; throws std::runtime_error on I/O
+/// failure.
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        const std::string& path);
+
+/// Checks a parsed trace_event document: traceEvents is an array, every
+/// event has a valid phase, and per tid the B/E events are balanced and
+/// strictly nested with non-decreasing timestamps along each thread's
+/// record order. Returns "" when valid, else a description of the first
+/// violation.
+std::string validate_chrome_trace(const Json& trace);
+
+}  // namespace obs
+}  // namespace drapid

@@ -1,0 +1,51 @@
+#include "obs/counters.hpp"
+
+namespace drapid {
+namespace obs {
+
+CounterRegistry::Counter& CounterRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(name);
+  if (it != index_.end()) return *it->second;
+  counters_.emplace_back(name);
+  index_[name] = &counters_.back();
+  return counters_.back();
+}
+
+void CounterRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard lock(mutex_);
+  gauges_[name] = value;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+CounterRegistry::counters_snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(index_.size());
+  for (const auto& [name, counter] : index_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>>
+CounterRegistry::gauges_snapshot() const {
+  std::lock_guard lock(mutex_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+void CounterRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& counter : counters_) {
+    counter.value_.store(0, std::memory_order_relaxed);
+  }
+  gauges_.clear();
+}
+
+CounterRegistry& global_counters() {
+  static CounterRegistry* registry = new CounterRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace drapid

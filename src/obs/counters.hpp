@@ -1,0 +1,75 @@
+// Process-wide counter / gauge registry.
+//
+// Counters are monotonically increasing int64 event tallies (tasks run,
+// retries, replica failovers); gauges are last-write-wins doubles (modeled
+// makespan, memory budget). Counter increments are lock-free relaxed
+// atomics on a stable address, so instrumented hot paths pay one atomic add;
+// name lookup happens once, at registration.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace drapid {
+namespace obs {
+
+class CounterRegistry {
+ public:
+  class Counter {
+   public:
+    void add(std::int64_t delta = 1) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    std::int64_t value() const {
+      return value_.load(std::memory_order_relaxed);
+    }
+    const std::string& name() const { return name_; }
+
+    /// Construct through CounterRegistry::counter(); public only because the
+    /// registry's deque needs to emplace it.
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+   private:
+    friend class CounterRegistry;
+    std::string name_;
+    std::atomic<std::int64_t> value_{0};
+  };
+
+  /// Finds or creates; the returned reference is stable for the registry's
+  /// lifetime (counters live in a deque and are never removed).
+  Counter& counter(const std::string& name);
+
+  /// One-shot increment (does the name lookup every call; prefer caching
+  /// the counter() reference on hot paths).
+  void add(const std::string& name, std::int64_t delta = 1) {
+    counter(name).add(delta);
+  }
+
+  void set_gauge(const std::string& name, double value);
+
+  /// Name-sorted snapshots.
+  std::vector<std::pair<std::string, std::int64_t>> counters_snapshot() const;
+  std::vector<std::pair<std::string, double>> gauges_snapshot() const;
+
+  /// Zeroes every counter and drops every gauge (tests; registered Counter
+  /// references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Counter> counters_;
+  std::map<std::string, Counter*> index_;
+  std::map<std::string, double> gauges_;
+};
+
+/// The registry the engine, spill layer, and block store report into.
+CounterRegistry& global_counters();
+
+}  // namespace obs
+}  // namespace drapid

@@ -1,0 +1,114 @@
+// Minimal JSON value type for the observability layer.
+//
+// The tracer and run-report exporters need a writer, and the validation
+// tooling (tools/trace_check, tools/report_diff, the obs test suite) needs a
+// parser, so both live here. Objects preserve insertion order — run reports
+// and trace events stay diffable with plain text tools.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace drapid {
+namespace obs {
+
+/// Thrown by Json::parse on malformed input (with a byte offset).
+struct JsonParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned v) : type_(Type::kInt), int_(v) {}
+  Json(long v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned long v) : type_(Type::kInt),
+                          int_(static_cast<std::int64_t>(v)) {}
+  Json(long long v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned long long v) : type_(Type::kInt),
+                               int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;  ///< accepts kInt too
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Array/object element count; 0 for scalars.
+  std::size_t size() const;
+
+  /// Appends to an array (converts a null value into an empty array first).
+  Json& push_back(Json value);
+
+  /// Sets `key` in an object (converting null into an empty object first);
+  /// an existing key is overwritten in place.
+  Json& set(std::string key, Json value);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  /// Object member lookup; throws std::out_of_range when absent.
+  const Json& at(std::string_view key) const;
+  /// Array element; throws std::out_of_range when out of bounds.
+  const Json& at(std::size_t index) const;
+
+  /// Serializes. indent < 0 → compact one-line form; indent >= 0 →
+  /// pretty-printed with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; throws JsonParseError on any
+  /// malformed or trailing input.
+  static Json parse(std::string_view text);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// JSON string escaping (quotes not included).
+std::string json_escape(std::string_view s);
+
+}  // namespace obs
+}  // namespace drapid

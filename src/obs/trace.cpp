@@ -1,0 +1,188 @@
+#include "obs/trace.hpp"
+
+#include <thread>
+
+namespace drapid {
+namespace obs {
+
+struct Tracer::ThreadBuffer {
+  std::thread::id owner;
+  std::uint32_t tid = 0;
+  // Guards events/depth/dropped. Only the owning thread records, so the
+  // lock is uncontended on the hot path; events()/open_spans() from other
+  // threads take it too, which keeps exports race-free under TSan.
+  mutable std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::size_t depth = 0;          ///< logically open spans (incl. dropped)
+  std::size_t open_recorded = 0;  ///< open spans whose kBegin was recorded
+  std::size_t dropped = 0;
+};
+
+namespace {
+
+std::atomic<std::uint64_t> next_tracer_id{1};
+
+/// One-entry cache: the last (tracer, buffer) pair this thread touched.
+/// Tracer ids are process-unique and never reused, so a stale entry for a
+/// dead tracer can never match a live one.
+struct LocalCache {
+  std::uint64_t tracer_id = 0;
+  Tracer::ThreadBuffer* buffer = nullptr;
+};
+thread_local LocalCache t_cache;
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(next_tracer_id.fetch_add(1)),
+      origin_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+void Tracer::set_max_events_per_thread(std::size_t cap) {
+  max_events_per_thread_.store(cap, std::memory_order_relaxed);
+}
+
+std::int64_t Tracer::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  if (t_cache.tracer_id == id_) return *t_cache.buffer;
+  const auto me = std::this_thread::get_id();
+  std::lock_guard lock(registry_mutex_);
+  for (const auto& buf : buffers_) {
+    if (buf->owner == me) {
+      t_cache = {id_, buf.get()};
+      return *buf;
+    }
+  }
+  auto buf = std::make_unique<ThreadBuffer>();
+  buf->owner = me;
+  buf->tid = static_cast<std::uint32_t>(buffers_.size() + 1);
+  buffers_.push_back(std::move(buf));
+  t_cache = {id_, buffers_.back().get()};
+  return *buffers_.back();
+}
+
+void Tracer::begin_span(std::string_view name, std::string_view detail,
+                        std::string_view category) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard lock(buf.mutex);
+  ++buf.depth;  // depth tracks open spans even when the event is dropped
+  if (buf.events.size() >=
+      max_events_per_thread_.load(std::memory_order_relaxed)) {
+    ++buf.dropped;
+    return;
+  }
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kBegin;
+  event.name.reserve(name.size() + (detail.empty() ? 0 : detail.size() + 1));
+  event.name.assign(name);
+  if (!detail.empty()) {
+    event.name += ':';
+    event.name += detail;
+  }
+  event.category.assign(category);
+  event.ts_ns = now_ns();
+  event.tid = buf.tid;
+  buf.events.push_back(std::move(event));
+  ++buf.open_recorded;
+}
+
+void Tracer::end_span(Json args) {
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard lock(buf.mutex);
+  if (buf.depth == 0) return;  // unbalanced close; ScopedSpan never does this
+  --buf.depth;
+  // Begins are only dropped once the buffer is full, so dropped begins are
+  // always the innermost open spans. This close belongs to a dropped begin
+  // exactly when there are more open spans than recorded ones — drop the
+  // end too so recorded events stay balanced. A close matching a recorded
+  // begin is always recorded, even past the cap (bounded by open_recorded).
+  if (buf.open_recorded < buf.depth + 1) {
+    ++buf.dropped;
+    return;
+  }
+  --buf.open_recorded;
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kEnd;
+  event.ts_ns = now_ns();
+  event.tid = buf.tid;
+  event.args = std::move(args);
+  buf.events.push_back(std::move(event));
+}
+
+void Tracer::instant(std::string_view name, Json args,
+                     std::string_view category) {
+  if (!enabled()) return;
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard lock(buf.mutex);
+  if (buf.events.size() >=
+      max_events_per_thread_.load(std::memory_order_relaxed)) {
+    ++buf.dropped;
+    return;
+  }
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.name.assign(name);
+  event.category.assign(category);
+  event.ts_ns = now_ns();
+  event.tid = buf.tid;
+  event.args = std::move(args);
+  buf.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> all;
+  std::lock_guard registry_lock(registry_mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard lock(buf->mutex);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
+  return all;
+}
+
+std::size_t Tracer::open_spans() const {
+  std::size_t open = 0;
+  std::lock_guard registry_lock(registry_mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard lock(buf->mutex);
+    open += buf->depth;
+  }
+  return open;
+}
+
+std::size_t Tracer::dropped_events() const {
+  std::size_t dropped = 0;
+  std::lock_guard registry_lock(registry_mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard lock(buf->mutex);
+    dropped += buf->dropped;
+  }
+  return dropped;
+}
+
+void Tracer::clear() {
+  std::lock_guard registry_lock(registry_mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard lock(buf->mutex);
+    buf->events.clear();
+    buf->dropped = 0;
+    // depth is left alone: open ScopedSpans will still close. Their begins
+    // are gone, so zeroing open_recorded makes those closes drop too.
+    buf->open_recorded = 0;
+  }
+}
+
+Tracer& global_tracer() {
+  // Leaked intentionally: worker threads and exit-time code may record into
+  // it; a static destructor racing them would be worse than 200 bytes.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+}  // namespace obs
+}  // namespace drapid

@@ -1,0 +1,136 @@
+// Thread-safe span tracer for the execution layers.
+//
+// A span is one timed, named interval on one thread; RAII ScopedSpans nest
+// naturally (the engine's stage span encloses its task spans, a lineage
+// recomputation's stages nest inside the task that triggered them). Each
+// thread records into its own buffer, so the hot path takes one uncontended
+// mutex and never blocks another thread; buffers are merged at export time.
+//
+// Tracing is off by default and ScopedSpan's constructor is a single relaxed
+// atomic load when disabled, so instrumented code paths (every engine task)
+// stay effectively free until a bench passes --trace-out. Timestamps come
+// from a steady clock relative to the tracer's construction; simulated-time
+// results from the ClusterModel can be attached as instant-event or span
+// args (see chrome_trace.hpp for the exporter).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace drapid {
+namespace obs {
+
+struct TraceEvent {
+  enum class Phase : char {
+    kBegin = 'B',   ///< span opened
+    kEnd = 'E',     ///< span closed (matches the innermost open kBegin)
+    kInstant = 'i'  ///< point event (retries, failovers, annotations)
+  };
+  Phase phase = Phase::kInstant;
+  std::string name;      ///< empty for kEnd (the matching kBegin names it)
+  std::string category;
+  std::int64_t ts_ns = 0;  ///< relative to the tracer's construction
+  std::uint32_t tid = 0;   ///< tracer-local thread id, 1-based
+  Json args;               ///< object or null
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Caps each thread's buffer; events past the cap are dropped (and
+  /// counted), so tracing a long benchmark loop cannot exhaust memory.
+  void set_max_events_per_thread(std::size_t cap);
+
+  /// Records span open/close on the calling thread. Unlike instant(), these
+  /// do NOT check enabled(): ScopedSpan performs the check once at
+  /// construction so a span that began is always closed (balance holds even
+  /// if the tracer is disabled mid-span). `detail` is appended to the span
+  /// name as ":detail" when non-empty.
+  void begin_span(std::string_view name, std::string_view detail = {},
+                  std::string_view category = {});
+  void end_span(Json args = Json());
+
+  /// Records a point event if tracing is enabled.
+  void instant(std::string_view name, Json args = Json(),
+               std::string_view category = {});
+
+  std::int64_t now_ns() const;
+
+  /// All recorded events: per-thread buffers concatenated in thread
+  /// first-use order; within one thread, record order (which for spans is
+  /// open/close order — balanced and strictly nested by construction).
+  std::vector<TraceEvent> events() const;
+
+  /// Spans currently open across all threads (0 once all ScopedSpans have
+  /// unwound — the balance invariant the tests assert).
+  std::size_t open_spans() const;
+
+  /// Events dropped because a thread hit the buffer cap.
+  std::size_t dropped_events() const;
+
+  void clear();
+
+  struct ThreadBuffer;  ///< opaque; public only for the thread-local cache
+
+ private:
+  ThreadBuffer& local_buffer();
+
+  const std::uint64_t id_;  ///< process-unique, for the thread-local cache
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> max_events_per_thread_{1u << 20};
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span handle. Checks enabled() once at construction; every method is
+/// a no-op on an inactive span, so instrumented code needs no branches.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, std::string_view name,
+             std::string_view detail = {}, std::string_view category = {})
+      : tracer_(tracer.enabled() ? &tracer : nullptr) {
+    if (tracer_) tracer_->begin_span(name, detail, category);
+  }
+  ~ScopedSpan() {
+    if (tracer_) tracer_->end_span(std::move(args_));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Attaches an argument reported with the span's close event.
+  void arg(std::string key, Json value) {
+    if (tracer_) args_.set(std::move(key), std::move(value));
+  }
+
+ private:
+  Tracer* tracer_;
+  Json args_;
+};
+
+/// The process-wide tracer the engine and benches share (disabled until a
+/// bench passes --trace-out). Never destroyed before trace export because
+/// benches export before returning from main.
+Tracer& global_tracer();
+
+}  // namespace obs
+}  // namespace drapid

@@ -13,6 +13,10 @@ Options::Options(int argc, const char* const argv[],
   for (const auto& [name, _] : values_) provided_[name] = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
     if (arg.rfind("--", 0) != 0) {
       throw std::runtime_error("unexpected positional argument: " + arg);
     }
@@ -76,6 +80,16 @@ std::string Options::describe() const {
   for (const auto& [name, value] : values_) {
     out << "  --" << name << " = " << value << '\n';
   }
+  return out.str();
+}
+
+std::string Options::usage(const std::string& tool,
+                           const std::string& summary) const {
+  std::ostringstream out;
+  out << "usage: " << tool << " [--option value]...\n";
+  if (!summary.empty()) out << summary << '\n';
+  out << "options (showing current values):\n" << describe();
+  out << "  --help\n";
   return out.str();
 }
 

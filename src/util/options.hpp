@@ -15,7 +15,8 @@ class Options {
  public:
   /// `spec` maps option name -> default value; every recognized option must
   /// be declared there. Throws std::runtime_error on unknown or malformed
-  /// arguments.
+  /// arguments. "--help" is always accepted (declared implicitly); check
+  /// help_requested() and print usage() before doing any work.
   Options(int argc, const char* const argv[],
           std::map<std::string, std::string> spec);
 
@@ -27,12 +28,25 @@ class Options {
   /// True when the user explicitly supplied the option.
   bool provided(const std::string& name) const;
 
+  /// All declared options with their resolved values (defaults applied).
+  const std::map<std::string, std::string>& items() const { return values_; }
+
   /// Renders "--name default  (current)" lines for --help output.
   std::string describe() const;
+
+  /// True when the user passed --help.
+  bool help_requested() const { return help_requested_; }
+
+  /// Full --help text: "usage: <tool> [options]", an optional one-line
+  /// summary, then describe(). Every bench/tool main prints this and exits 0
+  /// when help_requested().
+  std::string usage(const std::string& tool,
+                    const std::string& summary = "") const;
 
  private:
   std::map<std::string, std::string> values_;
   std::map<std::string, bool> provided_;
+  bool help_requested_ = false;
 };
 
 }  // namespace drapid

@@ -119,9 +119,9 @@ TEST(TaskRetry, KilledAttemptsAreRetriedAndCounted) {
   Engine engine(cfg);
   auto& stage = engine.begin_stage("work", 4);
   std::vector<std::atomic<int>> runs(4);
-  engine.run_stage(stage, [&](std::size_t p) {
-    stage.tasks[p].compute_cost = 10;
-    runs[p].fetch_add(1);
+  engine.run_stage(stage, [&](TaskContext& ctx) {
+    ctx.metrics().compute_cost = 10;
+    runs[ctx.partition()].fetch_add(1);
   });
   for (std::size_t p = 0; p < 4; ++p) {
     EXPECT_EQ(runs[p].load(), 1) << "a body must run at most once";
@@ -138,7 +138,7 @@ TEST(TaskRetry, ExhaustedAttemptBudgetThrowsTaskFailure) {
   cfg.faults.max_injected_failures_per_task = 100;  // kill every attempt
   Engine engine(cfg);
   auto& stage = engine.begin_stage("doomed", 2);
-  EXPECT_THROW(engine.run_stage(stage, [](std::size_t) {}), TaskFailure);
+  EXPECT_THROW(engine.run_stage(stage, [](TaskContext&) {}), TaskFailure);
 }
 
 TEST(TaskRetry, GenuineExceptionsAreNotRetried) {
@@ -146,9 +146,11 @@ TEST(TaskRetry, GenuineExceptionsAreNotRetried) {
   auto& stage = engine.begin_stage("buggy", 2);
   std::atomic<int> calls{0};
   EXPECT_THROW(engine.run_stage(stage,
-                                [&](std::size_t p) {
+                                [&](TaskContext& ctx) {
                                   calls.fetch_add(1);
-                                  if (p == 1) throw std::logic_error("bug");
+                                  if (ctx.partition() == 1) {
+                                    throw std::logic_error("bug");
+                                  }
                                 }),
                std::logic_error);
   EXPECT_LE(calls.load(), 2);  // no re-execution of the faulting body

@@ -1,0 +1,102 @@
+// The obs Json type: construction, ordered objects, writer/parser
+// round-trips, and parse-error reporting.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace drapid {
+namespace obs {
+namespace {
+
+TEST(ObsJson, TypesAndAccessors) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(7).is_number());
+  EXPECT_TRUE(Json(1.5).is_number());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_TRUE(Json::array().is_array());
+  EXPECT_TRUE(Json::object().is_object());
+
+  EXPECT_EQ(Json(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Json(42).as_double(), 42.0);  // int promotes to double
+  EXPECT_EQ(Json("abc").as_string(), "abc");
+  EXPECT_THROW(Json("abc").as_int(), std::exception);
+}
+
+TEST(ObsJson, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zulu", 1);
+  obj.set("alpha", 2);
+  obj.set("mike", 3);
+  EXPECT_EQ(obj.dump(), R"({"zulu":1,"alpha":2,"mike":3})");
+  obj.set("zulu", 9);  // overwrite keeps the original position
+  EXPECT_EQ(obj.dump(), R"({"zulu":9,"alpha":2,"mike":3})");
+  EXPECT_EQ(obj.at("zulu").as_int(), 9);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(ObsJson, StringEscapes) {
+  Json s(std::string("a\"b\\c\n\t\x01"));
+  const std::string text = s.dump();
+  EXPECT_EQ(text, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+  EXPECT_EQ(Json::parse(text).as_string(), s.as_string());
+}
+
+TEST(ObsJson, RoundTripNested) {
+  Json root = Json::object();
+  root.set("name", "run");
+  root.set("count", std::int64_t{1} << 40);
+  root.set("ratio", 0.1);
+  root.set("flag", false);
+  root.set("nothing", Json());
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  Json inner = Json::object();
+  inner.set("deep", 3.14159);
+  arr.push_back(std::move(inner));
+  root.set("items", std::move(arr));
+
+  for (int indent : {-1, 0, 2}) {
+    const Json back = Json::parse(root.dump(indent));
+    EXPECT_EQ(back.at("name").as_string(), "run");
+    EXPECT_EQ(back.at("count").as_int(), std::int64_t{1} << 40);
+    EXPECT_DOUBLE_EQ(back.at("ratio").as_double(), 0.1);
+    EXPECT_FALSE(back.at("flag").as_bool());
+    EXPECT_TRUE(back.at("nothing").is_null());
+    EXPECT_EQ(back.at("items").size(), 3u);
+    EXPECT_DOUBLE_EQ(back.at("items").at(2).at("deep").as_double(), 3.14159);
+  }
+}
+
+TEST(ObsJson, ParseAcceptsEscapesAndWhitespace) {
+  const Json v = Json::parse(" { \"a\\u0041\" : [ 1 , -2.5e2 , \"\\u00e9\" ] }");
+  EXPECT_EQ(v.at("aA").size(), 3u);
+  EXPECT_EQ(v.at("aA").at(0).as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.at("aA").at(1).as_double(), -250.0);
+  EXPECT_EQ(v.at("aA").at(2).as_string(), "\xc3\xa9");  // é, UTF-8
+}
+
+TEST(ObsJson, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+  EXPECT_THROW(Json::parse("{"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonParseError);
+  EXPECT_THROW(Json::parse("{\"a\":1 \"b\":2}"), JsonParseError);
+  EXPECT_THROW(Json::parse("nul"), JsonParseError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(Json::parse("1 2"), JsonParseError);  // trailing garbage
+}
+
+TEST(ObsJson, DoublesSurviveRoundTrip) {
+  for (double value : {0.1, 1e-300, 12345.6789, 2.2250738585072014e-308}) {
+    const Json back = Json::parse(Json(value).dump());
+    EXPECT_EQ(back.as_double(), value);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace drapid

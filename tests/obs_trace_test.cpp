@@ -1,0 +1,209 @@
+// The span tracer: balance under nested parallel_for, the Chrome-trace
+// exporter/validator, buffer caps, and the counter registry.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/counters.hpp"
+#include "util/thread_pool.hpp"
+
+namespace drapid {
+namespace obs {
+namespace {
+
+TEST(ObsTrace, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  {
+    ScopedSpan span(tracer, "work");
+    EXPECT_FALSE(span.active());
+    tracer.instant("point");
+  }
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(ObsTrace, SpansBalanceAndNest) {
+  Tracer tracer;
+  tracer.enable(true);
+  {
+    ScopedSpan outer(tracer, "outer", "detail", "cat");
+    {
+      ScopedSpan inner(tracer, "inner");
+      inner.arg("n", 3);
+      tracer.instant("tick", Json(), "cat");
+    }
+    EXPECT_EQ(tracer.open_spans(), 1u);
+  }
+  EXPECT_EQ(tracer.open_spans(), 0u);
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 5u);  // B outer, B inner, i tick, E inner, E outer
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::kBegin);
+  EXPECT_EQ(events[0].name, "outer:detail");
+  EXPECT_EQ(events[0].category, "cat");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].phase, TraceEvent::Phase::kInstant);
+  EXPECT_EQ(events[3].phase, TraceEvent::Phase::kEnd);
+  // inner's close carries the attached arg.
+  ASSERT_TRUE(events[3].args.is_object());
+  EXPECT_EQ(events[3].args.at("n").as_int(), 3);
+  EXPECT_EQ(events[4].phase, TraceEvent::Phase::kEnd);
+  // Timestamps are monotone within the thread.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+}
+
+TEST(ObsTrace, BalancedUnderNestedParallelFor) {
+  Tracer tracer;
+  tracer.enable(true);
+  ThreadPool pool(4);
+  {
+    ScopedSpan root(tracer, "root");
+    pool.parallel_for(16, [&](std::size_t i) {
+      ScopedSpan outer(tracer, "outer", std::to_string(i));
+      // Nested parallel_for on the same pool: the waiting thread helps run
+      // inner chunks, so inner spans from *other* tasks can interleave on
+      // this thread — each thread's stream must still balance.
+      pool.parallel_for(4, [&](std::size_t j) {
+        ScopedSpan inner(tracer, "inner", std::to_string(j));
+        tracer.instant("leaf");
+      });
+    });
+  }
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+
+  // 1 root + 16 outer + 16*4 inner spans, each B+E, plus 64 instants.
+  const auto events = tracer.events();
+  std::size_t begins = 0, ends = 0, instants = 0;
+  for (const auto& e : events) {
+    if (e.phase == TraceEvent::Phase::kBegin) ++begins;
+    if (e.phase == TraceEvent::Phase::kEnd) ++ends;
+    if (e.phase == TraceEvent::Phase::kInstant) ++instants;
+  }
+  EXPECT_EQ(begins, 1u + 16u + 64u);
+  EXPECT_EQ(ends, begins);
+  EXPECT_EQ(instants, 64u);
+
+  // The exporter's validator checks per-thread strict nesting.
+  EXPECT_EQ(validate_chrome_trace(chrome_trace_json(events)), "");
+}
+
+TEST(ObsTrace, BufferCapDropsWholeSpans) {
+  Tracer tracer;
+  tracer.enable(true);
+  tracer.set_max_events_per_thread(4);
+  {
+    ScopedSpan a(tracer, "a");
+    ScopedSpan b(tracer, "b");  // B a, B b recorded (2 events)
+    {
+      ScopedSpan c(tracer, "c");  // B c recorded (3)
+      ScopedSpan d(tracer, "d");  // B d at the cap: dropped
+      ScopedSpan e(tracer, "e");  // dropped
+    }  // E e, E d dropped (their begins were); E c closes a recorded begin
+  }    // E b, E a likewise close recorded begins — the cap never orphans a B
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  EXPECT_GT(tracer.dropped_events(), 0u);
+  // Whatever survived must still validate as balanced and nested.
+  EXPECT_EQ(validate_chrome_trace(chrome_trace_json(tracer.events())), "");
+}
+
+TEST(ObsTrace, ClearResetsBuffers) {
+  Tracer tracer;
+  tracer.enable(true);
+  { ScopedSpan s(tracer, "before"); }
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+  { ScopedSpan s(tracer, "after"); }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "after");
+  EXPECT_EQ(validate_chrome_trace(chrome_trace_json(events)), "");
+}
+
+TEST(ObsChromeTrace, ExportShape) {
+  Tracer tracer;
+  tracer.enable(true);
+  {
+    ScopedSpan s(tracer, "stage", "load", "dataflow");
+    Json args = Json::object();
+    args.set("partition", 3);
+    tracer.instant("retry", std::move(args), "fault");
+  }
+  const Json trace = chrome_trace_json(tracer.events());
+  EXPECT_EQ(validate_chrome_trace(trace), "");
+  const Json& events = trace.at("traceEvents");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.at(0).at("ph").as_string(), "B");
+  EXPECT_EQ(events.at(0).at("name").as_string(), "stage:load");
+  EXPECT_EQ(events.at(0).at("cat").as_string(), "dataflow");
+  EXPECT_EQ(events.at(0).at("pid").as_int(), 1);
+  EXPECT_EQ(events.at(1).at("ph").as_string(), "i");
+  EXPECT_EQ(events.at(1).at("s").as_string(), "t");
+  EXPECT_EQ(events.at(1).at("args").at("partition").as_int(), 3);
+  EXPECT_EQ(events.at(2).at("ph").as_string(), "E");
+  EXPECT_EQ(events.at(2).find("name"), nullptr);
+  // Round-trips through text.
+  EXPECT_EQ(validate_chrome_trace(Json::parse(trace.dump(1))), "");
+}
+
+TEST(ObsChromeTrace, ValidatorCatchesImbalance) {
+  TraceEvent begin;
+  begin.phase = TraceEvent::Phase::kBegin;
+  begin.name = "open";
+  begin.tid = 1;
+  EXPECT_NE(validate_chrome_trace(chrome_trace_json({begin})), "");
+
+  TraceEvent end;
+  end.phase = TraceEvent::Phase::kEnd;
+  end.tid = 1;
+  EXPECT_NE(validate_chrome_trace(chrome_trace_json({end})), "");
+}
+
+TEST(ObsCounters, RegistryAddsAndSnapshots) {
+  CounterRegistry registry;
+  registry.add("tasks", 3);
+  registry.add("tasks", 2);
+  registry.counter("retries").add();
+  registry.set_gauge("scale", 1.5);
+  registry.set_gauge("scale", 2.5);  // last write wins
+
+  const auto counters = registry.counters_snapshot();
+  ASSERT_EQ(counters.size(), 2u);
+  // Snapshots are name-sorted regardless of creation order.
+  EXPECT_EQ(counters[0].first, "retries");
+  EXPECT_EQ(counters[0].second, 1);
+  EXPECT_EQ(counters[1].first, "tasks");
+  EXPECT_EQ(counters[1].second, 5);
+  const auto gauges = registry.gauges_snapshot();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(gauges[0].second, 2.5);
+
+  registry.reset();
+  EXPECT_EQ(registry.counter("tasks").value(), 0);
+  EXPECT_TRUE(registry.gauges_snapshot().empty());
+}
+
+TEST(ObsCounters, ConcurrentAddsDoNotRace) {
+  CounterRegistry registry;
+  ThreadPool pool(4);
+  pool.parallel_for(64, [&](std::size_t i) {
+    registry.add("shared");
+    registry.counter("mod" + std::to_string(i % 4)).add(2);
+  });
+  EXPECT_EQ(registry.counter("shared").value(), 64);
+  std::int64_t mods = 0;
+  for (const auto& [name, value] : registry.counters_snapshot()) {
+    if (name.rfind("mod", 0) == 0) mods += value;
+  }
+  EXPECT_EQ(mods, 2 * 64);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace drapid

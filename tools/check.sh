@@ -1,31 +1,42 @@
 #!/usr/bin/env bash
-# CI-style concurrency check: builds the tree with ThreadSanitizer and runs
-# the thread-pool, engine, spill, and fault-injection tests under it. These
-# are the suites that exercise the helping parallel_for join, the mutex-
-# protected stage registry, and concurrent spill I/O — the places a data
-# race would live.
+# CI entry point: full build + ctest, then a ThreadSanitizer pass over the
+# concurrency-heavy suites — the thread pool's helping parallel_for join,
+# the engine's mutex-protected stage registry, concurrent spill I/O, and
+# the span tracer's per-thread buffers — the places a data race would live.
 #
-# Usage: tools/check.sh [build-dir]   (default: build-tsan)
+# Usage: tools/check.sh [tsan-build-dir]   (default: build-tsan)
+# Set DRAPID_SKIP_TSAN=1 to stop after the regular build + ctest.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
+TSAN_BUILD_DIR="${1:-build-tsan}"
 
-TARGETS=(
+echo "=== build + ctest ==="
+cmake -S . -B build
+cmake --build build -j "$(nproc)"
+ctest --test-dir build -j "$(nproc)" --output-on-failure
+
+if [[ "${DRAPID_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "check: build + ctest clean (TSan pass skipped)"
+  exit 0
+fi
+
+TSAN_TARGETS=(
   util_thread_pool_test
   dataflow_engine_test
   dataflow_spill_test
   dataflow_fault_test
   dataflow_rdd_test
+  obs_trace_test
 )
 
-cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Debug -DDRAPID_TSAN=ON
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TARGETS[@]}"
+cmake -S . -B "$TSAN_BUILD_DIR" -DCMAKE_BUILD_TYPE=Debug -DDRAPID_TSAN=ON
+cmake --build "$TSAN_BUILD_DIR" -j "$(nproc)" --target "${TSAN_TARGETS[@]}"
 
 # halt_on_error makes a race fail the script, not just print a report.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
-for test in "${TARGETS[@]}"; do
+for test in "${TSAN_TARGETS[@]}"; do
   echo "=== $test (TSan) ==="
-  "$BUILD_DIR/tests/$test"
+  "$TSAN_BUILD_DIR/tests/$test"
 done
-echo "tsan check: all clean"
+echo "check: build + ctest + tsan all clean"

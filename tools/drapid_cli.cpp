@@ -48,6 +48,13 @@ int cmd_simulate(int argc, const char* const argv[]) {
                 {"visibility", "0.06"},
                 {"seed", "1"},
                 {"out", "."}});
+  if (opts.help_requested()) {
+    std::cout << opts.usage("drapid simulate",
+                            "Simulates survey observations and writes "
+                            "data.csv, clusters.csv, truth.csv, catalog.csv "
+                            "into --out.");
+    return 0;
+  }
   PipelineConfig config;
   config.survey = opts.str("survey") == "palfa" ? SurveyConfig::palfa()
                                                 : SurveyConfig::gbt350drift();
@@ -96,6 +103,13 @@ int cmd_search(int argc, const char* const argv[]) {
                             {"fault-rate", "0"},
                             {"fault-seed", "24077"},
                             {"max-attempts", "4"}});
+  if (opts.help_requested()) {
+    std::cout << opts.usage("drapid search",
+                            "Runs the D-RAPID dataflow job on --data and "
+                            "--clusters files and writes the ML file; "
+                            "--fault-rate injects recoverable faults.");
+    return 0;
+  }
   BlockStore store(15);
   store.put("data", read_file(opts.str("data")));
   store.put("clusters", read_file(opts.str("clusters")));
@@ -195,6 +209,12 @@ int cmd_classify(int argc, const char* const argv[]) {
                             {"learner", "RF"},
                             {"smote", "false"},
                             {"seed", "1"}});
+  if (opts.help_requested()) {
+    std::cout << opts.usage("drapid classify",
+                            "5-fold cross-validates a labeled ML file and "
+                            "reports recall/precision/F-measure.");
+    return 0;
+  }
   std::ifstream in(opts.str("ml"));
   if (!in) throw std::runtime_error("cannot open " + opts.str("ml"));
   const auto records = read_ml_file(in);
@@ -249,6 +269,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h") {
+    std::cout << "usage: drapid <simulate|search|classify> [--options]\n"
+                 "run `drapid <command> --help` for each command's flags\n";
+    return 0;
+  }
   try {
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (command == "search") return cmd_search(argc - 1, argv + 1);

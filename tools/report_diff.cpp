@@ -1,0 +1,178 @@
+// report_diff — compares two run reports written with --json-out.
+//
+//   report_diff --a before.json --b after.json [--tolerance 0.05]
+//
+// Prints, side by side: config entries that differ, top-level metrics,
+// counters, and each job's per-stage totals, flagging relative changes
+// beyond --tolerance. Intended workflow: record a bench run before a
+// change, record it again after, diff the two (see EXPERIMENTS.md).
+// Exit 0 when nothing exceeds the tolerance, 1 when something does.
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+using drapid::obs::Json;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string scalar_text(const Json& value) { return value.dump(); }
+
+/// Relative change b vs a; 0 when both are ~zero, infinity when only a is.
+double relative_change(double a, double b) {
+  if (std::abs(a) < 1e-12 && std::abs(b) < 1e-12) return 0.0;
+  if (std::abs(a) < 1e-12) return std::numeric_limits<double>::infinity();
+  return (b - a) / std::abs(a);
+}
+
+class Differ {
+ public:
+  explicit Differ(double tolerance) : tolerance_(tolerance) {}
+
+  /// Compares one numeric quantity, printing a row when it changed.
+  void numeric(const std::string& label, double a, double b) {
+    const double rel = relative_change(a, b);
+    if (a == b) return;
+    const bool flagged = std::abs(rel) > tolerance_;
+    if (flagged) ++flagged_count_;
+    std::cout << "  " << (flagged ? "!! " : "   ") << label << ": " << a
+              << " -> " << b;
+    if (std::isfinite(rel)) {
+      std::cout << "  (" << std::showpos << std::fixed << std::setprecision(1)
+                << rel * 100.0 << std::noshowpos << "%)"
+                << std::defaultfloat << std::setprecision(6);
+    }
+    std::cout << '\n';
+  }
+
+  /// Compares the members of two flat JSON objects (config, counters, ...).
+  void objects(const std::string& section, const Json& a, const Json& b) {
+    std::vector<std::string> lines;
+    for (const auto& [key, value_a] : a.as_object()) {
+      const Json* value_b = b.find(key);
+      if (!value_b) {
+        lines.push_back("   " + key + ": " + scalar_text(value_a) +
+                        " -> (absent)");
+      } else if (value_a.is_number() && value_b->is_number()) {
+        const double da = value_a.as_double(), db = value_b->as_double();
+        if (da != db) {
+          const double rel = relative_change(da, db);
+          const bool flagged = std::abs(rel) > tolerance_;
+          if (flagged) ++flagged_count_;
+          lines.push_back((flagged ? "!! " : "   ") + key + ": " +
+                          scalar_text(value_a) + " -> " +
+                          scalar_text(*value_b));
+        }
+      } else if (scalar_text(value_a) != scalar_text(*value_b)) {
+        lines.push_back("   " + key + ": " + scalar_text(value_a) + " -> " +
+                        scalar_text(*value_b));
+      }
+    }
+    for (const auto& [key, value_b] : b.as_object()) {
+      if (!a.find(key)) {
+        lines.push_back("   " + key + ": (absent) -> " + scalar_text(value_b));
+      }
+    }
+    if (lines.empty()) return;
+    if (!section.empty()) std::cout << section << ":\n";
+    for (const auto& line : lines) std::cout << "  " << line << '\n';
+  }
+
+  int flagged_count() const { return flagged_count_; }
+
+ private:
+  double tolerance_;
+  int flagged_count_ = 0;
+};
+
+const Json* find_job(const Json& report, const std::string& label) {
+  for (const auto& job : report.at("jobs").as_array()) {
+    if (job.at("label").as_string() == label) return &job;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using drapid::Options;
+  try {
+    Options opts(argc, argv, {{"a", ""}, {"b", ""}, {"tolerance", "0.05"}});
+    if (opts.help_requested()) {
+      std::cout << opts.usage(
+          "report_diff",
+          "Diffs two --json-out run reports; flags numeric changes whose "
+          "relative magnitude exceeds --tolerance.");
+      return 0;
+    }
+    if (opts.str("a").empty() || opts.str("b").empty()) {
+      std::cerr << "report_diff: give --a and --b report files (see --help)\n";
+      return 2;
+    }
+    const Json a = Json::parse(read_file(opts.str("a")));
+    const Json b = Json::parse(read_file(opts.str("b")));
+    for (const Json* doc : {&a, &b}) {
+      const std::string error = drapid::obs::validate_run_report(*doc);
+      if (!error.empty()) {
+        std::cerr << "report_diff: invalid report: " << error << '\n';
+        return 2;
+      }
+    }
+
+    std::cout << "diff " << opts.str("a") << " (" << a.at("tool").as_string()
+              << ") -> " << opts.str("b") << " (" << b.at("tool").as_string()
+              << "), tolerance " << opts.number("tolerance") * 100 << "%\n";
+    Differ diff(opts.number("tolerance"));
+    diff.objects("config", a.at("config"), b.at("config"));
+    diff.objects("metrics", a.at("metrics"), b.at("metrics"));
+    diff.objects("counters", a.at("counters"), b.at("counters"));
+    diff.objects("gauges", a.at("gauges"), b.at("gauges"));
+    std::cout << "wall clock:\n";
+    diff.numeric("wall_seconds", a.at("wall_seconds").as_double(),
+                 b.at("wall_seconds").as_double());
+
+    for (const auto& job_a : a.at("jobs").as_array()) {
+      const std::string& label = job_a.at("label").as_string();
+      const Json* job_b = find_job(b, label);
+      if (!job_b) {
+        std::cout << "job \"" << label << "\": only in " << opts.str("a")
+                  << '\n';
+        continue;
+      }
+      std::cout << "job \"" << label << "\" totals:\n";
+      diff.objects("", job_a.at("totals"), job_b->at("totals"));
+    }
+    for (const auto& job_b : b.at("jobs").as_array()) {
+      if (!find_job(a, job_b.at("label").as_string())) {
+        std::cout << "job \"" << job_b.at("label").as_string()
+                  << "\": only in " << opts.str("b") << '\n';
+      }
+    }
+
+    if (diff.flagged_count() == 0) {
+      std::cout << "no numeric change exceeds the tolerance\n";
+      return 0;
+    }
+    std::cout << diff.flagged_count()
+              << " change(s) exceed the tolerance (rows marked !!)\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "report_diff: error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,75 @@
+// trace_check — validates observability artifacts written by the benches.
+//
+//   trace_check --report FILE   checks a run report against the v1 schema
+//                               (including per-job totals == stage-row sums)
+//   trace_check --trace FILE    checks a Chrome trace for balanced,
+//                               strictly nested spans per thread
+//
+// Both flags may be given together (the bench_fig4 smoke test in ctest does
+// exactly that). Exit 0 when every given file validates, 1 otherwise.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/report.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using drapid::Options;
+  namespace obs = drapid::obs;
+  try {
+    Options opts(argc, argv, {{"report", ""}, {"trace", ""}});
+    if (opts.help_requested()) {
+      std::cout << opts.usage("trace_check",
+                              "Validates a run report (--report) and/or a "
+                              "Chrome trace (--trace) written by a bench.");
+      return 0;
+    }
+    if (opts.str("report").empty() && opts.str("trace").empty()) {
+      std::cerr << "trace_check: give --report and/or --trace (see --help)\n";
+      return 2;
+    }
+
+    bool ok = true;
+    if (!opts.str("report").empty()) {
+      const obs::Json doc = obs::Json::parse(read_file(opts.str("report")));
+      const std::string error = obs::validate_run_report(doc);
+      if (error.empty()) {
+        std::cout << opts.str("report") << ": valid run report ("
+                  << doc.at("jobs").size() << " jobs, "
+                  << doc.at("results").size() << " result rows)\n";
+      } else {
+        std::cerr << opts.str("report") << ": INVALID: " << error << '\n';
+        ok = false;
+      }
+    }
+    if (!opts.str("trace").empty()) {
+      const obs::Json doc = obs::Json::parse(read_file(opts.str("trace")));
+      const std::string error = obs::validate_chrome_trace(doc);
+      if (error.empty()) {
+        std::cout << opts.str("trace") << ": valid Chrome trace ("
+                  << doc.at("traceEvents").size() << " events)\n";
+      } else {
+        std::cerr << opts.str("trace") << ": INVALID: " << error << '\n';
+        ok = false;
+      }
+    }
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "trace_check: error: " << e.what() << '\n';
+    return 1;
+  }
+}
