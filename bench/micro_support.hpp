@@ -43,6 +43,13 @@ class CaptureReporter : public benchmark::ConsoleReporter {
       row.set("time_unit",
               std::string(benchmark::GetTimeUnitString(run.time_unit)));
       report_.add_result(std::move(row));
+      // Also surface each benchmark's cpu time as a flat named metric
+      // ("time.<benchmark>") so report_diff compares runs per benchmark —
+      // the regression gate tools/bench_baseline.sh relies on. With
+      // --benchmark_repetitions the repetition runs share a name and the
+      // last one wins; the "_mean"/"_median" aggregates keep distinct names.
+      report_.add_metric("time." + run.benchmark_name(),
+                         obs::Json(run.GetAdjustedCPUTime()));
     }
     ConsoleReporter::ReportRuns(runs);
   }

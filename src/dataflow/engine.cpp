@@ -70,7 +70,7 @@ std::size_t JobMetrics::total_retry_cost() const {
 std::string JobMetrics::summary() const {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"stage", "tasks", "records_in", "bytes_in", "shuffle_bytes",
-                  "spill_bytes", "compute_cost", "retries"});
+                  "spill_bytes", "compute_cost", "retries", "stolen"});
   for (const auto& s : stages) {
     rows.push_back({s.name, std::to_string(s.tasks.size()),
                     std::to_string(s.total_records_in()),
@@ -78,7 +78,8 @@ std::string JobMetrics::summary() const {
                     std::to_string(s.total_shuffle_bytes()),
                     std::to_string(s.total_spill_bytes()),
                     std::to_string(s.total_compute_cost()),
-                    std::to_string(s.total_retries())});
+                    std::to_string(s.total_retries()),
+                    std::to_string(s.tasks_stolen)});
   }
   return render_table(rows);
 }
@@ -92,7 +93,11 @@ Engine::Engine(EngineConfig config)
       tasks_counter_(obs::global_counters().counter("engine.tasks")),
       retries_counter_(obs::global_counters().counter("engine.task_retries")),
       failures_counter_(
-          obs::global_counters().counter("engine.task_failures")) {
+          obs::global_counters().counter("engine.task_failures")),
+      stolen_counter_(obs::global_counters().counter("engine.tasks_stolen")),
+      parks_counter_(obs::global_counters().counter("engine.parks")),
+      fastpath_counter_(
+          obs::global_counters().counter("engine.fastpath_completions")) {
   namespace fs = std::filesystem;
   fs::path dir = config_.spill_dir.empty()
                      ? fs::temp_directory_path() / "drapid_spill"
@@ -127,6 +132,7 @@ void Engine::run_stage(StageMetrics& stage,
       std::max<std::size_t>(1, config_.max_task_attempts);
   obs::ScopedSpan stage_span(tracer_, "stage", stage.name, "dataflow");
   stage_span.arg("tasks", static_cast<std::int64_t>(stage.tasks.size()));
+  const SchedulerStats pool_before = pool_.stats();
   pool_.parallel_for(stage.tasks.size(), [&](std::size_t p) {
     auto& task = stage.tasks[p];
     obs::ScopedSpan task_span(tracer_, "task", stage.name, "dataflow");
@@ -165,6 +171,22 @@ void Engine::run_stage(StageMetrics& stage,
       return;
     }
   });
+  const SchedulerStats pool_after = pool_.stats();
+  const std::uint64_t stolen = pool_after.tasks_stolen - pool_before.tasks_stolen;
+  const std::uint64_t parks = pool_after.parks - pool_before.parks;
+  const std::uint64_t fastpath =
+      pool_after.fastpath_completions - pool_before.fastpath_completions;
+  stage.tasks_stolen += stolen;
+  stage.parks += parks;
+  stage.fastpath_completions += fastpath;
+  stolen_counter_.add(static_cast<std::int64_t>(stolen));
+  parks_counter_.add(static_cast<std::int64_t>(parks));
+  fastpath_counter_.add(static_cast<std::int64_t>(fastpath));
+  if (tracer_.enabled()) {
+    stage_span.arg("tasks_stolen", static_cast<std::int64_t>(stolen));
+    stage_span.arg("parks", static_cast<std::int64_t>(parks));
+    stage_span.arg("fastpath_completions", static_cast<std::int64_t>(fastpath));
+  }
 }
 
 std::string Engine::next_spill_path() {

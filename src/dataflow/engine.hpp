@@ -155,6 +155,9 @@ class Engine {
   obs::CounterRegistry::Counter& tasks_counter_;
   obs::CounterRegistry::Counter& retries_counter_;
   obs::CounterRegistry::Counter& failures_counter_;
+  obs::CounterRegistry::Counter& stolen_counter_;
+  obs::CounterRegistry::Counter& parks_counter_;
+  obs::CounterRegistry::Counter& fastpath_counter_;
 };
 
 }  // namespace drapid

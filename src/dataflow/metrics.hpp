@@ -45,6 +45,16 @@ struct StageMetrics {
   std::string name;
   std::vector<TaskMetrics> tasks;
 
+  // Scheduler activity observed while this stage's parallel_for ran,
+  // recorded as the delta of the pool's SchedulerStats across the stage.
+  // Stage-level rather than per-task because the pool counters are global to
+  // the pool; when lineage recomputation nests a stage inside a running one,
+  // both stages observe the overlapping activity (attribution is by
+  // wall-clock overlap, not causality).
+  std::size_t tasks_stolen = 0;
+  std::size_t parks = 0;
+  std::size_t fastpath_completions = 0;
+
   std::size_t total_records_in() const;
   std::size_t total_bytes_in() const;
   std::size_t total_shuffle_bytes() const;

@@ -35,6 +35,9 @@ obs::JobReport make_job_report(std::string label, const JobMetrics& metrics,
     row.compute_cost = static_cast<double>(stage.total_compute_cost());
     row.retries = stage.total_retries();
     row.retry_cost = static_cast<double>(stage.total_retry_cost());
+    row.tasks_stolen = stage.tasks_stolen;
+    row.parks = stage.parks;
+    row.fastpath_completions = stage.fastpath_completions;
     for (const TaskMetrics& task : stage.tasks) {
       row.records_out += task.records_out;
       row.bytes_out += task.bytes_out;

@@ -22,43 +22,32 @@
 #include <optional>
 #include <string>
 #include <type_traits>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "dataflow/engine.hpp"
+#include "util/flat_hash.hpp"  // stable_hash + the per-partition hash tables
 
 namespace drapid {
 
-// --- Stable hashing (independent of std::hash, for reproducible layouts) ----
-
-inline std::uint64_t fnv1a64(const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= bytes[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-inline std::uint64_t stable_hash(const std::string& key) {
-  return fnv1a64(key.data(), key.size());
-}
-
-template <typename T>
-  requires std::is_integral_v<T>
-std::uint64_t stable_hash(T key) {
-  auto x = static_cast<std::uint64_t>(key);
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
 // --- In-memory size estimation (for memory budgets and shuffle byte counts) -
+//
+// Contract: byte_size is a deterministic *estimator* of resident bytes, not
+// allocator-exact accounting. It must be (a) stable across runs, platforms
+// and container layout choices — it feeds shuffle-byte metrics that tests
+// and the cluster model compare across configurations — and (b) cheap:
+// O(1) wherever the element representation allows it. It estimates object
+// footprint + owned heap payload; it ignores allocator slack, capacity
+// beyond size, and heap-block headers.
 
 inline std::size_t byte_size(const std::string& s) {
-  return s.size() + sizeof(std::string);
+  // A short string stores its bytes inside the object (SSO): counting
+  // s.size() on top of sizeof(std::string) would double-count them. The
+  // bytes live out-of-line exactly when data() points outside the object.
+  const auto obj = reinterpret_cast<std::uintptr_t>(&s);
+  const auto data = reinterpret_cast<std::uintptr_t>(s.data());
+  const bool inline_sso = data >= obj && data < obj + sizeof(std::string);
+  return sizeof(std::string) + (inline_sso ? 0 : s.size());
 }
 template <typename T>
   requires std::is_arithmetic_v<T> || std::is_enum_v<T>
@@ -79,15 +68,34 @@ std::size_t byte_size(const std::vector<T>& v);
 template <typename T>
 std::size_t byte_size(const std::optional<T>& o);
 
+namespace detail {
+/// True when byte_size(e) == sizeof(T) for every value of T, i.e. the
+/// element estimate is a constant. pair/optional are trivially copyable for
+/// flat component types but their estimates sum components (skipping
+/// padding), so they are excluded explicitly.
+template <typename T>
+inline constexpr bool flat_byte_size_v = std::is_trivially_copyable_v<T>;
+template <typename A, typename B>
+inline constexpr bool flat_byte_size_v<std::pair<A, B>> = false;
+template <typename T>
+inline constexpr bool flat_byte_size_v<std::optional<T>> = false;
+}  // namespace detail
+
 template <typename A, typename B>
 std::size_t byte_size(const std::pair<A, B>& p) {
   return byte_size(p.first) + byte_size(p.second);
 }
 template <typename T>
 std::size_t byte_size(const std::vector<T>& v) {
-  std::size_t total = sizeof(std::vector<T>);
-  for (const auto& e : v) total += byte_size(e);
-  return total;
+  // O(1) when the per-element estimate is the constant sizeof(T) — metrics
+  // accounting for large flat vectors must not walk every record.
+  if constexpr (detail::flat_byte_size_v<T>) {
+    return sizeof(std::vector<T>) + v.size() * sizeof(T);
+  } else {
+    std::size_t total = sizeof(std::vector<T>);
+    for (const auto& e : v) total += byte_size(e);
+    return total;
+  }
 }
 template <typename T>
 std::size_t byte_size(const std::optional<T>& o) {
@@ -105,8 +113,12 @@ struct HashPartitioner {
 
   template <typename K>
   std::size_t of(const K& key) const {
-    return static_cast<std::size_t>((stable_hash(key) ^ salt) %
-                                    num_partitions);
+    const std::uint64_t mixed = stable_hash(key) ^ salt;
+    const auto n = static_cast<std::uint64_t>(num_partitions);
+    // x % n == x & (n-1) for power-of-two n — same layout, no 64-bit divide
+    // on the per-record shuffle path.
+    if ((n & (n - 1)) == 0) return static_cast<std::size_t>(mixed & (n - 1));
+    return static_cast<std::size_t>(mixed % n);
   }
   /// Nonzero identity; equal iff layouts are identical.
   std::uint64_t id() const {
@@ -294,33 +306,57 @@ Rdd<K, V> partition_by(Engine& engine, const Rdd<K, V>& in,
   out.partitions.resize(targets);
   out.partitioner_id = partitioner.id();
 
-  std::vector<std::vector<std::vector<std::pair<K, V>>>> buckets(sources);
+  // Two passes, no intermediate buckets: pass 1 hashes each record once,
+  // remembering its target and counting per (source, target); pass 2 copies
+  // every record directly into its final slot. Target partition t holds
+  // source 0's records for t in order, then source 1's, ... — the same
+  // deterministic layout the old bucket-then-gather version produced.
+  std::vector<std::vector<std::uint32_t>> target_of(sources);
+  std::vector<std::vector<std::size_t>> counts(
+      sources, std::vector<std::size_t>(targets, 0));
   auto& stage = engine.begin_stage(name, sources);
   engine.run_stage(stage, [&](TaskContext& ctx) {
     const std::size_t p = ctx.partition();
     if (p >= in.num_partitions()) return;  // sources is clamped to >= 1
     auto& task = ctx.metrics();
-    detail::record_input(task, in.partitions[p]);
-    // Bucketing is a hash + pointer move per record — far cheaper than a
-    // parse or search step; the bytes cost is paid at the network term.
+    const auto& records = in.partitions[p];
+    task.records_in = records.size();
+    // Bucketing is a hash + copy per record — far cheaper than a parse or
+    // search step; the bytes cost is paid at the network term.
     task.compute_cost = task.records_in / 4;
-    buckets[p].resize(targets);
-    for (const auto& kv : in.partitions[p]) {
-      const std::size_t target = partitioner.of(kv.first);
-      if (target % executors != p % executors) {
-        task.shuffle_bytes += byte_size(kv);
-      }
-      buckets[p][target].push_back(kv);
+    target_of[p].resize(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const std::size_t target = partitioner.of(records[i].first);
+      target_of[p][i] = static_cast<std::uint32_t>(target);
+      ++counts[p][target];
+      // One byte_size walk, shared by the input and shuffle byte counts.
+      const std::size_t bytes = byte_size(records[i]);
+      task.bytes_in += bytes;
+      if (target % executors != p % executors) task.shuffle_bytes += bytes;
     }
     task.records_out = task.records_in;
     task.bytes_out = task.bytes_in;
   });
-  engine.pool().parallel_for(targets, [&](std::size_t t) {
+  // offsets[s][t] = where source s's run starts inside target t.
+  std::vector<std::vector<std::size_t>> offsets(
+      sources, std::vector<std::size_t>(targets, 0));
+  for (std::size_t t = 0; t < targets; ++t) {
+    std::size_t total = 0;
     for (std::size_t s = 0; s < sources; ++s) {
-      auto& bucket = buckets[s][t];
-      out.partitions[t].insert(out.partitions[t].end(),
-                               std::make_move_iterator(bucket.begin()),
-                               std::make_move_iterator(bucket.end()));
+      offsets[s][t] = total;
+      total += counts[s][t];
+    }
+    out.partitions[t].resize(total);
+  }
+  // Sources write disjoint slices of each target, so this parallelizes
+  // without synchronization.
+  engine.pool().parallel_for(sources, [&](std::size_t s) {
+    if (s >= in.num_partitions()) return;
+    const auto& records = in.partitions[s];
+    auto& cursor = offsets[s];
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const std::uint32_t t = target_of[s][i];
+      out.partitions[t][cursor[t]++] = records[i];
     }
   });
   return out;
@@ -346,15 +382,16 @@ Rdd<K, Agg> aggregate_by_key(Engine& engine, const Rdd<K, V>& in,
     auto& task = ctx.metrics();
     detail::record_input(task, in.partitions[p]);
     task.compute_cost = task.records_in / 4;  // hash-fold per record
-    std::unordered_map<K, Agg> local;
+    // Accumulators live densely in the flat map in first-encounter order —
+    // a pure function of the partition's record sequence, so the emitted
+    // layout is identical across thread counts and hash-table capacities.
+    FlatHashMap<K, Agg> local;
+    local.reserve(in.partitions[p].size());
     for (const auto& kv : in.partitions[p]) {
-      auto [it, inserted] = local.try_emplace(kv.first, init);
-      fold(it->second, kv.second);
+      auto [entry, inserted] = local.try_emplace(kv.first, init);
+      fold(entry->second, kv.second);
     }
-    combined.partitions[p].reserve(local.size());
-    for (auto& [k, agg] : local) {
-      combined.partitions[p].emplace_back(k, std::move(agg));
-    }
+    combined.partitions[p] = local.take_entries();
     detail::record_output(task, combined.partitions[p]);
   });
 
@@ -377,15 +414,13 @@ Rdd<K, Agg> aggregate_by_key(Engine& engine, const Rdd<K, V>& in,
     auto& task = ctx.metrics();
     detail::record_input(task, shuffled.partitions[p]);
     task.compute_cost = task.records_in / 4;  // hash-merge per record
-    std::unordered_map<K, Agg> local;
+    FlatHashMap<K, Agg> local;
+    local.reserve(shuffled.partitions[p].size());
     for (auto& kv : shuffled.partitions[p]) {
-      auto [it, inserted] = local.try_emplace(kv.first, std::move(kv.second));
-      if (!inserted) merge(it->second, std::move(kv.second));
+      auto [entry, inserted] = local.try_emplace(kv.first, std::move(kv.second));
+      if (!inserted) merge(entry->second, std::move(kv.second));
     }
-    out.partitions[p].reserve(local.size());
-    for (auto& [k, agg] : local) {
-      out.partitions[p].emplace_back(k, std::move(agg));
-    }
+    out.partitions[p] = local.take_entries();
     detail::record_output(task, out.partitions[p]);
   });
   return out;
@@ -453,23 +488,28 @@ Rdd<K, std::pair<V, std::optional<W>>> left_outer_join(
     const std::size_t p = ctx.partition();
     auto& task = ctx.metrics();
     detail::record_input(task, lhs->partitions[p]);
-    std::unordered_multimap<K, const W*> index;
+    // Build side: duplicate right keys keep partition order in the chain,
+    // so matches are emitted deterministically per left record.
+    FlatHashMultiMap<K, const W*> index;
     index.reserve(rhs->partitions[p].size());
     for (const auto& kv : rhs->partitions[p]) {
       index.emplace(kv.first, &kv.second);
       task.bytes_in += byte_size(kv);
     }
     task.records_in += rhs->partitions[p].size();
+    // Exact when right keys are unique, a lower bound otherwise.
+    out.partitions[p].reserve(lhs->partitions[p].size());
     for (const auto& kv : lhs->partitions[p]) {
-      auto [lo, hi] = index.equal_range(kv.first);
-      if (lo == hi) {
-        out.partitions[p].emplace_back(
-            kv.first, std::make_pair(kv.second, std::optional<W>{}));
-      } else {
-        for (auto it = lo; it != hi; ++it) {
-          out.partitions[p].emplace_back(
-              kv.first, std::make_pair(kv.second, std::optional<W>(*it->second)));
-        }
+      const bool matched = index.for_each(kv.first, [&](const W* w) {
+        out.partitions[p].emplace_back(std::piecewise_construct,
+                                       std::forward_as_tuple(kv.first),
+                                       std::forward_as_tuple(kv.second, *w));
+      });
+      if (!matched) {
+        out.partitions[p].emplace_back(std::piecewise_construct,
+                                       std::forward_as_tuple(kv.first),
+                                       std::forward_as_tuple(kv.second,
+                                                            std::nullopt));
       }
     }
     detail::record_output(task, out.partitions[p]);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 
 #include "util/stats.hpp"
 
@@ -26,48 +25,68 @@ Trend classify(double slope, double threshold) {
   return Trend::kFlat;
 }
 
-/// A single pulse being assembled by the trend state machine.
-struct PendingPulse {
-  std::size_t begin = 0;
-  bool has_peak = false;
-};
-
 class SearchState {
  public:
   explicit SearchState(std::span<const SinglePulseEvent> events)
       : events_(events) {}
 
-  void begin_new(std::size_t at) { sp_ = PendingPulse{at, false}; }
-  void clear() { sp_.reset(); }
-  void mark_peak() {
-    if (sp_) sp_->has_peak = true;
+  void begin_new(std::size_t at) {
+    active_ = true;
+    has_peak_ = false;
+    begin_ = at;
+    peak_ = at;
+    folded_ = at + 1;  // the begin event itself seeds the running argmax
   }
-  bool active() const { return sp_.has_value(); }
-  bool has_peak() const { return sp_ && sp_->has_peak; }
+  void clear() { active_ = false; }
+  void mark_peak() {
+    if (active_) has_peak_ = true;
+  }
+  bool active() const { return active_; }
+  bool has_peak() const { return active_ && has_peak_; }
 
-  /// Writes the pending pulse covering [sp.begin, end_exclusive); only
-  /// pulses that actually crossed a peak are emitted.
+  /// Folds events [folded, upto) into the pending pulse's running peak
+  /// argmax. The main loop calls this once per bin boundary, so the peak is
+  /// maintained incrementally as the scan advances — each event is folded at
+  /// most once per cluster (pulses are disjoint and `folded` is monotone)
+  /// and write() needs no rescan of [begin, end). Ties keep the first
+  /// maximum (strict >), matching a left-to-right scan.
+  void advance_peak(std::size_t upto) {
+    if (!active_ || upto <= folded_) return;
+    double best = events_[peak_].snr;  // cached: one load per event below
+    for (std::size_t i = folded_; i < upto; ++i) {
+      if (events_[i].snr > best) {
+        best = events_[i].snr;
+        peak_ = i;
+      }
+    }
+    folded_ = upto;
+  }
+
+  /// Writes the pending pulse covering [begin, end_exclusive); only pulses
+  /// that actually crossed a peak are emitted.
   void write(std::size_t end_exclusive) {
-    if (!sp_ || !sp_->has_peak || end_exclusive <= sp_->begin) {
-      sp_.reset();
+    if (!active_ || !has_peak_ || end_exclusive <= begin_) {
+      active_ = false;
       return;
     }
+    advance_peak(end_exclusive);  // no-op except for the final tail
     SinglePulse pulse;
-    pulse.begin = sp_->begin;
+    pulse.begin = begin_;
     pulse.end = end_exclusive;
-    pulse.peak = pulse.begin;
-    for (std::size_t i = pulse.begin; i < pulse.end; ++i) {
-      if (events_[i].snr > events_[pulse.peak].snr) pulse.peak = i;
-    }
+    pulse.peak = peak_;
     results_.push_back(pulse);
-    sp_.reset();
+    active_ = false;
   }
 
   std::vector<SinglePulse>&& take_results() { return std::move(results_); }
 
  private:
   std::span<const SinglePulseEvent> events_;
-  std::optional<PendingPulse> sp_;
+  bool active_ = false;
+  bool has_peak_ = false;
+  std::size_t begin_ = 0;
+  std::size_t peak_ = 0;    // argmax of snr over [begin_, folded_)
+  std::size_t folded_ = 0;  // exclusive end of the range peak_ covers
   std::vector<SinglePulse> results_;
 };
 
@@ -84,21 +103,27 @@ std::vector<SinglePulse> rapid_search(std::span<const SinglePulseEvent> events,
   // b_{n-1} is initialized to 0 (Algorithm 1), i.e. a flat previous trend.
   Trend prev = Trend::kFlat;
 
+  // Regression window: the bin itself, widened to two points when the bin
+  // size is 1 so that the slope "connects the dots" (§5.1.2) instead of
+  // degenerating on a single point. Loop-invariant, so hoisted.
+  const std::size_t window = std::max<std::size_t>(binsize, 2);
+
   for (std::size_t start = 0; start < n; start += binsize) {
-    // Regression window: the bin itself, widened to two points when the bin
-    // size is 1 so that the slope "connects the dots" (§5.1.2) instead of
-    // degenerating on a single point.
-    const std::size_t window = std::max<std::size_t>(binsize, 2);
     const std::size_t end = std::min(start + window, n);
     if (end - start < 2) break;  // a trailing singleton carries no trend
-    std::vector<double> x, y;
-    x.reserve(end - start);
-    y.reserve(end - start);
+    // Incremental regression sums — RunningFit::add performs the exact
+    // operation sequence of linear_regression's accumulation loop, so the
+    // slope is bit-identical to the vector-based version without the two
+    // heap allocations per bin.
+    RunningFit bin_fit;
     for (std::size_t i = start; i < end; ++i) {
-      x.push_back(events[i].dm);
-      y.push_back(events[i].snr);
+      bin_fit.add(events[i].dm, events[i].snr);
     }
-    const Trend cur = classify(linear_regression(x, y).slope, m);
+    const Trend cur = classify(bin_fit.fit().slope, m);
+
+    // Fold the events scanned so far into the pending pulse's peak before
+    // the transitions below consult or write it at boundary `start`.
+    state.advance_peak(start);
 
     // Trend-transition state machine (Algorithm 1). `start` is the first
     // SPE of the current bin: pulses begin at bin starts and are written

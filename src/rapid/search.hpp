@@ -51,6 +51,12 @@ struct SinglePulse {
 /// Runs Algorithm 1 over one cluster's SPEs (must be sorted by DM;
 /// behaviour is unspecified otherwise). Returns the identified single
 /// pulses in DM order.
+///
+/// Allocation-free per bin: regressions accumulate incremental sums
+/// (RunningFit) and peak positions are tracked during the scan itself, so
+/// the only allocation is the growing result vector. This is the per-cluster
+/// inner loop of the identification stage — the paper's Figure 4 wall clock
+/// is dominated by calls to this function.
 std::vector<SinglePulse> rapid_search(std::span<const SinglePulseEvent> events,
                                       const RapidParams& params = {});
 

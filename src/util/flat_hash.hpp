@@ -1,0 +1,214 @@
+// Open-addressing hash containers for the shuffle/aggregation hot path.
+//
+// The dataflow transformations build one hash table per partition per stage
+// (aggregate_by_key's combine and merge, the join's build side), so table
+// construction cost is on the critical path of every shuffle. std::unordered_map
+// pays a node allocation per key and chases a pointer per probe;
+// FlatHashMap stores entries contiguously in insertion order and resolves
+// keys through a power-of-two open-addressing index of 32-bit entry
+// references:
+//
+//   * probing is linear from a stable_hash-derived slot, so lookups touch
+//     one cache line of the index in the common case;
+//   * the index holds entry-index+1 values (0 = empty) instead of
+//     pointers — half the size of a pointer table and rebuildable in place;
+//   * there is no erase and therefore no tombstones: the per-partition
+//     tables are build-then-drain, so deletion support would only slow the
+//     probe loop down. Growth rebuilds the index from the dense entries
+//     (the entries themselves never move on rehash — only the index does).
+//
+// Determinism: iteration order is first-encounter order of the keys, a pure
+// function of the input sequence — independent of hash quality, capacity,
+// growth history, and platform. That is what lets the RDD layer swap this in
+// for std::unordered_map without perturbing results across thread counts.
+//
+// FlatHashMultiMap layers duplicate-key support on top via per-key intrusive
+// chains (head/tail entry references), preserving insertion order within a
+// key — the property the join needs to emit matches deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace drapid {
+
+// --- Stable hashing (independent of std::hash, for reproducible layouts) ----
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t stable_hash(const std::string& key) {
+  return fnv1a64(key.data(), key.size());
+}
+
+template <typename T>
+  requires std::is_integral_v<T>
+std::uint64_t stable_hash(T key) {
+  auto x = static_cast<std::uint64_t>(key);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Functor over the stable_hash overload set (default hash for the tables).
+struct StableHash {
+  template <typename K>
+  std::uint64_t operator()(const K& key) const {
+    return stable_hash(key);
+  }
+};
+
+/// Insertion-ordered open-addressing map. See file header for the design;
+/// grows at 7/8 load factor, no erase, iteration = first-encounter order.
+template <typename K, typename V, typename Hash = StableHash>
+class FlatHashMap {
+ public:
+  using Entry = std::pair<K, V>;
+
+  FlatHashMap() = default;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Pre-sizes both the entry store and the index for `n` keys so the build
+  /// loop neither reallocates entries nor rehashes the index.
+  void reserve(std::size_t n) {
+    entries_.reserve(n);
+    // Smallest power of two keeping n keys under 7/8 load.
+    std::size_t cap = kMinCapacity;
+    while (n + n / 7 >= cap - cap / 8) cap <<= 1;
+    if (cap > index_.size()) rebuild_index(cap);
+  }
+
+  /// Inserts `key` with a value constructed from `args` unless present.
+  /// Returns the entry and whether it was inserted. The returned pointer is
+  /// invalidated by the next insertion (the entry store is a vector).
+  template <typename... Args>
+  std::pair<Entry*, bool> try_emplace(const K& key, Args&&... args) {
+    if (entries_.size() + 1 > index_.size() - index_.size() / 8) {
+      rebuild_index(index_.empty() ? kMinCapacity : index_.size() * 2);
+    }
+    std::size_t slot = hash_(key) & mask_;
+    while (true) {
+      const std::uint32_t ref = index_[slot];
+      if (ref == 0) {
+        entries_.emplace_back(std::piecewise_construct,
+                              std::forward_as_tuple(key),
+                              std::forward_as_tuple(std::forward<Args>(args)...));
+        index_[slot] = static_cast<std::uint32_t>(entries_.size());
+        return {&entries_.back(), true};
+      }
+      if (entries_[ref - 1].first == key) return {&entries_[ref - 1], false};
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Value for `key`, or nullptr. Never allocates.
+  V* find(const K& key) {
+    if (index_.empty()) return nullptr;
+    std::size_t slot = hash_(key) & mask_;
+    while (true) {
+      const std::uint32_t ref = index_[slot];
+      if (ref == 0) return nullptr;
+      if (entries_[ref - 1].first == key) return &entries_[ref - 1].second;
+      slot = (slot + 1) & mask_;
+    }
+  }
+  const V* find(const K& key) const {
+    return const_cast<FlatHashMap*>(this)->find(key);
+  }
+
+  auto begin() { return entries_.begin(); }
+  auto end() { return entries_.end(); }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+  /// Moves the dense entry store out (first-encounter order) — the drain
+  /// step of the build-then-drain pattern. The map is empty afterwards.
+  std::vector<Entry> take_entries() {
+    index_.clear();
+    mask_ = 0;
+    return std::move(entries_);
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  void rebuild_index(std::size_t capacity) {
+    index_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::size_t slot = hash_(entries_[i].first) & mask_;
+      while (index_[slot] != 0) slot = (slot + 1) & mask_;
+      index_[slot] = static_cast<std::uint32_t>(i + 1);
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> index_;  // entry index + 1; 0 = empty
+  std::size_t mask_ = 0;
+  [[no_unique_address]] Hash hash_;
+};
+
+/// Duplicate-key companion: values for one key form an intrusive chain in
+/// insertion order. Built once, probed many times (the join build side).
+template <typename K, typename V, typename Hash = StableHash>
+class FlatHashMultiMap {
+ public:
+  void reserve(std::size_t n) {
+    heads_.reserve(n);
+    nodes_.reserve(n);
+  }
+
+  std::size_t size() const { return nodes_.size(); }
+
+  void emplace(const K& key, V value) {
+    const auto idx = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{std::move(value), kEnd});
+    auto [entry, inserted] = heads_.try_emplace(key, Chain{idx, idx});
+    if (!inserted) {
+      nodes_[entry->second.tail].next = idx;
+      entry->second.tail = idx;
+    }
+  }
+
+  /// Calls fn(value) for every value of `key` in insertion order; returns
+  /// whether the key was present.
+  template <typename Fn>
+  bool for_each(const K& key, Fn&& fn) const {
+    const Chain* chain = heads_.find(key);
+    if (chain == nullptr) return false;
+    for (std::uint32_t i = chain->head; i != kEnd; i = nodes_[i].next) {
+      fn(nodes_[i].value);
+    }
+    return true;
+  }
+
+ private:
+  static constexpr std::uint32_t kEnd = static_cast<std::uint32_t>(-1);
+  struct Chain {
+    std::uint32_t head;
+    std::uint32_t tail;
+  };
+  struct Node {
+    V value;
+    std::uint32_t next;
+  };
+
+  FlatHashMap<K, Chain, Hash> heads_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace drapid

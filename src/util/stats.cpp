@@ -48,25 +48,6 @@ LinearFit linear_regression(std::span<const double> x,
   return fit_from_sums(n, sx, sy, sxx, syy, sxy);
 }
 
-void RunningFit::add(double x, double y) {
-  ++n_;
-  sx_ += x;
-  sy_ += y;
-  sxx_ += x * x;
-  syy_ += y * y;
-  sxy_ += x * y;
-}
-
-void RunningFit::remove(double x, double y) {
-  if (n_ == 0) return;
-  --n_;
-  sx_ -= x;
-  sy_ -= y;
-  sxx_ -= x * x;
-  syy_ -= y * y;
-  sxy_ -= x * y;
-}
-
 LinearFit RunningFit::fit() const {
   return fit_from_sums(n_, sx_, sy_, sxx_, syy_, sxy_);
 }

@@ -31,8 +31,28 @@ LinearFit linear_regression(std::span<const double> x,
 /// vectors.
 class RunningFit {
  public:
-  void add(double x, double y);
-  void remove(double x, double y);
+  // add/remove are defined inline: hot kernels (rapid_search) call them once
+  // per event, and keeping the accumulators in registers across the loop
+  // matters there. The operation order matches linear_regression's
+  // accumulation loop exactly, so a fresh RunningFit over the same points
+  // yields a bit-identical fit.
+  void add(double x, double y) {
+    ++n_;
+    sx_ += x;
+    sy_ += y;
+    sxx_ += x * x;
+    syy_ += y * y;
+    sxy_ += x * y;
+  }
+  void remove(double x, double y) {
+    if (n_ == 0) return;
+    --n_;
+    sx_ -= x;
+    sy_ -= y;
+    sxx_ -= x * x;
+    syy_ -= y * y;
+    sxy_ -= x * y;
+  }
   std::size_t count() const { return n_; }
   /// Current fit over all added points (same degenerate rules as
   /// linear_regression).

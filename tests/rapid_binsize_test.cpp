@@ -15,6 +15,24 @@ TEST(BinSize, SmallClustersUseBinSizeOne) {
   }
 }
 
+TEST(BinSize, DynamicBoundaryAtTwelve) {
+  // The n < 12 guard is exclusive: n = 11 is the last cluster pinned to
+  // binsize 1, and n = 12 is the first to consult Equation 1 — which, for
+  // weights >= ~0.3, already exceeds 1, so the boundary is a real step.
+  RapidParams params;  // dynamic, w = 0.75
+  EXPECT_EQ(compute_bin_size(11, params), 1u);
+  EXPECT_EQ(compute_bin_size(12, params),
+            static_cast<std::size_t>(std::floor(0.75 * std::sqrt(12.0))));
+  EXPECT_GT(compute_bin_size(12, params), 1u);
+  // The guard applies only in dynamic mode: a static configuration keeps
+  // its configured size on both sides of the boundary.
+  RapidParams fixed;
+  fixed.dynamic_bin_size = false;
+  fixed.static_bin_size = 7;
+  EXPECT_EQ(compute_bin_size(11, fixed), 7u);
+  EXPECT_EQ(compute_bin_size(12, fixed), 7u);
+}
+
 TEST(BinSize, MatchesEquationOneAboveThreshold) {
   RapidParams params;  // w = 0.75
   EXPECT_EQ(compute_bin_size(12, params),

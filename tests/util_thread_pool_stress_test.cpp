@@ -1,0 +1,136 @@
+// Stress suite for the work-stealing pool, written to run under
+// ThreadSanitizer (tools/check.sh adds it to the TSan pass): nested
+// parallel_for storms, exceptions thrown from stolen tasks, and tasks
+// submitted while the pool is busy draining — the interleavings where a
+// Chase-Lev bookkeeping bug would surface as a race or a lost wakeup.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace drapid {
+namespace {
+
+TEST(ThreadPoolStress, NestedParallelForFromEveryWorker) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(8, [&](std::size_t) {
+      pool.parallel_for(32, [&](std::size_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  EXPECT_EQ(total.load(), 20u * 8u * 32u);
+}
+
+TEST(ThreadPoolStress, TripleNestingCompletesOnOneThread) {
+  ThreadPool pool(1);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(4, [&](std::size_t) { total.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ThreadPoolStress, ExceptionsFromStolenTasksPropagateAndPoolSurvives) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    // Several chunks throw, from whichever thread stole them; the join must
+    // rethrow exactly one error and leave the loop state fully retired.
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                     if (i % 17 == 3) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
+                 std::runtime_error);
+    // The pool must stay fully usable after an aborted loop.
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 64u);
+  }
+}
+
+TEST(ThreadPoolStress, SubmitFromInsideTasksDuringJoin) {
+  // Tasks submit further tasks while the main thread is joining the loop
+  // that spawned them — the join's help-drain path must run foreign tasks,
+  // not just its own chunks.
+  ThreadPool pool(3);
+  std::mutex futures_mutex;
+  std::vector<std::future<void>> futures;
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(32, [&](std::size_t) {
+    auto f = pool.submit([&done] { done.fetch_add(1); });
+    std::lock_guard lock(futures_mutex);
+    futures.push_back(std::move(f));
+  });
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(done.load(), 32u);
+}
+
+TEST(ThreadPoolStress, ExternalSubmittersRaceWithParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> submitted_done{0};
+  std::atomic<std::size_t> loop_done{0};
+  std::vector<std::future<void>> futures(64);  // disjoint slot per submit
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < 16; ++i) {
+        futures[static_cast<std::size_t>(t) * 16 + i] =
+            pool.submit([&submitted_done] { submitted_done.fetch_add(1); });
+      }
+    });
+  }
+  for (int round = 0; round < 8; ++round) {
+    pool.parallel_for(64, [&](std::size_t) { loop_done.fetch_add(1); });
+  }
+  for (auto& th : submitters) th.join();
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(submitted_done.load(), 64u);
+  EXPECT_EQ(loop_done.load(), 8u * 64u);
+}
+
+TEST(ThreadPoolStress, DestructorDrainsQueuedTasks) {
+  // submit()'s contract: every returned future completes even when the pool
+  // dies with tasks still queued.
+  std::vector<std::future<void>> futures;
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    futures.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      futures.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+    }
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolStress, StatsAreMonotonicAndFastPathFires) {
+  ThreadPool pool(4);
+  SchedulerStats prev = pool.stats();
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(256, [](std::size_t) {});
+    const SchedulerStats cur = pool.stats();
+    EXPECT_GE(cur.tasks_stolen, prev.tasks_stolen);
+    EXPECT_GE(cur.parks, prev.parks);
+    EXPECT_GE(cur.fastpath_completions, prev.fastpath_completions);
+    prev = cur;
+  }
+  // 256 iterations split into thread_count()*4 chunks: every chunk but the
+  // last of each loop completes without the join mutex.
+  EXPECT_GT(prev.fastpath_completions, 0u);
+}
+
+}  // namespace
+}  // namespace drapid

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Records the micro-benchmark baseline bundle that the regression gate in
+# tools/check.sh (DRAPID_BENCH_CHECK=1) compares against.
+#
+# Runs the four micro suites at a pinned --seed/--scale so the measured work
+# is identical run to run, collects each tool's --json-out run report
+# (which carries one "time.<benchmark>" metric per benchmark, see
+# bench/micro_support.hpp), and bundles them into one file:
+#
+#   {"schema_version": 1, "benches": {"bench_micro_dataflow": {...}, ...}}
+#
+# tools/report_diff understands the bundle via --bench <tool>, so the gate
+# diffs a fresh bundle against the committed BENCH_PR3.json per tool.
+#
+# Usage: tools/bench_baseline.sh [out.json]   (default: BENCH_PR3.json)
+# Env:   BUILD_DIR               build tree with the bench targets (build)
+#        DRAPID_BENCH_MIN_TIME   --benchmark_min_time per benchmark (0.2)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_PR3.json}"
+MIN_TIME="${DRAPID_BENCH_MIN_TIME:-0.2}"
+SEED=42
+SCALE=1.0
+BENCHES=(bench_micro_dataflow bench_micro_rapid bench_micro_dedisp
+         bench_micro_ml)
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_baseline: missing $bin (build the bench targets first)" >&2
+    exit 2
+  fi
+  echo "=== $bench (seed=$SEED scale=$SCALE min_time=$MIN_TIME) ==="
+  "$bin" --seed "$SEED" --scale "$SCALE" \
+         --benchmark_min_time="$MIN_TIME" \
+         --json-out "$TMP/$bench.json" > /dev/null
+done
+
+python3 - "$OUT" "$TMP" "${BENCHES[@]}" <<'PYEOF'
+import json
+import sys
+
+out, tmp, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+bundle = {"schema_version": 1, "benches": {}}
+for bench in benches:
+    with open(f"{tmp}/{bench}.json") as f:
+        bundle["benches"][bench] = json.load(f)
+with open(out, "w") as f:
+    json.dump(bundle, f, indent=2)
+    f.write("\n")
+PYEOF
+echo "bench_baseline: wrote $OUT"

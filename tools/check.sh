@@ -16,6 +16,30 @@ cmake -S . -B build
 cmake --build build -j "$(nproc)"
 ctest --test-dir build -j "$(nproc)" --output-on-failure
 
+# Opt-in micro-bench regression gate: re-record the pinned-seed bundle and
+# flag any per-benchmark cpu time that moved >10% vs the committed baseline.
+# Timing-noise sensitive, so it runs only when asked for (CI runs it as a
+# non-blocking job; see .github/workflows/ci.yml).
+if [[ "${DRAPID_BENCH_CHECK:-0}" == "1" ]]; then
+  echo "=== micro-bench regression gate (vs BENCH_PR3.json) ==="
+  cmake --build build -j "$(nproc)" --target bench_micro_dataflow \
+    bench_micro_rapid bench_micro_dedisp bench_micro_ml report_diff
+  current="$(mktemp)"
+  trap 'rm -f "$current"' EXIT
+  tools/bench_baseline.sh "$current"
+  bench_status=0
+  for bench in bench_micro_dataflow bench_micro_rapid bench_micro_dedisp \
+               bench_micro_ml; do
+    echo "--- $bench ---"
+    build/tools/report_diff --bench "$bench" --metrics-only 1 \
+      --tolerance 0.10 --a BENCH_PR3.json --b "$current" || bench_status=1
+  done
+  if [[ "$bench_status" != "0" ]]; then
+    echo "check: micro-bench gate flagged >10% changes (see rows above)"
+    exit 1
+  fi
+fi
+
 if [[ "${DRAPID_SKIP_TSAN:-0}" == "1" ]]; then
   echo "check: build + ctest clean (TSan pass skipped)"
   exit 0
@@ -23,6 +47,7 @@ fi
 
 TSAN_TARGETS=(
   util_thread_pool_test
+  util_thread_pool_stress_test
   dataflow_engine_test
   dataflow_spill_test
   dataflow_fault_test

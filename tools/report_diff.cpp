@@ -1,12 +1,19 @@
 // report_diff — compares two run reports written with --json-out.
 //
 //   report_diff --a before.json --b after.json [--tolerance 0.05]
+//               [--bench <tool>]
 //
 // Prints, side by side: config entries that differ, top-level metrics,
 // counters, and each job's per-stage totals, flagging relative changes
 // beyond --tolerance. Intended workflow: record a bench run before a
 // change, record it again after, diff the two (see EXPERIMENTS.md).
 // Exit 0 when nothing exceeds the tolerance, 1 when something does.
+//
+// --bench <tool> selects one report out of a baseline *bundle* — the
+// {"schema_version": 1, "benches": {tool: report, ...}} shape written by
+// tools/bench_baseline.sh — on either side; a side that is already a plain
+// run report is used as-is, so a bundle can be diffed against a fresh
+// --json-out file directly.
 #include <cmath>
 #include <fstream>
 #include <iomanip>
@@ -107,25 +114,54 @@ const Json* find_job(const Json& report, const std::string& label) {
   return nullptr;
 }
 
+/// Resolves one side of the diff: a baseline bundle yields its `bench`
+/// entry, a plain run report passes through unchanged.
+Json select_report(Json doc, const std::string& bench,
+                   const std::string& path) {
+  const Json* benches = doc.find("benches");
+  if (!benches) return doc;  // plain run report
+  if (bench.empty()) {
+    throw std::runtime_error(path +
+                             " is a baseline bundle; pick a report with "
+                             "--bench <tool>");
+  }
+  const Json* entry = benches->find(bench);
+  if (!entry) {
+    throw std::runtime_error(path + " has no bench \"" + bench + "\"");
+  }
+  return *entry;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using drapid::Options;
   try {
-    Options opts(argc, argv, {{"a", ""}, {"b", ""}, {"tolerance", "0.05"}});
+    Options opts(argc, argv,
+                 {{"a", ""},
+                  {"b", ""},
+                  {"tolerance", "0.05"},
+                  {"bench", ""},
+                  {"metrics-only", "0"}});
     if (opts.help_requested()) {
       std::cout << opts.usage(
           "report_diff",
           "Diffs two --json-out run reports; flags numeric changes whose "
-          "relative magnitude exceeds --tolerance.");
+          "relative magnitude exceeds --tolerance. --bench <tool> selects "
+          "one report from a tools/bench_baseline.sh bundle; "
+          "--metrics-only 1 restricts the diff to the named metrics "
+          "(skipping wall clock, counters, and job totals — the sections "
+          "that vary run to run even without a code change).");
       return 0;
     }
     if (opts.str("a").empty() || opts.str("b").empty()) {
       std::cerr << "report_diff: give --a and --b report files (see --help)\n";
       return 2;
     }
-    const Json a = Json::parse(read_file(opts.str("a")));
-    const Json b = Json::parse(read_file(opts.str("b")));
+    const Json a = select_report(Json::parse(read_file(opts.str("a"))),
+                                 opts.str("bench"), opts.str("a"));
+    const Json b = select_report(Json::parse(read_file(opts.str("b"))),
+                                 opts.str("bench"), opts.str("b"));
     for (const Json* doc : {&a, &b}) {
       const std::string error = drapid::obs::validate_run_report(*doc);
       if (!error.empty()) {
@@ -138,6 +174,16 @@ int main(int argc, char** argv) {
               << ") -> " << opts.str("b") << " (" << b.at("tool").as_string()
               << "), tolerance " << opts.number("tolerance") * 100 << "%\n";
     Differ diff(opts.number("tolerance"));
+    if (opts.flag("metrics-only")) {
+      diff.objects("metrics", a.at("metrics"), b.at("metrics"));
+      if (diff.flagged_count() == 0) {
+        std::cout << "no metric change exceeds the tolerance\n";
+        return 0;
+      }
+      std::cout << diff.flagged_count()
+                << " metric change(s) exceed the tolerance (rows marked !!)\n";
+      return 1;
+    }
     diff.objects("config", a.at("config"), b.at("config"));
     diff.objects("metrics", a.at("metrics"), b.at("metrics"));
     diff.objects("counters", a.at("counters"), b.at("counters"));
