@@ -80,6 +80,8 @@ int main(int argc, char** argv) {
           row.set("recall", r.recall);
           row.set("f_measure", r.f_measure);
           row.set("train_seconds", r.train_seconds);
+          row.set("test_seconds", r.test_seconds);
+          row.set("transform_seconds", r.transform_seconds);
           bench.report().add_result(std::move(row));
           const std::string label =
               filter ? ml::filter_abbreviation(*filter) : "None";

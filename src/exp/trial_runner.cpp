@@ -42,26 +42,30 @@ TrialResult run_trial(const std::vector<LabeledPulse>& pulses,
   }
 
   Rng cv_rng(spec.seed ^ 0x5f0f1e2d3c4b5a69ULL);
-  Rng smote_rng(spec.seed ^ 0x0badc0ffee123456ULL);
   ml::TrainTransform transform;
   if (spec.smote) {
-    transform = [&smote_rng](const ml::Dataset& train) {
-      return ml::apply_smote(train, ml::SmoteParams{}, smote_rng);
+    // SMOTE randomness comes from the fold's own stream (drawn up front by
+    // cross_validate), so fold results don't depend on execution order.
+    transform = [](const ml::Dataset& train, Rng& fold_rng) {
+      return ml::apply_smote(train, ml::SmoteParams{}, fold_rng);
     };
   }
   std::vector<int> predictions;
   const auto cv = ml::cross_validate(
       cv_data, 5,
       [&spec] { return ml::make_classifier(spec.learner, spec.seed); },
-      cv_rng, transform, &predictions);
+      cv_rng, transform, &predictions, ml::CvOptions{spec.cv_threads});
 
   const auto pooled = cv.pooled_binary();
   result.recall = pooled.recall();
   result.precision = pooled.precision();
   result.f_measure = pooled.f_measure();
   result.train_seconds = cv.total_train_seconds;
+  result.test_seconds = cv.total_test_seconds;
+  result.transform_seconds = cv.total_transform_seconds;
   for (const auto& fold : cv.folds) {
     result.fold_train_seconds.push_back(fold.train_seconds);
+    result.fold_test_seconds.push_back(fold.test_seconds);
     const auto scores = fold.confusion.collapse_nonzero_positive();
     result.fold_recalls.push_back(scores.recall());
     result.fold_f_measures.push_back(scores.f_measure());
@@ -69,6 +73,7 @@ TrialResult run_trial(const std::vector<LabeledPulse>& pulses,
   trial_span.arg("recall", result.recall);
   trial_span.arg("f_measure", result.f_measure);
   trial_span.arg("train_seconds", result.train_seconds);
+  trial_span.arg("test_seconds", result.test_seconds);
   result.cv_labels = cv_data.labels();
   result.correct.resize(predictions.size());
   for (std::size_t i = 0; i < predictions.size(); ++i) {

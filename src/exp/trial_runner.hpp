@@ -27,6 +27,9 @@ struct TrialSpec {
   /// Features kept when a filter is set (paper: top ten).
   std::size_t top_k = 10;
   std::uint64_t seed = 1;
+  /// Worker threads for the 5-fold CV (folds are independent); results are
+  /// byte-identical for any value.
+  std::size_t cv_threads = 1;
 
   std::string describe() const;  // e.g. "RF scheme=8 fs=IG smote"
 };
@@ -40,7 +43,13 @@ struct TrialResult {
   /// Training time summed over CV folds (the Figure 5(b)/6 measure) and
   /// per-fold values for the boxplots.
   double train_seconds = 0.0;
+  /// Testing time summed over CV folds (the paper's Table 9 measure).
+  double test_seconds = 0.0;
+  /// Time in the SMOTE transform summed over CV folds (0 without SMOTE),
+  /// kept separate from train_seconds.
+  double transform_seconds = 0.0;
   std::vector<double> fold_train_seconds;
+  std::vector<double> fold_test_seconds;
   std::vector<double> fold_recalls;
   std::vector<double> fold_f_measures;
   /// Per-instance outcome over the CV rows (aligned with the CV dataset):

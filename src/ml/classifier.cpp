@@ -11,6 +11,14 @@
 namespace drapid {
 namespace ml {
 
+std::vector<int> Classifier::predict_batch(const Dataset& data) const {
+  std::vector<int> out(data.num_instances());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = predict(data.instance(i));
+  }
+  return out;
+}
+
 const std::vector<LearnerType>& all_learner_types() {
   static const std::vector<LearnerType> kAll = {
       LearnerType::kMpn, LearnerType::kSmo,  LearnerType::kJrip,

@@ -31,6 +31,12 @@ class Classifier {
   /// training data).
   virtual int predict(std::span<const double> x) const = 0;
 
+  /// Predicts every instance of `data`. The default loops predict();
+  /// learners override it where a batched traversal is cheaper (e.g. the
+  /// forest iterates trees outermost so each tree's nodes stay cache-hot).
+  /// Overrides must return exactly what per-instance predict() would.
+  virtual std::vector<int> predict_batch(const Dataset& data) const;
+
   virtual std::string name() const = 0;
 };
 

@@ -10,6 +10,27 @@ Dataset::Dataset(std::vector<std::string> feature_names,
     : feature_names_(std::move(feature_names)),
       class_names_(std::move(class_names)) {}
 
+void Dataset::ensure_owned() {
+  if (!storage_) {
+    storage_ = std::make_shared<Storage>();
+    rows_.clear();
+    view_ = false;
+    return;
+  }
+  if (storage_.use_count() == 1 && !view_) return;
+  auto owned = std::make_shared<Storage>();
+  owned->values.reserve(num_rows_ * num_features());
+  owned->labels.reserve(num_rows_);
+  for (std::size_t i = 0; i < num_rows_; ++i) {
+    const auto x = instance(i);
+    owned->values.insert(owned->values.end(), x.begin(), x.end());
+    owned->labels.push_back(label(i));
+  }
+  storage_ = std::move(owned);
+  rows_.clear();
+  view_ = false;
+}
+
 void Dataset::add(std::span<const double> x, int y) {
   if (x.size() != num_features()) {
     throw std::invalid_argument("instance has " + std::to_string(x.size()) +
@@ -20,26 +41,34 @@ void Dataset::add(std::span<const double> x, int y) {
     throw std::invalid_argument("class index out of range: " +
                                 std::to_string(y));
   }
-  values_.insert(values_.end(), x.begin(), x.end());
-  labels_.push_back(y);
+  ensure_owned();
+  storage_->values.insert(storage_->values.end(), x.begin(), x.end());
+  storage_->labels.push_back(y);
+  ++num_rows_;
 }
 
-std::span<const double> Dataset::instance(std::size_t i) const {
-  return {values_.data() + i * num_features(), num_features()};
+std::vector<int> Dataset::labels() const {
+  if (!view_) return storage_ ? storage_->labels : std::vector<int>{};
+  std::vector<int> out;
+  out.reserve(num_rows_);
+  for (std::size_t i = 0; i < num_rows_; ++i) out.push_back(label(i));
+  return out;
 }
 
 std::vector<double> Dataset::feature_column(std::size_t f) const {
   std::vector<double> column;
   column.reserve(num_instances());
   for (std::size_t i = 0; i < num_instances(); ++i) {
-    column.push_back(values_[i * num_features() + f]);
+    column.push_back(instance(i)[f]);
   }
   return column;
 }
 
 std::vector<std::size_t> Dataset::class_counts() const {
   std::vector<std::size_t> counts(num_classes(), 0);
-  for (int y : labels_) ++counts[static_cast<std::size_t>(y)];
+  for (std::size_t i = 0; i < num_instances(); ++i) {
+    ++counts[static_cast<std::size_t>(label(i))];
+  }
   return counts;
 }
 
@@ -58,19 +87,23 @@ Dataset Dataset::select_features(
   for (std::size_t i = 0; i < num_instances(); ++i) {
     const auto x = instance(i);
     for (std::size_t j = 0; j < features.size(); ++j) row[j] = x[features[j]];
-    out.add(row, labels_[i]);
+    out.add(row, label(i));
   }
   return out;
 }
 
 Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
-  Dataset out(feature_names_, class_names_);
+  Dataset out = *this;  // shares storage
+  out.rows_.clear();
+  out.rows_.reserve(rows.size());
   for (std::size_t r : rows) {
     if (r >= num_instances()) {
       throw std::invalid_argument("row index out of range");
     }
-    out.add(instance(r), labels_[r]);
+    out.rows_.push_back(view_ ? rows_[r] : static_cast<std::uint32_t>(r));
   }
+  out.num_rows_ = rows.size();
+  out.view_ = true;
   return out;
 }
 

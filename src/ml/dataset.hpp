@@ -1,8 +1,17 @@
 // Tabular dataset model for the machine-learning substrate (the Weka
 // stand-in): numeric feature matrix plus a nominal class column.
+//
+// Datasets share their feature matrix: copies and subset() views are O(rows)
+// index bookkeeping over the same storage, so carving cross-validation folds
+// out of a benchmark no longer deep-copies the rows. Mutation (add) is
+// copy-on-write — a dataset that shares storage, or views it through a row
+// mapping, materializes its own flat copy first. Spans returned by
+// instance() stay valid until the dataset is mutated or destroyed.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -16,7 +25,7 @@ class Dataset {
   Dataset(std::vector<std::string> feature_names,
           std::vector<std::string> class_names);
 
-  std::size_t num_instances() const { return labels_.size(); }
+  std::size_t num_instances() const { return num_rows_; }
   std::size_t num_features() const { return feature_names_.size(); }
   std::size_t num_classes() const { return class_names_.size(); }
 
@@ -27,11 +36,19 @@ class Dataset {
 
   /// Appends one instance; `x` must have num_features() values and `y` must
   /// be a valid class index (throws std::invalid_argument otherwise).
+  /// Copy-on-write: materializes owned storage when shared or viewed.
   void add(std::span<const double> x, int y);
 
-  std::span<const double> instance(std::size_t i) const;
-  int label(std::size_t i) const { return labels_[i]; }
-  const std::vector<int>& labels() const { return labels_; }
+  std::span<const double> instance(std::size_t i) const {
+    const std::size_t r = view_ ? rows_[i] : i;
+    return {storage_->values.data() + r * num_features(), num_features()};
+  }
+  int label(std::size_t i) const {
+    return storage_->labels[view_ ? rows_[i] : i];
+  }
+  /// Labels in instance order. By value: a view's labels are assembled
+  /// through its row mapping.
+  std::vector<int> labels() const;
 
   /// All values of feature `f` in instance order.
   std::vector<double> feature_column(std::size_t f) const;
@@ -40,17 +57,34 @@ class Dataset {
   std::vector<std::size_t> class_counts() const;
 
   /// New dataset with only the given feature columns (order preserved as
-  /// given); class column unchanged.
+  /// given); class column unchanged. Materializes (rows must stay
+  /// contiguous for instance() spans).
   Dataset select_features(const std::vector<std::size_t>& features) const;
 
-  /// New dataset with only the given rows.
+  /// View of the given rows (in the given order) over shared storage:
+  /// O(rows) bookkeeping, no row copies. Subsetting a view composes the
+  /// mappings.
   Dataset subset(const std::vector<std::size_t>& rows) const;
 
+  /// True when this dataset views shared storage through a row mapping
+  /// (diagnostics/tests).
+  bool is_view() const { return view_; }
+
  private:
+  struct Storage {
+    std::vector<double> values;  // row-major, rows × num_features
+    std::vector<int> labels;
+  };
+
+  /// Ensures exclusively-owned flat storage (the precondition for add).
+  void ensure_owned();
+
   std::vector<std::string> feature_names_;
   std::vector<std::string> class_names_;
-  std::vector<double> values_;  // row-major, num_instances × num_features
-  std::vector<int> labels_;
+  std::shared_ptr<Storage> storage_;
+  std::vector<std::uint32_t> rows_;  ///< storage rows viewed (when view_)
+  std::size_t num_rows_ = 0;
+  bool view_ = false;
 };
 
 }  // namespace ml

@@ -27,6 +27,7 @@ class RandomForest : public Classifier {
 
   void train(const Dataset& data) override;
   int predict(std::span<const double> x) const override;
+  std::vector<int> predict_batch(const Dataset& data) const override;
   std::string name() const override { return "RF"; }
 
   std::size_t num_trees() const { return trees_.size(); }

@@ -54,11 +54,23 @@ Dataset apply_smote(const Dataset& data, const SmoteParams& params, Rng& rng) {
 
   std::vector<double> synthetic(data.num_features());
   for (std::size_t c = 0; c < data.num_classes(); ++c) {
-    if (counts[c] == 0 || counts[c] >= target) continue;
+    // A target_ratio above 1 pushes `target` past the majority size, which
+    // used to sweep the majority class itself into the oversampling loop.
+    // The majority is the reference, never a minority: any class already at
+    // majority size is skipped no matter the ratio.
+    if (counts[c] == 0 || counts[c] >= target || counts[c] >= majority) {
+      continue;
+    }
     std::vector<std::size_t> members;
     for (std::size_t i = 0; i < data.num_instances(); ++i) {
       if (data.label(i) == static_cast<int>(c)) members.push_back(i);
     }
+    // Neighbour lists are a pure function of the fold data, so compute each
+    // member's list once on first use instead of per synthetic sample
+    // (members are typically drawn many times when the class is far below
+    // target). k_nearest consumes no randomness: lazy caching leaves the
+    // RNG stream — and with it every synthetic sample — unchanged.
+    std::vector<std::vector<std::size_t>> neighbour_cache(members.size());
     const std::size_t needed = target - counts[c];
     for (std::size_t s = 0; s < needed; ++s) {
       const std::size_t self = rng.below(members.size());
@@ -67,7 +79,10 @@ Dataset apply_smote(const Dataset& data, const SmoteParams& params, Rng& rng) {
         out.add(x, static_cast<int>(c));  // cannot interpolate a singleton
         continue;
       }
-      const auto neighbours = k_nearest(data, members, self, params.k);
+      std::vector<std::size_t>& neighbours = neighbour_cache[self];
+      if (neighbours.empty()) {
+        neighbours = k_nearest(data, members, self, params.k);
+      }
       const auto pick = neighbours[rng.below(neighbours.size())];
       const auto y = data.instance(members[pick]);
       const double gap = rng.uniform();

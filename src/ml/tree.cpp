@@ -1,7 +1,10 @@
 #include "ml/tree.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -34,6 +37,138 @@ struct BestSplit {
 
 }  // namespace
 
+namespace {
+
+/// Argsort of `vals` into `ord`: LSD radix over the monotone bit pattern of
+/// each double (sign-flipped IEEE-754 orders like the value). Radix passes
+/// are stable and rows start in ascending order, so ties end up broken by
+/// row index — and byte passes shared by every key (high exponent bytes of
+/// same-magnitude data) are skipped outright. ~3× a comparison sort here.
+/// The only ordering difference from operator<: -0.0 sorts strictly before
+/// +0.0 instead of tying — irrelevant to the grown tree, which only looks
+/// at value (in)equality between neighbours, where -0.0 == +0.0 still.
+void radix_argsort(const double* vals, std::size_t n, std::uint32_t* ord,
+                   std::uint64_t* k, std::uint64_t* k2, std::uint32_t* a,
+                   std::uint32_t* b) {
+  std::uint32_t hist[8][256];
+  std::memset(hist, 0, sizeof hist);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t u = std::bit_cast<std::uint64_t>(vals[i]);
+    u = (u >> 63) ? ~u : (u | 0x8000000000000000ull);
+    k[i] = u;
+    a[i] = static_cast<std::uint32_t>(i);
+    for (int p = 0; p < 8; ++p) ++hist[p][(u >> (8 * p)) & 0xFF];
+  }
+  for (int p = 0; p < 8; ++p) {
+    const std::uint32_t* h = hist[p];
+    // One bucket holding everything means every key shares this byte.
+    if (h[(k[0] >> (8 * p)) & 0xFF] == n) continue;
+    std::uint32_t ofs[256];
+    std::uint32_t sum = 0;
+    for (int v = 0; v < 256; ++v) {
+      ofs[v] = sum;
+      sum += h[v];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t u = k[i];
+      const std::uint32_t pos = ofs[(u >> (8 * p)) & 0xFF]++;
+      k2[pos] = u;
+      b[pos] = a[i];
+    }
+    std::swap(k, k2);
+    std::swap(a, b);
+  }
+  std::copy(a, a + n, ord);
+}
+
+/// Fills `values` column-major (d × rows) and, per feature, `order` with the
+/// rows argsorted ascending by value (ties by row index: a deterministic
+/// total order). Which of two equal values comes first never affects the
+/// grown tree — every split candidate sits on a value boundary, so the
+/// prefix counts at candidate positions are tie-order independent.
+void argsort_columns(const Dataset& data, std::vector<double>& values,
+                     std::vector<std::uint32_t>& order) {
+  const std::size_t rows = data.num_instances();
+  const std::size_t d = data.num_features();
+  values.resize(d * rows);
+  order.resize(d * rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto x = data.instance(i);
+    for (std::size_t f = 0; f < d; ++f) values[f * rows + i] = x[f];
+  }
+  std::vector<std::uint64_t> keys(2 * rows);
+  std::vector<std::uint32_t> idx(2 * rows);
+  for (std::size_t f = 0; f < d; ++f) {
+    radix_argsort(values.data() + f * rows, rows, order.data() + f * rows,
+                  keys.data(), keys.data() + rows, idx.data(),
+                  idx.data() + rows);
+  }
+}
+
+}  // namespace
+
+PresortedColumns::PresortedColumns(const Dataset& data)
+    : rows_(data.num_instances()) {
+  argsort_columns(data, values_, order_);
+}
+
+/// Per-train scratch: column-major values and mutable per-feature orderings
+/// over the tree's own row set ("slots"), plus reusable partition buffers.
+/// A node owns the slice [lo, hi) of every feature's order array; splitting
+/// stably partitions each slice in place around the chosen threshold.
+struct DecisionTree::TrainContext {
+  std::size_t n = 0;                  // slots (distinct training rows)
+  std::size_t d = 0;                  // features
+  std::vector<int> labels;            // per slot
+  std::vector<double> values;         // d × n, column-major by slot
+  std::vector<std::uint32_t> order;   // d × n, sorted slots per feature
+  /// Instance multiplicity per slot; empty = every slot counts once. The
+  /// bootstrap path compresses its sample to distinct rows with weights.
+  std::vector<std::uint32_t> weights;
+  std::size_t num_classes = 0;
+  // Scratch reused across nodes (a node finishes with all of these before
+  // recursing, so children may clobber them freely).
+  std::vector<char> goes_left;        // per slot
+  std::vector<std::uint32_t> part;    // right-side partition buffer
+  std::vector<std::size_t> features;  // candidate features per node
+  std::vector<std::size_t> counts;
+  std::vector<std::size_t> left_counts;
+  // Per-node split-info memo, keyed by left size nl (the node size is fixed
+  // while a node scans, so nl determines split info). Stamps make the reset
+  // per node O(1); values are computed with the exact arithmetic of the
+  // unmemoized form, so memoization cannot move a single bit.
+  std::vector<double> split_info;
+  std::vector<std::uint32_t> split_info_stamp;
+  std::uint32_t node_stamp = 0;
+  // Entropy-term memo for this train; see term_memo_for(). Never resized
+  // while a build is running, so the raw pointer stays valid.
+  double* term = nullptr;
+  std::size_t term_memo_side = 0;
+};
+
+namespace {
+
+constexpr std::size_t kTermMemoMaxSide = 512;
+
+/// Process-lifetime memo of the entropy term p·log2(p) for p = cnt/side,
+/// triangular-indexed by its two integer inputs for sides up to
+/// kTermMemoMaxSide (larger sides — only the shallowest levels of large
+/// trees — compute directly). The term is a pure function of two integers,
+/// so entries stay valid forever: across nodes, trees, and trains. Unset
+/// entries hold NaN (the term itself is always finite); no generation
+/// counters, no per-train clearing. Thread-local so forest worker threads
+/// each warm their own copy without sharing.
+double* term_memo_for(std::size_t side) {
+  thread_local std::vector<double> memo;
+  const std::size_t need = (side + 1) * (side + 2) / 2;
+  if (memo.size() < need) {
+    memo.resize(need, std::numeric_limits<double>::quiet_NaN());
+  }
+  return memo.data();
+}
+
+}  // namespace
+
 DecisionTree::DecisionTree(TreeParams params, std::uint64_t seed)
     : params_(params), seed_(seed) {}
 
@@ -41,21 +176,119 @@ void DecisionTree::train(const Dataset& data) {
   if (data.num_instances() == 0) {
     throw std::invalid_argument("cannot train a tree on an empty dataset");
   }
+  TrainContext ctx;
+  ctx.n = data.num_instances();
+  ctx.d = data.num_features();
+  ctx.num_classes = data.num_classes();
+  ctx.labels.resize(ctx.n);
+  for (std::size_t i = 0; i < ctx.n; ++i) ctx.labels[i] = data.label(i);
+  argsort_columns(data, ctx.values, ctx.order);
+  train_context(ctx);
+}
+
+void DecisionTree::train_bootstrap(const Dataset& data,
+                                   const PresortedColumns& presorted,
+                                   std::span<const std::size_t> sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument("cannot train a tree on an empty sample");
+  }
+  const std::size_t rows = data.num_instances();
+  // Compress the sample to its distinct rows with multiplicities: a
+  // bootstrap of n draws holds only ~63% distinct rows, so every per-node
+  // scan and partition shrinks accordingly. The grown tree is bit-identical
+  // to training on the materialized sample — split candidates sit on value
+  // boundaries, where the weighted prefix counts equal the uncompressed
+  // ones, so every gain is computed from the same integers.
+  std::vector<std::uint32_t> multiplicity(rows, 0);
+  for (const std::size_t r : sample) ++multiplicity[r];
+  std::vector<std::uint32_t> slot_of(rows, 0);
+  std::size_t m = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (multiplicity[r]) slot_of[r] = static_cast<std::uint32_t>(m++);
+  }
+  TrainContext ctx;
+  ctx.n = m;
+  ctx.d = data.num_features();
+  ctx.num_classes = data.num_classes();
+  ctx.labels.resize(m);
+  ctx.weights.resize(m);
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (multiplicity[r]) {
+      ctx.labels[slot_of[r]] = data.label(r);
+      ctx.weights[slot_of[r]] = multiplicity[r];
+    }
+  }
+  // Each feature's slot ordering falls out of one filtering pass over the
+  // parent's presorted order (slot ids ascend with row ids, so parent ties
+  // by row stay ties by slot).
+  ctx.values.resize(ctx.d * m);
+  ctx.order.resize(ctx.d * m);
+  for (std::size_t f = 0; f < ctx.d; ++f) {
+    const double* parent_vals = presorted.values(f);
+    const std::uint32_t* parent_ord = presorted.order(f);
+    double* vals = ctx.values.data() + f * m;
+    std::uint32_t* ord = ctx.order.data() + f * m;
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const std::uint32_t r = parent_ord[i];
+      if (multiplicity[r]) {
+        const std::uint32_t s = slot_of[r];
+        ord[out++] = s;
+        vals[s] = parent_vals[r];
+      }
+    }
+  }
+  train_context(ctx);
+}
+
+void DecisionTree::train_context(TrainContext& ctx) {
   nodes_.clear();
   depth_ = 0;
   split_evaluations_ = 0;
-  std::vector<std::size_t> rows(data.num_instances());
-  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  ctx.goes_left.resize(ctx.n);
+  ctx.part.resize(ctx.n);
+  ctx.counts.resize(ctx.num_classes);
+  ctx.left_counts.resize(ctx.num_classes);
+  std::size_t total = ctx.n;  // instance total (weighted size)
+  if (!ctx.weights.empty()) {
+    total = 0;
+    for (const std::uint32_t w : ctx.weights) total += w;
+  }
+  if (params_.use_gain_ratio) {
+    // Keyed by weighted left size, which ranges up to the instance total.
+    ctx.split_info.resize(total + 1);
+    ctx.split_info_stamp.assign(total + 1, 0);
+  }
+  ctx.term_memo_side = std::min(total, kTermMemoMaxSide);
+  ctx.term = term_memo_for(ctx.term_memo_side);
   Rng rng(seed_);
-  root_ = build(data, rows, 0, rng);
+  root_ = ctx.weights.empty() ? build<false>(ctx, 0, ctx.n, 0, rng)
+                              : build<true>(ctx, 0, ctx.n, 0, rng);
 }
 
-int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
+template <bool Weighted>
+int DecisionTree::build(TrainContext& ctx, std::size_t lo, std::size_t hi,
                         int depth, Rng& rng) {
   depth_ = std::max(depth_, depth);
-  std::vector<std::size_t> counts(data.num_classes(), 0);
-  for (std::size_t r : rows) ++counts[static_cast<std::size_t>(data.label(r))];
-  const std::size_t n = rows.size();
+  const std::size_t m = hi - lo;  // slots in this node
+  // Any feature's slice holds the node's slot set; feature 0 stands in
+  // (identity when the dataset has no features at all — then the root is
+  // the only node and covers every slot).
+  const std::uint32_t* node_slots = ctx.d > 0 ? ctx.order.data() + lo : nullptr;
+  const std::uint32_t* weights = Weighted ? ctx.weights.data() : nullptr;
+  std::vector<std::size_t>& counts = ctx.counts;
+  std::fill(counts.begin(), counts.end(), 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t slot = node_slots ? node_slots[i] : lo + i;
+    counts[static_cast<std::size_t>(ctx.labels[slot])] +=
+        Weighted ? weights[slot] : 1;
+  }
+  // Node size in training instances (= slots unless weighted).
+  std::size_t n = m;
+  if constexpr (Weighted) {
+    n = 0;
+    for (const std::size_t c : counts) n += c;
+  }
   const int node_index = static_cast<int>(nodes_.size());
   nodes_.push_back(Node{});
   nodes_.back().label = majority(counts);
@@ -67,7 +300,11 @@ int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
   }
 
   // Candidate features: all, or a random subset (RandomTree behaviour).
-  std::vector<std::size_t> features(data.num_features());
+  // Same shuffle, in the same node order, as the seed implementation —
+  // the rng stream (and with it the equal-gain tie-break over candidate
+  // order) is part of the tree's byte-identity contract.
+  std::vector<std::size_t>& features = ctx.features;
+  features.resize(ctx.d);
   std::iota(features.begin(), features.end(), std::size_t{0});
   if (params_.features_per_split > 0 &&
       params_.features_per_split < features.size()) {
@@ -77,59 +314,84 @@ int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
 
   const double parent_entropy = entropy(counts, n);
   BestSplit best;
-  std::vector<std::pair<double, int>> sorted;
-  sorted.reserve(n);
-  std::vector<std::size_t> left_counts(data.num_classes());
-  for (std::size_t f : features) {
-    sorted.clear();
-    for (std::size_t r : rows) {
-      sorted.emplace_back(data.instance(r)[f], data.label(r));
+  const int* labels = ctx.labels.data();
+  const std::size_t* total_counts = counts.data();
+  std::size_t* left_counts = ctx.left_counts.data();
+  const std::size_t num_classes = ctx.num_classes;
+  const double dn = static_cast<double>(n);
+  double* term_memo = ctx.term;
+  const std::size_t memo_side = ctx.term_memo_side;
+  // The p·log2(p) entropy term for p = cnt/side with cnt in (0, side).
+  // Memoized values use the exact unmemoized expression, so reuse cannot
+  // move a bit.
+  const auto entropy_term = [&](std::size_t cnt, std::size_t side) {
+    if (side <= memo_side) {
+      double& t = term_memo[side * (side + 1) / 2 + cnt];
+      if (t != t) {  // NaN sentinel: not yet computed
+        const double p =
+            static_cast<double>(cnt) / static_cast<double>(side);
+        t = p * std::log2(p);
+      }
+      return t;
     }
-    std::sort(sorted.begin(), sorted.end());
-    std::fill(left_counts.begin(), left_counts.end(), 0);
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      ++left_counts[static_cast<std::size_t>(sorted[i].second)];
-      if (sorted[i].first == sorted[i + 1].first) continue;  // same value
-      const std::size_t nl = i + 1;
+    const double p = static_cast<double>(cnt) / static_cast<double>(side);
+    return p * std::log2(p);
+  };
+  ++ctx.node_stamp;
+  for (std::size_t f : features) {
+    const double* vals = ctx.values.data() + f * ctx.n;
+    const std::uint32_t* ord = ctx.order.data() + f * ctx.n;
+    std::fill_n(left_counts, num_classes, std::size_t{0});
+    std::size_t wl = 0;  // weighted left size
+    for (std::size_t i = lo; i + 1 < hi; ++i) {
+      const std::uint32_t slot = ord[i];
+      if constexpr (Weighted) {
+        const std::size_t w = weights[slot];
+        left_counts[static_cast<std::size_t>(labels[slot])] += w;
+        wl += w;
+      } else {
+        ++left_counts[static_cast<std::size_t>(labels[slot])];
+      }
+      if (vals[slot] == vals[ord[i + 1]]) continue;  // same value
+      const std::size_t nl = Weighted ? wl : i + 1 - lo;
       const std::size_t nr = n - nl;
       if (nl < params_.min_leaf || nr < params_.min_leaf) continue;
       ++split_evaluations_;
-      // Right counts = total - left.
+      // Right counts = total - left. A count equal to its side's size means
+      // p == 1.0 exactly, whose p·log2(p) term is exactly 0.0 — skipping it
+      // leaves the sum bit-identical.
       double hl = 0.0, hr = 0.0;
       {
         double h = 0.0;
-        for (std::size_t c = 0; c < counts.size(); ++c) {
+        for (std::size_t c = 0; c < num_classes; ++c) {
           const std::size_t lc = left_counts[c];
-          if (lc) {
-            const double p = static_cast<double>(lc) / static_cast<double>(nl);
-            h -= p * std::log2(p);
-          }
+          if (lc && lc != nl) h -= entropy_term(lc, nl);
         }
         hl = h;
         h = 0.0;
-        for (std::size_t c = 0; c < counts.size(); ++c) {
-          const std::size_t rc = counts[c] - left_counts[c];
-          if (rc) {
-            const double p = static_cast<double>(rc) / static_cast<double>(nr);
-            h -= p * std::log2(p);
-          }
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          const std::size_t rc = total_counts[c] - left_counts[c];
+          if (rc && rc != nr) h -= entropy_term(rc, nr);
         }
         hr = h;
       }
-      const double dn = static_cast<double>(n);
       double gain = parent_entropy -
                     (static_cast<double>(nl) / dn) * hl -
                     (static_cast<double>(nr) / dn) * hr;
       if (params_.use_gain_ratio) {
-        const double pl = static_cast<double>(nl) / dn;
-        const double split_info = -pl * std::log2(pl) -
-                                  (1.0 - pl) * std::log2(1.0 - pl);
+        if (ctx.split_info_stamp[nl] != ctx.node_stamp) {
+          const double pl = static_cast<double>(nl) / dn;
+          ctx.split_info[nl] = -pl * std::log2(pl) -
+                               (1.0 - pl) * std::log2(1.0 - pl);
+          ctx.split_info_stamp[nl] = ctx.node_stamp;
+        }
+        const double split_info = ctx.split_info[nl];
         gain = split_info > 1e-12 ? gain / split_info : 0.0;
       }
       if (gain > best.score) {
         best.score = gain;
         best.feature = static_cast<int>(f);
-        best.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        best.threshold = 0.5 * (vals[slot] + vals[ord[i + 1]]);
       }
     }
   }
@@ -138,28 +400,64 @@ int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
     return node_index;  // no useful split: stay a leaf
   }
 
-  std::vector<std::size_t> left_rows, right_rows;
-  for (std::size_t r : rows) {
-    const double v = data.instance(r)[static_cast<std::size_t>(best.feature)];
-    (v <= best.threshold ? left_rows : right_rows).push_back(r);
+  // Route by value comparison, exactly as the seed partitioned rows: the
+  // midpoint can round onto the right-hand value, so the actual left count
+  // may differ from the scan position that proposed the split.
+  const double* best_vals =
+      ctx.values.data() + static_cast<std::size_t>(best.feature) * ctx.n;
+  std::size_t slots_left = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const std::uint32_t slot = node_slots[i - lo];
+    const bool left = best_vals[slot] <= best.threshold;
+    ctx.goes_left[slot] = left;
+    slots_left += left;
   }
-  if (left_rows.empty() || right_rows.empty()) {
+  // An empty side in slots is empty in instances too (weights are >= 1).
+  if (slots_left == 0 || slots_left == m) {
     return node_index;  // numeric ties can defeat the midpoint; stay a leaf
   }
-  rows.clear();
-  rows.shrink_to_fit();
+
+  // Stable partition of every feature's slice keeps each side sorted. Both
+  // sides are written unconditionally and the write pointers advance by the
+  // predicate: the ~50/50 routing never takes a data-dependent branch, and
+  // ord[write] with write <= i can only clobber an already-consumed slot.
+  for (std::size_t f = 0; f < ctx.d; ++f) {
+    std::uint32_t* ord = ctx.order.data() + f * ctx.n;
+    std::uint32_t* part = ctx.part.data();
+    std::size_t write = lo;
+    std::size_t spill = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint32_t slot = ord[i];
+      const bool left = static_cast<bool>(ctx.goes_left[slot]);
+      ord[write] = slot;
+      part[spill] = slot;
+      write += left;
+      spill += !left;
+    }
+    std::copy(part, part + spill, ord + write);
+  }
 
   nodes_[static_cast<std::size_t>(node_index)].feature = best.feature;
   nodes_[static_cast<std::size_t>(node_index)].threshold = best.threshold;
-  const int left = build(data, left_rows, depth + 1, rng);
+  const std::size_t mid = lo + slots_left;
+  const int left = build<Weighted>(ctx, lo, mid, depth + 1, rng);
   nodes_[static_cast<std::size_t>(node_index)].left = left;
-  const int right = build(data, right_rows, depth + 1, rng);
+  const int right = build<Weighted>(ctx, mid, hi, depth + 1, rng);
   nodes_[static_cast<std::size_t>(node_index)].right = right;
   return node_index;
 }
 
 int DecisionTree::predict(std::span<const double> x) const {
   return leaf_label(leaf_index(x));
+}
+
+std::vector<int> DecisionTree::predict_batch(const Dataset& data) const {
+  if (root_ < 0) throw std::logic_error("tree not trained");
+  std::vector<int> out(data.num_instances());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = leaf_label(leaf_index(data.instance(i)));
+  }
+  return out;
 }
 
 int DecisionTree::leaf_index(std::span<const double> x) const {

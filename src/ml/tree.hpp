@@ -5,6 +5,14 @@
 // gain ratio; growth stops at purity, max depth, or minimum leaf size.
 // When `features_per_split` > 0, each node evaluates only a random feature
 // subset (the RandomTree behaviour RandomForest relies on).
+//
+// Training runs on presorted column indices: each feature is argsorted once
+// per tree, and every split stably partitions the per-feature index arrays
+// instead of re-copying and re-sorting the node's rows (the seed
+// implementation's O(features · n log n) per node). The trees produced are
+// byte-identical to the seed algorithm — candidate order, split positions,
+// gain arithmetic and the equal-gain tie-break are unchanged — which
+// tests/ml_tree_presort_test.cpp asserts against a reference implementation.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +22,31 @@
 
 namespace drapid {
 namespace ml {
+
+/// Per-feature column data of a dataset, argsorted once and shared: column-
+/// major values plus, per feature, the row order sorted ascending by value
+/// (ties by row index). RandomForest computes this once per forest and
+/// derives each tree's bootstrap-sample ordering from it in O(rows) per
+/// feature, skipping both the per-tree sorts and the subset materialization.
+class PresortedColumns {
+ public:
+  explicit PresortedColumns(const Dataset& data);
+
+  std::size_t num_rows() const { return rows_; }
+  std::size_t num_features() const { return values_.size() / std::max<std::size_t>(rows_, 1); }
+
+  /// Values of feature `f` indexed by row (column-major slice).
+  const double* values(std::size_t f) const { return values_.data() + f * rows_; }
+  /// Row indices sorted ascending by feature `f`'s value.
+  const std::uint32_t* order(std::size_t f) const {
+    return order_.data() + f * rows_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::vector<double> values_;        // num_features × rows, column-major
+  std::vector<std::uint32_t> order_;  // num_features × rows
+};
 
 struct TreeParams {
   int max_depth = 60;
@@ -30,7 +63,15 @@ class DecisionTree : public Classifier {
 
   void train(const Dataset& data) override;
   int predict(std::span<const double> x) const override;
+  std::vector<int> predict_batch(const Dataset& data) const override;
   std::string name() const override { return "J48"; }
+
+  /// Trains as if on `data.subset(sample)` — byte-identical tree — without
+  /// materializing the subset: the sample's per-feature orderings are
+  /// derived from `presorted` (which must be built over `data`) by a single
+  /// multiplicity scan per feature.
+  void train_bootstrap(const Dataset& data, const PresortedColumns& presorted,
+                       std::span<const std::size_t> sample);
 
   /// Diagnostics the execution-performance experiments report on.
   std::size_t node_count() const { return nodes_.size(); }
@@ -52,15 +93,24 @@ class DecisionTree : public Classifier {
   /// for an index that is not a leaf of this tree.
   std::vector<PathCondition> path_to_leaf(int leaf) const;
 
- private:
   struct Node {
     int feature = -1;        ///< -1 marks a leaf
     double threshold = 0.0;  ///< go left when x[feature] <= threshold
     int left = -1, right = -1;
     int label = 0;  ///< majority class (used at leaves)
   };
+  /// Flat pre-order node array (diagnostics / equivalence tests).
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int root() const { return root_; }
 
-  int build(const Dataset& data, std::vector<std::size_t>& rows, int depth,
+ private:
+  struct TrainContext;
+
+  void train_context(TrainContext& ctx);
+  /// Weighted = slots carry instance multiplicities (the compressed
+  /// bootstrap path); false = one slot per instance.
+  template <bool Weighted>
+  int build(TrainContext& ctx, std::size_t lo, std::size_t hi, int depth,
             Rng& rng);
 
   TreeParams params_;

@@ -77,7 +77,7 @@ TEST(CrossValidate, TransformAppliesOnlyToTrainingFolds) {
   std::vector<std::size_t> seen_sizes;
   const auto result = cross_validate(
       d, 3, [] { return std::make_unique<DecisionTree>(); }, rng,
-      [&](const Dataset& train) {
+      [&](const Dataset& train, Rng&) {
         ++transform_calls;
         seen_sizes.push_back(train.num_instances());
         return train;
