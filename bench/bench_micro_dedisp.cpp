@@ -54,6 +54,64 @@ void BM_FullSinglePulseSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSinglePulseSearch);
 
+void BM_DetectEventsScratch(benchmark::State& state) {
+  const auto fb = bench_filterbank(32);
+  const auto series = dedisperse(fb, 40.0);
+  DetectScratch scratch;
+  std::vector<SinglePulseEvent> events;
+  for (auto _ : state) {
+    events.clear();
+    detect_events_into(series, 40.0, 2.0, {}, scratch, events);
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(series.size()));
+}
+BENCHMARK(BM_DetectEventsScratch);
+
+/// The realistic fine-step slice of a survey plan: 0.01-spaced trials, where
+/// shift-plan dedup and scratch reuse actually pay off.
+const DmGrid& sweep_grid() {
+  static const DmGrid grid = DmGrid::gbt350drift().prefix(10.0);
+  return grid;
+}
+
+void BM_DmSweep(benchmark::State& state) {
+  const auto fb = bench_filterbank(32);
+  SinglePulseSearchParams params;
+  params.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(single_pulse_search(fb, sweep_grid(), params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sweep_grid().size() *
+                                                    fb.num_samples()));
+}
+BENCHMARK(BM_DmSweep)->Arg(1)->Arg(2);
+
+/// The pre-shift-plan formulation — every trial dedispersed and detected
+/// independently — kept as the in-tree yardstick for the sweep speedup.
+void BM_DmSweepPerTrial(benchmark::State& state) {
+  const auto fb = bench_filterbank(32);
+  const DmGrid& grid = sweep_grid();
+  const SinglePulseSearchParams params;
+  for (auto _ : state) {
+    std::vector<SinglePulseEvent> events;
+    for (std::size_t t = 0; t < grid.size(); ++t) {
+      const double dm = grid.dm_at(t);
+      const auto series = dedisperse(fb, dm);
+      const auto found =
+          detect_events(series, dm, fb.config().sample_time_ms, params);
+      events.insert(events.end(), found.begin(), found.end());
+    }
+    benchmark::DoNotOptimize(events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.size() *
+                                                    fb.num_samples()));
+}
+BENCHMARK(BM_DmSweepPerTrial);
+
 void BM_Fft(benchmark::State& state) {
   Rng rng(2);
   std::vector<std::complex<double>> a(

@@ -7,7 +7,7 @@
 //   phase 3b periodicity search     — FFT + harmonic summing + folding
 //   phase 4  candidate processing   — DBSCAN clustering + RAPID peak search
 //
-//   ./examples/full_search [--seed N] [--period S] [--dm X]
+//   ./examples/full_search [--seed N] [--period S] [--dm X] [--threads T]
 #include <iostream>
 
 #include "clustering/dbscan.hpp"
@@ -20,7 +20,10 @@
 using namespace drapid;
 
 int main(int argc, char** argv) {
-  Options opts(argc, argv, {{"seed", "42"}, {"period", "1.2"}, {"dm", "48"}});
+  Options opts(argc, argv, {{"seed", "42"},
+                            {"period", "1.2"},
+                            {"dm", "48"},
+                            {"threads", "1"}});
   const double period = opts.number("period");
   const double dm = opts.number("dm");
 
@@ -46,12 +49,20 @@ int main(int argc, char** argv) {
             << " pulses injected (P=" << period << " s, DM=" << dm << ")\n";
 
   // Phases 2+3a: dedispersion sweep + matched-filter single-pulse search.
+  // The sweep dedisperses once per *unique* shift plan (fine-step trials
+  // whose per-channel shifts round identically share one plan) and can fan
+  // unique plans out over a worker pool; output is identical at any count.
   const DmGrid grid({{0.0, 120.0, 1.0}});
   SinglePulseSearchParams sp_params;
+  sp_params.threads = static_cast<std::size_t>(opts.integer("threads"));
+  const SweepPlan sweep = build_sweep_plan(fb, grid, sp_params.dm_stride);
   const auto events = single_pulse_search(fb, grid, sp_params);
   std::cout << "phase 2+3a: " << events.size()
             << " single pulse events across " << grid.size()
-            << " trial DMs\n";
+            << " trial DMs (" << sweep.plans.size()
+            << " unique shift plans, "
+            << sweep.num_trials - sweep.plans.size() << " dedup hits, "
+            << sp_params.threads << " thread(s))\n";
 
   // Phase 3b: periodicity search on the series dedispersed at the best DM.
   const auto series = dedisperse(fb, dm);

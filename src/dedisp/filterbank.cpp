@@ -18,15 +18,16 @@ Filterbank::Filterbank(FilterbankConfig config) : config_(config) {
   if (num_samples_ == 0) {
     throw std::invalid_argument("observation shorter than one sample");
   }
-  data_.assign(config_.num_channels * num_samples_, 0.0f);
-}
-
-double Filterbank::channel_freq_mhz(std::size_t channel) const {
   // Channel 0 at the top of the band, descending.
   const double chan_bw = config_.bandwidth_mhz /
                          static_cast<double>(config_.num_channels);
-  return config_.center_freq_mhz + config_.bandwidth_mhz / 2.0 -
-         (static_cast<double>(channel) + 0.5) * chan_bw;
+  channel_freqs_mhz_.resize(config_.num_channels);
+  for (std::size_t c = 0; c < config_.num_channels; ++c) {
+    channel_freqs_mhz_[c] = config_.center_freq_mhz +
+                            config_.bandwidth_mhz / 2.0 -
+                            (static_cast<double>(c) + 0.5) * chan_bw;
+  }
+  data_.assign(config_.num_channels * num_samples_, 0.0f);
 }
 
 void Filterbank::add_noise(Rng& rng, double sigma) {

@@ -37,14 +37,23 @@ class Filterbank {
   std::size_t num_samples() const { return num_samples_; }
 
   /// Center frequency of channel `c`; channel 0 is the highest frequency
-  /// (the filterbank convention).
-  double channel_freq_mhz(std::size_t channel) const;
+  /// (the filterbank convention). Precomputed at construction — the shift
+  /// plan of a DM sweep queries it once per channel per trial.
+  double channel_freq_mhz(std::size_t channel) const {
+    return channel_freqs_mhz_[channel];
+  }
 
   float at(std::size_t channel, std::size_t sample) const {
     return data_[channel * num_samples_ + sample];
   }
   float& at(std::size_t channel, std::size_t sample) {
     return data_[channel * num_samples_ + sample];
+  }
+
+  /// Contiguous samples of one channel (num_samples() long) — the raw row
+  /// the dedispersion accumulation loop walks.
+  const float* channel_data(std::size_t channel) const {
+    return data_.data() + channel * num_samples_;
   }
 
   /// Adds zero-mean Gaussian radiometer noise of the given sigma.
@@ -66,7 +75,8 @@ class Filterbank {
  private:
   FilterbankConfig config_;
   std::size_t num_samples_;
-  std::vector<float> data_;  // channel-major
+  std::vector<double> channel_freqs_mhz_;  // descending, channel 0 highest
+  std::vector<float> data_;                // channel-major
 };
 
 }  // namespace drapid

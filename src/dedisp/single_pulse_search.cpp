@@ -2,84 +2,233 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "synth/dispersion.hpp"
+#include "util/flat_hash.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drapid {
 
-std::vector<double> dedisperse(const Filterbank& fb, double dm) {
+std::vector<std::uint32_t> dispersion_shifts(const Filterbank& fb, double dm) {
   const std::size_t n = fb.num_samples();
   const double dt_s = fb.config().sample_time_ms * 1e-3;
-  std::vector<double> series(n, 0.0);
-  std::vector<std::size_t> contributors(n, 0);
-  // Shifts are relative to the highest-frequency channel (channel 0).
+  std::vector<std::uint32_t> shifts(fb.num_channels());
   const double ref_delay = dispersion_delay_s(dm, fb.channel_freq_mhz(0));
   for (std::size_t c = 0; c < fb.num_channels(); ++c) {
     const double delay =
         dispersion_delay_s(dm, fb.channel_freq_mhz(c)) - ref_delay;
-    const auto shift = static_cast<std::size_t>(delay / dt_s + 0.5);
-    for (std::size_t s = 0; s + shift < n; ++s) {
-      series[s] += fb.at(c, s + shift);
-      ++contributors[s];
+    const double rounded = delay / dt_s + 0.5;
+    // A shift of num_samples already contributes nothing; clamping there
+    // keeps the vector (and dedup keys) bounded for extreme DMs.
+    shifts[c] = rounded >= static_cast<double>(n)
+                    ? static_cast<std::uint32_t>(n)
+                    : static_cast<std::uint32_t>(rounded);
+  }
+  return shifts;
+}
+
+SweepPlan build_sweep_plan(const Filterbank& fb, const DmGrid& grid,
+                           std::size_t dm_stride) {
+  SweepPlan sweep;
+  const std::size_t stride = std::max<std::size_t>(1, dm_stride);
+  // Dedup key: the raw bytes of the shift vector. Shift vectors are a
+  // monotone step function of DM, so duplicates form contiguous runs, but
+  // the hash map keeps the grouping correct regardless.
+  FlatHashMap<std::string, std::uint32_t> index;
+  std::string key;
+  for (std::size_t trial = 0; trial < grid.size(); trial += stride) {
+    auto shifts = dispersion_shifts(fb, grid.dm_at(trial));
+    key.assign(reinterpret_cast<const char*>(shifts.data()),
+               shifts.size() * sizeof(std::uint32_t));
+    auto [entry, inserted] =
+        index.try_emplace(key, static_cast<std::uint32_t>(sweep.plans.size()));
+    if (inserted) {
+      ShiftPlan plan;
+      plan.max_shift =
+          shifts.empty() ? 0 : *std::max_element(shifts.begin(), shifts.end());
+      plan.shifts = std::move(shifts);
+      sweep.plans.push_back(std::move(plan));
+    }
+    sweep.plans[entry->second].trials.push_back(trial);
+    sweep.plan_of_trial.push_back(entry->second);
+    ++sweep.num_trials;
+  }
+  return sweep;
+}
+
+void dedisperse_plan(const Filterbank& fb, const ShiftPlan& plan,
+                     DedispScratch& scratch) {
+  const std::size_t n = fb.num_samples();
+  const std::size_t channels = fb.num_channels();
+  auto& series = scratch.series;
+  series.assign(n, 0.0);
+  // Channel-major accumulation: for each channel the reads and writes are
+  // both contiguous, and every sample still sums its channels in ascending
+  // channel order — the exact summation order of dedisperse().
+  for (std::size_t c = 0; c < channels; ++c) {
+    const std::uint32_t shift = plan.shifts[c];
+    const std::size_t limit = n - static_cast<std::size_t>(shift);
+    const float* row = fb.channel_data(c) + shift;
+    double* out = series.data();
+    for (std::size_t s = 0; s < limit; ++s) {
+      out[s] += row[s];
     }
   }
-  // Normalize partial sums at the tail so the noise level stays uniform.
-  const double full = static_cast<double>(fb.num_channels());
-  for (std::size_t s = 0; s < n; ++s) {
-    if (contributors[s] > 0 && contributors[s] < fb.num_channels()) {
-      series[s] *= full / static_cast<double>(contributors[s]);
+
+  // Tail normalization. contributors[s] — the number of channels whose
+  // shifted data still covers sample s — equals |{c : shifts[c] <= n-1-s}|,
+  // so it comes from a counting pass over the shift vector instead of a
+  // per-sample increment in the accumulation loop above. Samples covered by
+  // every channel need no renormalization and are skipped outright.
+  const std::size_t m = std::min<std::size_t>(plan.max_shift, n);
+  auto& prefix = scratch.contrib_prefix;
+  prefix.assign(m + 1, 0);
+  for (std::size_t c = 0; c < channels; ++c) {
+    if (plan.shifts[c] < n) ++prefix[plan.shifts[c]];
+  }
+  for (std::size_t v = 1; v <= m; ++v) prefix[v] += prefix[v - 1];
+  const double full = static_cast<double>(channels);
+  // Head samples (s <= n-1-m) are covered by every channel (m < n implies
+  // every shift <= m, so prefix[m] == channels) and need no renormalization;
+  // only the max_shift-long tail is touched.
+  const std::size_t head = n > m ? n - m : 0;
+  for (std::size_t s = head; s < n; ++s) {
+    const std::uint32_t contributors = prefix[n - 1 - s];
+    if (contributors > 0 && static_cast<std::size_t>(contributors) < channels) {
+      series[s] *= full / static_cast<double>(contributors);
     }
   }
-  return series;
+}
+
+std::vector<double> dedisperse(const Filterbank& fb, double dm) {
+  ShiftPlan plan;
+  plan.shifts = dispersion_shifts(fb, dm);
+  plan.max_shift = plan.shifts.empty()
+                       ? 0
+                       : *std::max_element(plan.shifts.begin(),
+                                           plan.shifts.end());
+  DedispScratch scratch;
+  dedisperse_plan(fb, plan, scratch);
+  return std::move(scratch.series);
 }
 
 namespace {
 
 /// Robust location/scale from the median and the median absolute deviation.
-std::pair<double, double> robust_stats(std::vector<double> values) {
+/// `workspace` is overwritten (copy of the values, then absolute deviations)
+/// — one reusable buffer instead of a pass-by-value copy per call.
+std::pair<double, double> robust_stats(const std::vector<double>& values,
+                                       std::vector<double>& workspace) {
   if (values.empty()) return {0.0, 1.0};
-  const std::size_t mid = values.size() / 2;
-  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid),
-                   values.end());
-  const double median = values[mid];
-  for (auto& v : values) v = std::abs(v - median);
-  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid),
-                   values.end());
-  const double mad = values[mid];
+  workspace.assign(values.begin(), values.end());
+  const std::size_t mid = workspace.size() / 2;
+  std::nth_element(workspace.begin(),
+                   workspace.begin() + static_cast<long>(mid),
+                   workspace.end());
+  const double median = workspace[mid];
+  for (auto& v : workspace) v = std::abs(v - median);
+  std::nth_element(workspace.begin(),
+                   workspace.begin() + static_cast<long>(mid),
+                   workspace.end());
+  const double mad = workspace[mid];
   const double sigma = mad > 1e-12 ? mad * 1.4826 : 1.0;
   return {median, sigma};
 }
 
 }  // namespace
 
-std::vector<SinglePulseEvent> detect_events(
-    const std::vector<double>& series, double dm, double sample_time_ms,
-    const SinglePulseSearchParams& params) {
-  std::vector<SinglePulseEvent> events;
+void detect_events_into(const std::vector<double>& series, double dm,
+                        double sample_time_ms,
+                        const SinglePulseSearchParams& params,
+                        DetectScratch& scratch,
+                        std::vector<SinglePulseEvent>& out) {
   const std::size_t n = series.size();
-  if (n == 0) return events;
-  const auto [median, sigma] = robust_stats(series);
+  if (n == 0) return;
+  const auto [median, sigma] = robust_stats(series, scratch.stats_workspace);
 
   // best S/N and width per sample across boxcars
-  std::vector<double> best_snr(n, 0.0);
-  std::vector<int> best_width(n, 1);
-  std::vector<double> prefix(n + 1, 0.0);
+  auto& best_snr = scratch.best_snr;
+  auto& best_width = scratch.best_width;
+  auto& prefix = scratch.prefix;
+  best_snr.resize(n);
+  best_width.resize(n);
+  prefix.resize(n + 1);
+  prefix[0] = 0.0;
   for (std::size_t s = 0; s < n; ++s) {
     prefix[s + 1] = prefix[s] + (series[s] - median);
   }
+  // A width-w boxcar starting at s is attributed to its central sample
+  // s + w/2, so the boxcars covering one center are a fixed stencil around
+  // it. Scanning center-outermost keeps the running best in registers and
+  // the prefix reads local, and visits each center's widths in the same
+  // list order (with the same strict-improvement tie-break) as a
+  // width-outermost scan — best_snr/best_width come out identical.
+  struct Boxcar {
+    std::size_t back;   ///< center - start  (w/2)
+    std::size_t ahead;  ///< end - center    (w - w/2)
+    double norm;
+    double below_bound;  ///< diff < bound certifies diff/norm < threshold
+    int width;
+  };
+  constexpr std::size_t kStackBoxcars = 16;
+  Boxcar stack_boxcars[kStackBoxcars];
+  std::vector<Boxcar> heap_boxcars;
+  Boxcar* boxcars = stack_boxcars;
+  if (params.boxcar_widths.size() > kStackBoxcars) {
+    heap_boxcars.resize(params.boxcar_widths.size());
+    boxcars = heap_boxcars.data();
+  }
+  std::size_t num_boxcars = 0;
   for (int w : params.boxcar_widths) {
     if (w <= 0 || static_cast<std::size_t>(w) > n) continue;
+    const auto uw = static_cast<std::size_t>(w);
     const double norm = sigma * std::sqrt(static_cast<double>(w));
-    for (std::size_t s = 0; s + static_cast<std::size_t>(w) <= n; ++s) {
-      const double snr = (prefix[s + static_cast<std::size_t>(w)] - prefix[s]) /
-                         norm;
-      // Attribute the detection to the boxcar's central sample.
-      const std::size_t center = s + static_cast<std::size_t>(w) / 2;
-      if (snr > best_snr[center]) {
-        best_snr[center] = snr;
-        best_width[center] = w;
+    // Conservative division-free certificate: diff/norm carries at most a
+    // few ulp of rounding error, so diff < threshold*norm*(1 - 1e-12)
+    // guarantees the rounded S/N is below threshold. Samples inside the
+    // 1e-12 relative band fall through to the exact path.
+    boxcars[num_boxcars++] = {
+        uw / 2, uw - uw / 2, norm,
+        params.snr_threshold * norm * (1.0 - 1e-12), w};
+  }
+  // Only samples that end up part of an above-threshold island influence
+  // the output events (below-threshold samples are merely skipped over),
+  // so almost every center takes the certificate fast path: no division,
+  // no best-width bookkeeping. The handful of centers a boxcar pushes near
+  // threshold compute their exact best S/N and width the way a
+  // width-outermost scan would: widths in list order, strict improvement.
+  const bool can_certify = params.snr_threshold > 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    bool below = can_certify;
+    for (std::size_t b = 0; below && b < num_boxcars; ++b) {
+      const Boxcar& box = boxcars[b];
+      if (c < box.back || n - c < box.ahead) continue;
+      below = prefix[c + box.ahead] - prefix[c - box.back] < box.below_bound;
+    }
+    if (below) {
+      best_snr[c] = 0.0;
+      best_width[c] = 1;
+      continue;
+    }
+    double best = 0.0;
+    int width = 1;
+    for (std::size_t b = 0; b < num_boxcars; ++b) {
+      const Boxcar& box = boxcars[b];
+      if (c < box.back || n - c < box.ahead) continue;
+      const double snr = (prefix[c + box.ahead] - prefix[c - box.back]) /
+                         box.norm;
+      if (snr > best) {
+        best = snr;
+        width = box.width;
       }
     }
+    best_snr[c] = best;
+    best_width[c] = width;
   }
 
   // Local maxima above threshold, merging anything within the detecting
@@ -103,29 +252,100 @@ std::vector<SinglePulseEvent> detect_events(
     e.sample = static_cast<std::int64_t>(peak);
     e.time_s = static_cast<double>(peak) * sample_time_ms * 1e-3;
     e.downfact = best_width[peak];
-    events.push_back(e);
+    out.push_back(e);
     s = end;
   }
+}
+
+std::vector<SinglePulseEvent> detect_events(
+    const std::vector<double>& series, double dm, double sample_time_ms,
+    const SinglePulseSearchParams& params) {
+  std::vector<SinglePulseEvent> events;
+  DetectScratch scratch;
+  detect_events_into(series, dm, sample_time_ms, params, scratch, events);
   return events;
 }
 
 std::vector<SinglePulseEvent> single_pulse_search(
     const Filterbank& fb, const DmGrid& grid,
     const SinglePulseSearchParams& params) {
+  auto& tracer = obs::global_tracer();
+  obs::ScopedSpan sweep_span(tracer, "dedisp.sweep", {}, "dedisp");
+  Stopwatch watch;
+
+  const SweepPlan sweep = build_sweep_plan(fb, grid, params.dm_stride);
+
+  // One event list per unique shift plan, detected with that plan's first
+  // trial DM (the DM only lands in the events' `dm` field, so duplicate
+  // trials reuse the list with their own nominal DM substituted).
+  std::vector<std::vector<SinglePulseEvent>> found(sweep.plans.size());
+  const auto run_plan = [&](std::size_t i) {
+    // Process-lifetime per-thread scratch: a sweep allocates nothing per
+    // plan once each worker's buffers have grown to the series length.
+    thread_local DedispScratch dedisp_scratch;
+    thread_local DetectScratch detect_scratch;
+    obs::ScopedSpan span(tracer, "dedisp.plan", {}, "dedisp");
+    const ShiftPlan& plan = sweep.plans[i];
+    dedisperse_plan(fb, plan, dedisp_scratch);
+    detect_events_into(dedisp_scratch.series, grid.dm_at(plan.trials.front()),
+                       fb.config().sample_time_ms, params, detect_scratch,
+                       found[i]);
+    if (span.active()) {
+      span.arg("trials", static_cast<std::int64_t>(plan.trials.size()));
+      span.arg("events", static_cast<std::int64_t>(found[i].size()));
+    }
+  };
+  if (params.threads > 1 && sweep.plans.size() > 1) {
+    ThreadPool pool(params.threads);
+    pool.parallel_for(sweep.plans.size(), run_plan);
+  } else {
+    for (std::size_t i = 0; i < sweep.plans.size(); ++i) run_plan(i);
+  }
+
+  // Deterministic merge: walk the strided trial sequence in order (exactly
+  // the order the per-trial loop appended events in) and stamp each trial's
+  // nominal DM into its plan's shared event list.
   std::vector<SinglePulseEvent> events;
   const std::size_t stride = std::max<std::size_t>(1, params.dm_stride);
-  for (std::size_t trial = 0; trial < grid.size(); trial += stride) {
-    const double dm = grid.dm_at(trial);
-    const auto series = dedisperse(fb, dm);
-    const auto found =
-        detect_events(series, dm, fb.config().sample_time_ms, params);
-    events.insert(events.end(), found.begin(), found.end());
+  for (std::size_t t = 0; t < sweep.num_trials; ++t) {
+    const std::uint32_t p = sweep.plan_of_trial[t];
+    const double dm = grid.dm_at(t * stride);
+    for (SinglePulseEvent e : found[p]) {
+      e.dm = dm;
+      events.push_back(e);
+    }
   }
   std::sort(events.begin(), events.end(),
             [](const SinglePulseEvent& a, const SinglePulseEvent& b) {
               if (a.dm != b.dm) return a.dm < b.dm;
               return a.time_s < b.time_s;
             });
+
+  const double elapsed = watch.elapsed_seconds();
+  auto& counters = obs::global_counters();
+  counters.add("dedisp.trials",
+               static_cast<std::int64_t>(sweep.num_trials));
+  counters.add("dedisp.plans_unique",
+               static_cast<std::int64_t>(sweep.plans.size()));
+  counters.add("dedisp.plan_dedup_hits",
+               static_cast<std::int64_t>(sweep.num_trials -
+                                         sweep.plans.size()));
+  counters.add("dedisp.events", static_cast<std::int64_t>(events.size()));
+  const double samples =
+      static_cast<double>(sweep.plans.size() * fb.num_samples());
+  if (elapsed > 0.0) {
+    counters.set_gauge("dedisp.samples_per_s", samples / elapsed);
+  }
+  if (sweep_span.active()) {
+    sweep_span.arg("trials", static_cast<std::int64_t>(sweep.num_trials));
+    sweep_span.arg("plans_unique",
+                   static_cast<std::int64_t>(sweep.plans.size()));
+    sweep_span.arg("dedup_hits",
+                   static_cast<std::int64_t>(sweep.num_trials -
+                                             sweep.plans.size()));
+    sweep_span.arg("events", static_cast<std::int64_t>(events.size()));
+    sweep_span.arg("threads", static_cast<std::int64_t>(params.threads));
+  }
   return events;
 }
 

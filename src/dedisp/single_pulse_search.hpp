@@ -7,9 +7,20 @@
 // convolved with boxcars of increasing width (matched filtering for pulses
 // wider than one sample); every local maximum above the S/N threshold
 // becomes a SinglePulseEvent at that trial DM.
+//
+// The sweep over a whole DM grid runs off a precomputed *shift plan*: the
+// per-channel integer shift vector of every (strided) trial is computed up
+// front and exact-duplicate vectors are deduplicated — adjacent fine-step
+// trials round to identical shifts, so their dedispersed series (and their
+// events, which only carry the trial's nominal DM) are computed once per
+// unique vector. Unique plans run independently (optionally on a worker
+// pool) into reusable per-worker scratch buffers, and per-trial event lists
+// are merged back in trial order, so the sweep output is byte-identical to
+// the naive one-trial-at-a-time loop at any thread count.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dedisp/filterbank.hpp"
@@ -18,10 +29,54 @@
 
 namespace drapid {
 
+/// Per-channel integer sample shifts for one trial DM, relative to the
+/// highest-frequency channel (channel 0). Shifts are clamped to
+/// num_samples(): a channel whose delay pushes it entirely off the end of
+/// the observation contributes no samples, and the clamp keeps every vector
+/// entry (and the dedup key built from it) bounded.
+std::vector<std::uint32_t> dispersion_shifts(const Filterbank& fb, double dm);
+
+/// One unique shift vector and the (strided) grid trials that share it.
+struct ShiftPlan {
+  std::vector<std::uint32_t> shifts;  ///< per channel, clamped to num_samples
+  std::uint32_t max_shift = 0;
+  std::vector<std::size_t> trials;    ///< ascending grid trial indices
+};
+
+/// The deduplicated dedispersion plan for a whole (strided) DM grid.
+struct SweepPlan {
+  std::vector<ShiftPlan> plans;  ///< in first-trial order
+  std::size_t num_trials = 0;    ///< strided trials covered by the plans
+  /// plans[] index for each covered trial, in trial order (num_trials long).
+  std::vector<std::uint32_t> plan_of_trial;
+};
+
+/// Computes every trial's shift vector and groups exact duplicates. With
+/// `dm_stride` > 1 only every stride-th trial is planned (the same subset
+/// the strided sweep searches).
+SweepPlan build_sweep_plan(const Filterbank& fb, const DmGrid& grid,
+                           std::size_t dm_stride = 1);
+
+/// Reusable dedispersion workspace: the output series plus the counting
+/// buffer the analytic tail normalization uses. Reusing one per worker makes
+/// a sweep allocation-free after the first trial.
+struct DedispScratch {
+  std::vector<double> series;
+  std::vector<std::uint32_t> contrib_prefix;
+};
+
+/// Dedisperses one shift plan into scratch.series (resized to
+/// fb.num_samples()). Channels accumulate in ascending channel order per
+/// sample — the same summation order as dedisperse() — and the tail
+/// normalization `contributors` counts are derived analytically from the
+/// shift vector instead of per-sample increments.
+void dedisperse_plan(const Filterbank& fb, const ShiftPlan& plan,
+                     DedispScratch& scratch);
+
 /// Dedisperses at one trial DM: per-channel integer-sample shifts relative
 /// to the highest-frequency channel, summed. The result has num_samples()
 /// entries; trailing samples where channels ran out of data are summed over
-/// fewer channels (and normalized accordingly by the caller via detection).
+/// fewer channels and renormalized to keep the noise level uniform.
 std::vector<double> dedisperse(const Filterbank& fb, double dm);
 
 struct SinglePulseSearchParams {
@@ -30,6 +85,18 @@ struct SinglePulseSearchParams {
   std::vector<int> boxcar_widths = {1, 2, 4, 8, 16, 32};
   /// Trial stride over the grid (1 = every trial; larger = faster scans).
   std::size_t dm_stride = 1;
+  /// Worker threads for the DM sweep (1 = run on the calling thread). The
+  /// sweep output is byte-identical at any thread count.
+  std::size_t threads = 1;
+};
+
+/// Reusable matched-filter workspace: boxcar prefix sums, per-sample best
+/// S/N and width, and the median/MAD workspace robust_stats sorts in place.
+struct DetectScratch {
+  std::vector<double> prefix;
+  std::vector<double> best_snr;
+  std::vector<int> best_width;
+  std::vector<double> stats_workspace;
 };
 
 /// Matched-filter detection on one dedispersed series: the series is
@@ -40,9 +107,20 @@ std::vector<SinglePulseEvent> detect_events(
     const std::vector<double>& series, double dm, double sample_time_ms,
     const SinglePulseSearchParams& params);
 
-/// The full phase-2+3 search: dedisperse at every (strided) grid trial and
-/// collect events. Output is sorted by (dm, time) like the survey
-/// simulator's SPE lists, ready for DBSCAN + RAPID.
+/// Same detection, appending to `out` and reusing `scratch` buffers — the
+/// allocation-free form the sweep calls once per unique shift plan.
+void detect_events_into(const std::vector<double>& series, double dm,
+                        double sample_time_ms,
+                        const SinglePulseSearchParams& params,
+                        DetectScratch& scratch,
+                        std::vector<SinglePulseEvent>& out);
+
+/// The full phase-2+3 search: one shift-plan sweep over the (strided) grid.
+/// Duplicate shift vectors are dedispersed once, unique plans run on
+/// `params.threads` workers, and events are merged in trial order — output
+/// is sorted by (dm, time) like the survey simulator's SPE lists, ready for
+/// DBSCAN + RAPID, and byte-identical to a per-trial loop at any thread
+/// count. Emits `dedisp.*` spans and counters through src/obs.
 std::vector<SinglePulseEvent> single_pulse_search(
     const Filterbank& fb, const DmGrid& grid,
     const SinglePulseSearchParams& params = {});

@@ -43,6 +43,23 @@ std::size_t DmGrid::index_of(double dm) const {
   return (dm - trials_[lo] <= trials_[hi] - dm) ? lo : hi;
 }
 
+DmGrid DmGrid::prefix(double dm_end) const {
+  std::vector<DmPlanSegment> clipped;
+  for (const auto& seg : plan_) {
+    if (seg.dm_begin >= dm_end) break;
+    DmPlanSegment part = seg;
+    part.dm_end = std::min(part.dm_end, dm_end);
+    clipped.push_back(part);
+  }
+  if (clipped.empty()) {
+    throw std::invalid_argument("dedispersion plan prefix is empty");
+  }
+  // Segment trial counts are ceil((end - begin) / step), so clipping the
+  // last segment keeps every earlier trial value identical: the result's
+  // trials are exactly a prefix of this grid's trials.
+  return DmGrid(std::move(clipped));
+}
+
 double DmGrid::spacing_at(double dm) const {
   for (const auto& seg : plan_) {
     if (dm < seg.dm_end) return seg.step;

@@ -44,6 +44,13 @@ class DmGrid {
 
   const std::vector<DmPlanSegment>& plan() const { return plan_; }
 
+  /// A grid covering only trials below `dm_end`: the plan clipped at
+  /// `dm_end`, producing exactly the prefix of this grid's trial list. Used
+  /// to take a realistic fine-step slice of a survey plan for benches and
+  /// dedup tests. Throws std::invalid_argument if no trial falls below
+  /// `dm_end`.
+  DmGrid prefix(double dm_end) const;
+
   /// Dedispersion plan modeled on the GBT 350 MHz drift-scan processing:
   /// fine 0.01 steps at low DM, widening to 2.0 at the top of the range.
   static DmGrid gbt350drift();

@@ -1,35 +1,84 @@
 #include "spe/spe.hpp"
 
-#include <sstream>
+#include <array>
+#include <charconv>
 #include <stdexcept>
-#include <vector>
-
-#include "util/csv.hpp"
+#include <string_view>
 
 namespace drapid {
 
+namespace {
+
+/// Shortest-of-17-significant-digits formatting, matching what an
+/// ostringstream with precision(17) (i.e. printf %.17g) produces — existing
+/// persisted keys keep their exact spelling, and 17 digits round-trips any
+/// double exactly.
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 17);
+  out.append(buf, res.ptr);
+}
+
+[[noreturn]] void malformed(const std::string& key) {
+  throw std::runtime_error("malformed observation key: " + key);
+}
+
+double field_to_double(std::string_view field, const std::string& key) {
+  double v = 0.0;
+  const auto res = std::from_chars(field.data(), field.data() + field.size(),
+                                   v, std::chars_format::general);
+  if (res.ec != std::errc{} || res.ptr != field.data() + field.size()) {
+    malformed(key);
+  }
+  return v;
+}
+
+}  // namespace
+
 std::string ObservationId::key() const {
-  std::ostringstream out;
-  out.precision(17);  // exact double round-trip
-  out << dataset << '|' << mjd << '|' << ra_deg << '|' << dec_deg << '|'
-      << beam;
-  return out.str();
+  std::string out = dataset;
+  out.reserve(out.size() + 80);
+  out.push_back('|');
+  append_double(out, mjd);
+  out.push_back('|');
+  append_double(out, ra_deg);
+  out.push_back('|');
+  append_double(out, dec_deg);
+  out.push_back('|');
+  char buf[16];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), beam);
+  out.append(buf, res.ptr);
+  return out;
 }
 
 ObservationId ObservationId::from_key(const std::string& key) {
-  std::vector<std::string> parts;
-  std::string part;
-  std::istringstream in(key);
-  while (std::getline(in, part, '|')) parts.push_back(part);
-  if (parts.size() != 5) {
-    throw std::runtime_error("malformed observation key: " + key);
+  std::array<std::string_view, 5> parts;
+  const std::string_view view(key);
+  std::size_t count = 0;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t bar = view.find('|', begin);
+    const std::string_view part = view.substr(
+        begin, bar == std::string_view::npos ? std::string_view::npos
+                                             : bar - begin);
+    if (count < parts.size()) parts[count] = part;
+    ++count;
+    if (bar == std::string_view::npos) break;
+    begin = bar + 1;
   }
+  if (count != parts.size()) malformed(key);
   ObservationId id;
-  id.dataset = parts[0];
-  id.mjd = parse_double(parts[1]);
-  id.ra_deg = parse_double(parts[2]);
-  id.dec_deg = parse_double(parts[3]);
-  id.beam = static_cast<int>(parse_int(parts[4]));
+  id.dataset = std::string(parts[0]);
+  id.mjd = field_to_double(parts[1], key);
+  id.ra_deg = field_to_double(parts[2], key);
+  id.dec_deg = field_to_double(parts[3], key);
+  const std::string_view beam = parts[4];
+  const auto res = std::from_chars(beam.data(), beam.data() + beam.size(),
+                                   id.beam);
+  if (res.ec != std::errc{} || res.ptr != beam.data() + beam.size()) {
+    malformed(key);
+  }
   return id;
 }
 

@@ -1,0 +1,51 @@
+// Filterbank-backed survey observations: phases 1–3 run for real.
+//
+// SurveySimulator::simulate() draws single pulse events from an *analytic*
+// model of what a single-pulse search emits. This path instead synthesizes
+// the raw filterbank (band noise, dispersed pulses, RFI) and runs the actual
+// shift-plan DM sweep over the survey's trial grid, so the SPE lists carry
+// whatever the detection pipeline really produces — boxcar widths, island
+// merging, tail-normalization effects and all. It is the end-to-end exerciser
+// for the dedispersion frontend; the analytic model remains the fast path
+// for large classification datasets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "synth/survey.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+
+/// Knobs for the synthesized filterbank. The survey's native resolution
+/// (e.g. 0.0819 ms over 140 s) is far more data than tests and benches need,
+/// so the defaults coarsen time while keeping the survey's band.
+struct FilterbankSurveyOptions {
+  std::size_t num_channels = 64;
+  double sample_time_ms = 1.0;
+  double obs_length_s = 10.0;
+  double noise_sigma = 1.0;
+  /// Per-channel amplitude of an injected pulse at S/N target `snr`, roughly
+  /// snr * sqrt(width_samples) / sqrt(channels) scaled by this fudge.
+  double amplitude_scale = 1.0;
+  /// Passed through to the sweep.
+  std::size_t threads = 1;
+  std::size_t dm_stride = 1;
+};
+
+/// Simulates one observation end-to-end: builds a filterbank with band noise,
+/// paints each visible source's pulses with their true dispersion sweep
+/// (plus any configured broadband RFI bursts), then runs the shift-plan DM
+/// sweep over `config.grid` at `config.snr_threshold`. Ground truth lists
+/// every injected pulse; `num_spes`/`peak_snr` are measured from the events
+/// the sweep attributed to the pulse's time window.
+///
+/// Draws from `rng` only — a caller-owned stream, so interleaving this with
+/// SurveySimulator::simulate() does not perturb the simulator's sequence.
+SimulatedObservation simulate_filterbank_observation(
+    const SurveyConfig& config, const ObservationId& id,
+    const std::vector<SyntheticSource>& visible, Rng& rng,
+    const FilterbankSurveyOptions& options = {});
+
+}  // namespace drapid

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
 
 namespace drapid {
 namespace {
@@ -41,6 +45,44 @@ TEST(ObservationId, MalformedKeyThrows) {
                std::runtime_error);
   EXPECT_THROW(ObservationId::from_key("a|b|c|d|notanint"),
                std::runtime_error);
+  EXPECT_THROW(ObservationId::from_key("a|nan?|0|0|1"), std::runtime_error);
+  EXPECT_THROW(ObservationId::from_key("a|1|2|3|4|extra"),
+               std::runtime_error);
+}
+
+TEST(ObservationId, KeyFormatIsStable) {
+  // Keys are persisted shuffle keys: the to_chars formatting must spell
+  // doubles exactly as the historical ostringstream-with-precision(17) path
+  // did (printf %.17g — shortest-of-17-significant-digits).
+  const auto reference = [](const ObservationId& id) {
+    std::ostringstream out;
+    out.precision(17);
+    out << id.dataset << '|' << id.mjd << '|' << id.ra_deg << '|'
+        << id.dec_deg << '|' << id.beam;
+    return out.str();
+  };
+  std::vector<ObservationId> ids;
+  ids.push_back(sample_obs());
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    ObservationId id;
+    id.dataset = i % 2 == 0 ? "GBT350Drift" : "PALFA";
+    id.mjd = 50000.0 + rng.uniform(0.0, 10000.0);
+    id.ra_deg = rng.uniform(0.0, 360.0);
+    id.dec_deg = rng.uniform(-90.0, 90.0);
+    id.beam = static_cast<int>(rng.below(8));
+    ids.push_back(id);
+  }
+  // And a few awkward spellings: integers, negatives, tiny magnitudes.
+  ObservationId awkward = sample_obs();
+  awkward.mjd = 56000.0;
+  awkward.ra_deg = 1e-7;
+  awkward.dec_deg = -0.125;
+  ids.push_back(awkward);
+  for (const auto& id : ids) {
+    EXPECT_EQ(id.key(), reference(id));
+    EXPECT_EQ(ObservationId::from_key(id.key()), id);
+  }
 }
 
 TEST(SinglePulseEvent, EqualityComparesAllFields) {

@@ -21,7 +21,7 @@ ctest --test-dir build -j "$(nproc)" --output-on-failure
 # Timing-noise sensitive, so it runs only when asked for (CI runs it as a
 # non-blocking job; see .github/workflows/ci.yml).
 if [[ "${DRAPID_BENCH_CHECK:-0}" == "1" ]]; then
-  echo "=== micro-bench regression gate (vs BENCH_PR4.json) ==="
+  echo "=== micro-bench regression gate (vs BENCH_PR5.json) ==="
   cmake --build build -j "$(nproc)" --target bench_micro_dataflow \
     bench_micro_rapid bench_micro_dedisp bench_micro_ml bench_micro_cv \
     report_diff
@@ -33,7 +33,7 @@ if [[ "${DRAPID_BENCH_CHECK:-0}" == "1" ]]; then
                bench_micro_ml bench_micro_cv; do
     echo "--- $bench ---"
     build/tools/report_diff --bench "$bench" --metrics-only 1 \
-      --tolerance 0.10 --a BENCH_PR4.json --b "$current" || bench_status=1
+      --tolerance 0.10 --a BENCH_PR5.json --b "$current" || bench_status=1
   done
   if [[ "$bench_status" != "0" ]]; then
     echo "check: micro-bench gate flagged >10% changes (see rows above)"
@@ -55,6 +55,7 @@ TSAN_TARGETS=(
   dataflow_rdd_test
   obs_trace_test
   ml_tree_presort_test
+  dedisp_sweep_test
 )
 
 cmake -S . -B "$TSAN_BUILD_DIR" -DCMAKE_BUILD_TYPE=Debug -DDRAPID_TSAN=ON
