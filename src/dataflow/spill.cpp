@@ -6,6 +6,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "util/checksum.hpp"
 
 namespace drapid {
 
@@ -14,6 +15,8 @@ namespace {
 /// Spill file layout: magic, record count, (klen, k, vlen, v)*, checksum.
 /// The trailing checksum covers everything between magic and itself, so any
 /// flipped byte — count, a length prefix, or payload — fails validation.
+/// The checksum scheme itself (seed + fold) lives in util/checksum.hpp and
+/// is shared with the candidate-archive segment format.
 constexpr std::uint64_t kSpillMagic = 0x3153504C4C495244ULL;  // "DRILLPS1"
 constexpr std::size_t kHeaderBytes = 16;   // magic + count
 constexpr std::size_t kTrailerBytes = 8;   // checksum
@@ -23,22 +26,6 @@ std::uint64_t read_u64(std::istream& in) {
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   return v;
 }
-
-std::uint64_t checksum_fold(std::uint64_t h, const void* data,
-                            std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    h ^= bytes[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-std::uint64_t checksum_fold_u64(std::uint64_t h, std::uint64_t v) {
-  return checksum_fold(h, &v, sizeof(v));
-}
-
-constexpr std::uint64_t kChecksumSeed = 0xcbf29ce484222325ULL;
 
 [[noreturn]] void spill_fail(const std::string& file, const std::string& why) {
   throw SpillError("spill file " + file + ": " + why);

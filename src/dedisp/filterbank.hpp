@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -26,6 +28,13 @@ struct FilterbankConfig {
   std::size_t num_channels = 64;
   double sample_time_ms = 1.0;
   double obs_length_s = 8.0;
+};
+
+/// A `.fil` file failed validation on open: truncated or unparseable
+/// header, zero channels, unsupported sample encoding, or a data section
+/// inconsistent with nchans/nbits/nsamples.
+struct FilterbankError : std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 class Filterbank {
@@ -72,7 +81,27 @@ class Filterbank {
   /// channels — undispersed, so it peaks at DM 0.
   void inject_broadband_impulse(double t0_s, double amplitude);
 
+  /// Writes a SIGPROC-style `.fil` file: binary header items (HEADER_START,
+  /// nchans/nbits/nsamples, tsamp, fch1/foff, HEADER_END) followed by
+  /// 32-bit-float samples in time-major frame order — the chunked layout a
+  /// streaming ingester reads frame by frame.
+  void write_fil(const std::string& path) const;
+
+  /// Opens a `.fil` file written by write_fil() (or any SIGPROC file with
+  /// 32-bit float samples and one IF). Every header field is validated and
+  /// the data section is checked against the header before any sample is
+  /// touched: zero channels, nbits != 32, a truncated header, a partial
+  /// trailing frame, or an nsamples count that disagrees with the file size
+  /// all throw FilterbankError with the offending value in the message —
+  /// channel_data() is only ever backed by fully-validated storage.
+  static Filterbank read_fil(const std::string& path);
+
  private:
+  /// Adopts an explicit sample count (file ingest) instead of re-deriving it
+  /// from obs_length_s, which could land one sample short after a double
+  /// round-trip through a file header.
+  Filterbank(FilterbankConfig config, std::size_t num_samples);
+
   FilterbankConfig config_;
   std::size_t num_samples_;
   std::vector<double> channel_freqs_mhz_;  // descending, channel 0 highest

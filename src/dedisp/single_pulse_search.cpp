@@ -80,13 +80,19 @@ void dedisperse_plan(const Filterbank& fb, const ShiftPlan& plan,
     }
   }
 
-  // Tail normalization. contributors[s] — the number of channels whose
-  // shifted data still covers sample s — equals |{c : shifts[c] <= n-1-s}|,
-  // so it comes from a counting pass over the shift vector instead of a
-  // per-sample increment in the accumulation loop above. Samples covered by
-  // every channel need no renormalization and are skipped outright.
+  normalize_tail(plan, channels, series, scratch.contrib_prefix);
+}
+
+void normalize_tail(const ShiftPlan& plan, std::size_t channels,
+                    std::vector<double>& series,
+                    std::vector<std::uint32_t>& prefix) {
+  const std::size_t n = series.size();
+  // contributors[s] — the number of channels whose shifted data still covers
+  // sample s — equals |{c : shifts[c] <= n-1-s}|, so it comes from a
+  // counting pass over the shift vector instead of a per-sample increment in
+  // the accumulation loop. Samples covered by every channel need no
+  // renormalization and are skipped outright.
   const std::size_t m = std::min<std::size_t>(plan.max_shift, n);
-  auto& prefix = scratch.contrib_prefix;
   prefix.assign(m + 1, 0);
   for (std::size_t c = 0; c < channels; ++c) {
     if (plan.shifts[c] < n) ++prefix[plan.shifts[c]];
@@ -266,6 +272,34 @@ std::vector<SinglePulseEvent> detect_events(
   return events;
 }
 
+namespace detail {
+
+std::vector<SinglePulseEvent> merge_plan_events(
+    const SweepPlan& sweep, const DmGrid& grid, std::size_t dm_stride,
+    const std::vector<std::vector<SinglePulseEvent>>& found) {
+  // Deterministic merge: walk the strided trial sequence in order (exactly
+  // the order the per-trial loop appended events in) and stamp each trial's
+  // nominal DM into its plan's shared event list.
+  std::vector<SinglePulseEvent> events;
+  const std::size_t stride = std::max<std::size_t>(1, dm_stride);
+  for (std::size_t t = 0; t < sweep.num_trials; ++t) {
+    const std::uint32_t p = sweep.plan_of_trial[t];
+    const double dm = grid.dm_at(t * stride);
+    for (SinglePulseEvent e : found[p]) {
+      e.dm = dm;
+      events.push_back(e);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SinglePulseEvent& a, const SinglePulseEvent& b) {
+              if (a.dm != b.dm) return a.dm < b.dm;
+              return a.time_s < b.time_s;
+            });
+  return events;
+}
+
+}  // namespace detail
+
 std::vector<SinglePulseEvent> single_pulse_search(
     const Filterbank& fb, const DmGrid& grid,
     const SinglePulseSearchParams& params) {
@@ -302,24 +336,8 @@ std::vector<SinglePulseEvent> single_pulse_search(
     for (std::size_t i = 0; i < sweep.plans.size(); ++i) run_plan(i);
   }
 
-  // Deterministic merge: walk the strided trial sequence in order (exactly
-  // the order the per-trial loop appended events in) and stamp each trial's
-  // nominal DM into its plan's shared event list.
-  std::vector<SinglePulseEvent> events;
-  const std::size_t stride = std::max<std::size_t>(1, params.dm_stride);
-  for (std::size_t t = 0; t < sweep.num_trials; ++t) {
-    const std::uint32_t p = sweep.plan_of_trial[t];
-    const double dm = grid.dm_at(t * stride);
-    for (SinglePulseEvent e : found[p]) {
-      e.dm = dm;
-      events.push_back(e);
-    }
-  }
-  std::sort(events.begin(), events.end(),
-            [](const SinglePulseEvent& a, const SinglePulseEvent& b) {
-              if (a.dm != b.dm) return a.dm < b.dm;
-              return a.time_s < b.time_s;
-            });
+  std::vector<SinglePulseEvent> events =
+      detail::merge_plan_events(sweep, grid, params.dm_stride, found);
 
   const double elapsed = watch.elapsed_seconds();
   auto& counters = obs::global_counters();

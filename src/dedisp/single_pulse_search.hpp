@@ -73,6 +73,17 @@ struct DedispScratch {
 void dedisperse_plan(const Filterbank& fb, const ShiftPlan& plan,
                      DedispScratch& scratch);
 
+/// Applies the analytic tail normalization for `plan` to a fully-accumulated
+/// dedispersed series of `channels` channels: the max_shift-long tail, where
+/// shifted channels have run out of data, is rescaled to the full-channel
+/// noise level. Must run exactly once per series, after every channel's
+/// contribution has been summed — the streaming sweep defers it to finalize
+/// so samples inside the chunk-overlap carry region are never rescaled
+/// twice. `contrib_prefix` is reusable scratch (overwritten).
+void normalize_tail(const ShiftPlan& plan, std::size_t channels,
+                    std::vector<double>& series,
+                    std::vector<std::uint32_t>& contrib_prefix);
+
 /// Dedisperses at one trial DM: per-channel integer-sample shifts relative
 /// to the highest-frequency channel, summed. The result has num_samples()
 /// entries; trailing samples where channels ran out of data are summed over
@@ -114,6 +125,19 @@ void detect_events_into(const std::vector<double>& series, double dm,
                         const SinglePulseSearchParams& params,
                         DetectScratch& scratch,
                         std::vector<SinglePulseEvent>& out);
+
+namespace detail {
+
+/// The deterministic trial-order merge shared by the one-shot and streaming
+/// sweeps: walks the strided trial sequence, stamps each trial's nominal DM
+/// into its plan's shared event list, and sorts by (dm, time) — exactly the
+/// output a per-trial loop would append. `found` holds one event list per
+/// unique plan (detected with the plan's first-trial DM).
+std::vector<SinglePulseEvent> merge_plan_events(
+    const SweepPlan& sweep, const DmGrid& grid, std::size_t dm_stride,
+    const std::vector<std::vector<SinglePulseEvent>>& found);
+
+}  // namespace detail
 
 /// The full phase-2+3 search: one shift-plan sweep over the (strided) grid.
 /// Duplicate shift vectors are dedispersed once, unique plans run on

@@ -1,0 +1,129 @@
+// Chunk-resumable DM sweep: the PR 5 shift-plan sweep fed in fixed-size
+// sample blocks, for long-running survey ingestion.
+//
+// The one-shot single_pulse_search() needs the whole filterbank resident; a
+// streaming service ingests data in bounded chunks as it arrives. The
+// StreamingSweep accepts time-ordered sample blocks of any size, keeps an
+// overlap carry of the last max_shift input samples per channel (the only
+// history a dispersed output sample can still reference), and accumulates
+// each unique shift plan's dedispersed series incrementally:
+//
+//   * an output sample s of a plan with per-channel shifts v_c reads inputs
+//     s + v_c, so s is *complete* once s + max_shift < samples_pushed. Each
+//     push flushes the newly-completed range [frontier, pushed - max_shift)
+//     for every plan, summing channels in ascending order — the exact
+//     addition sequence of dedisperse_plan(), so the accumulated series is
+//     byte-identical to the one-shot sweep's no matter how the input was
+//     chunked.
+//   * tail normalization is applied exactly ONCE, at finalize, over the
+//     fully-accumulated series. Normalizing per chunk would rescale the
+//     overlap-carry samples once per chunk they straddle — the double-count
+//     bug the boundary regression tests pin.
+//   * detection (global median/MAD standardization + matched filtering)
+//     runs at finalize per unique plan, and events merge in trial order via
+//     the same helper as the one-shot path.
+//
+// The result of finalize() is therefore byte-identical to
+// single_pulse_search() on the concatenated data, for any chunk size and
+// any thread count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dedisp/filterbank.hpp"
+#include "dedisp/single_pulse_search.hpp"
+#include "spe/dm_grid.hpp"
+#include "spe/spe.hpp"
+
+namespace drapid {
+
+class ThreadPool;
+
+class StreamingSweep {
+ public:
+  /// Plans the sweep for an observation of known geometry. The config fixes
+  /// the channel count/band/sampling AND the total sample count (shift
+  /// clamping and tail normalization depend on it), exactly like the
+  /// one-shot sweep. `grid`/`params` as in single_pulse_search(); the grid
+  /// is copied. With params.threads > 1 a worker pool fans the per-plan
+  /// accumulation and detection out.
+  StreamingSweep(const FilterbankConfig& config, const DmGrid& grid,
+                 const SinglePulseSearchParams& params = {});
+  ~StreamingSweep();
+
+  StreamingSweep(const StreamingSweep&) = delete;
+  StreamingSweep& operator=(const StreamingSweep&) = delete;
+
+  /// Pushes `num_frames` time-major frames (frame = one sample of every
+  /// channel, ascending channel order — the .fil on-disk layout, length
+  /// num_channels floats each). Throws std::invalid_argument if the total
+  /// would exceed the configured sample count.
+  void push_frames(const float* frames, std::size_t num_frames);
+
+  /// Pushes samples [begin, begin + count) of an in-memory filterbank (must
+  /// match this sweep's geometry and continue exactly at samples_pushed()).
+  /// Convenience for tests and for ingesting synthesized observations.
+  void push(const Filterbank& fb, std::size_t begin, std::size_t count);
+
+  /// Total samples accepted so far / expected in the whole observation.
+  std::size_t samples_pushed() const { return pushed_; }
+  std::size_t total_samples() const { return total_samples_; }
+
+  /// Overlap carried across chunk boundaries: the largest per-channel shift
+  /// of any plan (clamped to the observation length).
+  std::size_t max_shift() const { return max_shift_; }
+
+  std::size_t num_plans() const { return sweep_.plans.size(); }
+
+  /// Runs detection over every plan's accumulated series and merges events
+  /// in trial order — byte-identical to single_pulse_search() on the same
+  /// data. All total_samples() samples must have been pushed; throws
+  /// std::logic_error otherwise, or if called twice.
+  std::vector<SinglePulseEvent> finalize();
+
+ private:
+  /// Lays out the input window for a `count`-sample block (carry samples
+  /// first, block after) and returns the carry length; the caller fills the
+  /// block region. Throws if the block would overrun the observation.
+  std::size_t prepare_window(std::size_t count);
+  /// Accumulates every plan's newly-completed output range from the window,
+  /// then refreshes the overlap carry from the window's tail.
+  void commit_block(std::size_t count);
+  void accumulate_plan(std::size_t plan_index, std::size_t out_begin,
+                       std::size_t out_end);
+  template <typename Fn>
+  void for_each_plan(const Fn& fn);
+
+  FilterbankConfig config_;
+  DmGrid grid_;
+  SinglePulseSearchParams params_;
+  SweepPlan sweep_;
+  std::size_t total_samples_ = 0;
+  std::size_t channels_ = 0;
+  std::size_t max_shift_ = 0;
+
+  std::size_t pushed_ = 0;    ///< input samples accepted
+  std::size_t frontier_ = 0;  ///< output samples accumulated per plan
+
+  /// Channel-major input window: for each channel, the carry (up to
+  /// max_shift_ samples ending at the previous push) followed by the block
+  /// being flushed. Rebuilt per push; reads during a flush stay inside it.
+  std::vector<float> window_;
+  std::size_t window_len_ = 0;    ///< valid samples per channel row
+  std::size_t window_start_ = 0;  ///< global index of the window's first sample
+  std::size_t window_stride_ = 0; ///< row capacity (carry + block)
+
+  /// Per-channel overlap carry: the last max_shift_ input samples, refreshed
+  /// after each push (rows of max_shift_ floats, first carry-length valid).
+  std::vector<float> carry_;
+
+  /// One fully-accumulated dedispersed series per unique shift plan.
+  std::vector<std::vector<double>> series_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  bool finalized_ = false;
+};
+
+}  // namespace drapid

@@ -44,20 +44,30 @@ std::size_t DmGrid::index_of(double dm) const {
 }
 
 DmGrid DmGrid::prefix(double dm_end) const {
-  std::vector<DmPlanSegment> clipped;
-  for (const auto& seg : plan_) {
-    if (seg.dm_begin >= dm_end) break;
-    DmPlanSegment part = seg;
-    part.dm_end = std::min(part.dm_end, dm_end);
-    clipped.push_back(part);
-  }
-  if (clipped.empty()) {
+  // Slice the materialized trial list directly instead of re-deriving
+  // per-segment counts through the ceil(… - 1e-9) formula: when dm_end lands
+  // within that epsilon of a trial value (e.g. exactly one ulp above the
+  // trial, as happens when a caller computes an edge from dm_at()), the
+  // re-derived count dropped the last trial strictly below dm_end — an
+  // off-by-one at the clip edge. lower_bound on the trial values themselves
+  // makes "every trial < dm_end" exact by construction.
+  const auto cut = std::lower_bound(trials_.begin(), trials_.end(), dm_end);
+  const auto count = static_cast<std::size_t>(cut - trials_.begin());
+  if (count == 0) {
     throw std::invalid_argument("dedispersion plan prefix is empty");
   }
-  // Segment trial counts are ceil((end - begin) / step), so clipping the
-  // last segment keeps every earlier trial value identical: the result's
-  // trials are exactly a prefix of this grid's trials.
-  return DmGrid(std::move(clipped));
+  DmGrid out(*this);
+  out.trials_.resize(count);
+  out.plan_.clear();
+  out.segment_first_index_.clear();
+  for (std::size_t seg = 0;
+       seg < plan_.size() && segment_first_index_[seg] < count; ++seg) {
+    DmPlanSegment part = plan_[seg];
+    part.dm_end = std::min(part.dm_end, dm_end);
+    out.plan_.push_back(part);
+    out.segment_first_index_.push_back(segment_first_index_[seg]);
+  }
+  return out;
 }
 
 double DmGrid::spacing_at(double dm) const {

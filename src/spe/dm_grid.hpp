@@ -44,10 +44,13 @@ class DmGrid {
 
   const std::vector<DmPlanSegment>& plan() const { return plan_; }
 
-  /// A grid covering only trials below `dm_end`: the plan clipped at
-  /// `dm_end`, producing exactly the prefix of this grid's trial list. Used
-  /// to take a realistic fine-step slice of a survey plan for benches and
-  /// dedup tests. Throws std::invalid_argument if no trial falls below
+  /// A grid covering exactly the trials of this grid that are strictly
+  /// below `dm_end` — byte-for-byte a prefix of trials(), even when `dm_end`
+  /// sits within one ulp of a trial value (the clip edge is resolved against
+  /// the materialized trials, not re-derived from segment arithmetic). The
+  /// plan segments are clipped alongside so spacing_at() stays consistent.
+  /// Used to take a realistic fine-step slice of a survey plan for benches
+  /// and dedup tests. Throws std::invalid_argument if no trial falls below
   /// `dm_end`.
   DmGrid prefix(double dm_end) const;
 

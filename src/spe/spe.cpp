@@ -2,6 +2,7 @@
 
 #include <array>
 #include <charconv>
+#include <cmath>
 #include <stdexcept>
 #include <string_view>
 
@@ -31,12 +32,31 @@ double field_to_double(std::string_view field, const std::string& key) {
   if (res.ec != std::errc{} || res.ptr != field.data() + field.size()) {
     malformed(key);
   }
+  // from_chars accepts "inf"/"nan" spellings and we never emit them: a
+  // non-finite MJD or sky position is not a real observation, and NaN keys
+  // would not even compare equal to themselves in the archive index.
+  if (!std::isfinite(v)) malformed(key);
   return v;
 }
 
 }  // namespace
 
 std::string ObservationId::key() const {
+  // The key is '|'-delimited and used verbatim as an archive/RDD primary
+  // key, so the dataset name must not smuggle in a delimiter or a NUL, and
+  // the numeric fields must have a finite spelling that round-trips. Throws
+  // std::runtime_error: bad ids usually arrive from parsed survey files, and
+  // every parse-path failure in this codebase is a runtime_error (the format
+  // fuzzers rely on it).
+  if (dataset.find('|') != std::string::npos ||
+      dataset.find('\0') != std::string::npos) {
+    throw std::runtime_error(
+        "observation dataset name contains '|' or NUL: " + dataset);
+  }
+  if (!std::isfinite(mjd) || !std::isfinite(ra_deg) || !std::isfinite(dec_deg)) {
+    throw std::runtime_error(
+        "observation id has a non-finite mjd/ra/dec field");
+  }
   std::string out = dataset;
   out.reserve(out.size() + 80);
   out.push_back('|');
@@ -53,6 +73,9 @@ std::string ObservationId::key() const {
 }
 
 ObservationId ObservationId::from_key(const std::string& key) {
+  // Embedded NULs can never come from key() and would silently truncate the
+  // key under any C-string handling downstream — reject outright.
+  if (key.find('\0') != std::string::npos) malformed(key);
   std::array<std::string_view, 5> parts;
   const std::string_view view(key);
   std::size_t count = 0;

@@ -37,11 +37,14 @@ struct ObservationId {
   int beam = 0;         ///< receiver beam number
 
   /// The concatenated descriptor key used to pair data and cluster records,
-  /// exactly in the spirit of the paper's KVPRDD keys.
+  /// exactly in the spirit of the paper's KVPRDD keys. Throws
+  /// std::invalid_argument if the id cannot round-trip (dataset containing
+  /// '|' or NUL, or a non-finite mjd/ra/dec).
   std::string key() const;
 
   /// Parses a key built by key(); throws std::runtime_error on malformed
-  /// input.
+  /// input — wrong field count, trailing garbage after a numeric field,
+  /// embedded NUL, or a non-finite/out-of-range double spelling.
   static ObservationId from_key(const std::string& key);
 
   friend bool operator==(const ObservationId&, const ObservationId&) = default;

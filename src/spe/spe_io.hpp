@@ -8,6 +8,7 @@
 //    prefix, listing the cluster extent D-RAPID must search.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -64,5 +65,35 @@ void write_cluster_file(const std::string& path,
                         const std::vector<ClusterRecord>& clusters);
 std::vector<ClusterRecord> read_cluster_file(std::istream& in);
 std::vector<ClusterRecord> read_cluster_file(const std::string& path);
+
+// --- Binary candidate records (archive segments) ----------------------------
+//
+// The candidate archive stores one keyed SPE per record inside checksummed
+// segment files. A record is self-delimiting:
+//
+//   u32 key_len | key bytes (ObservationId::key()) |
+//   f64 dm | f64 snr | f64 time_s | i64 sample | i32 downfact
+//
+// Fixed-width fields are raw little-endian host encodings (segments are
+// machine-local, like the dataflow spill files they share a checksum with).
+
+/// One keyed single-pulse candidate, as archived.
+struct CandidateRecord {
+  ObservationId obs;
+  SinglePulseEvent event;
+
+  friend bool operator==(const CandidateRecord&,
+                         const CandidateRecord&) = default;
+};
+
+/// Appends the binary encoding of one candidate to `out`. Throws
+/// std::invalid_argument if the id cannot round-trip (see ObservationId::key).
+void append_candidate_record(std::string& out, const CandidateRecord& rec);
+
+/// Decodes one candidate from `data` starting at `offset`, advancing
+/// `offset` past it. Throws std::runtime_error on a truncated or malformed
+/// record (bad length, key that from_key() rejects).
+CandidateRecord decode_candidate_record(const char* data, std::size_t size,
+                                        std::size_t& offset);
 
 }  // namespace drapid

@@ -1,0 +1,34 @@
+// FNV-1a-style streaming checksum shared by the on-disk record formats.
+//
+// The dataflow spill files (dataflow/spill.cpp) and the candidate-archive
+// segments (serve/segment.cpp) use the same integrity scheme: a 64-bit
+// byte-fold seeded with the FNV offset basis, covering every byte between
+// the leading magic and the trailing checksum word. Folding an assembled
+// buffer once is identical to folding each field as it is written, so
+// writers can serialize first and checksum once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace drapid {
+
+inline constexpr std::uint64_t kChecksumSeed = 0xcbf29ce484222325ULL;
+
+/// Folds `size` bytes into `h` (FNV-1a step per byte).
+inline std::uint64_t checksum_fold(std::uint64_t h, const void* data,
+                                   std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Folds one little-endian u64 (its in-memory bytes) into `h`.
+inline std::uint64_t checksum_fold_u64(std::uint64_t h, std::uint64_t v) {
+  return checksum_fold(h, &v, sizeof(v));
+}
+
+}  // namespace drapid

@@ -1,0 +1,212 @@
+// StreamingSweep: byte-identical equivalence with the one-shot sweep across
+// chunk sizes and thread counts, the chunk-boundary overlap regression (a
+// pulse straddling the boundary at every offset), and stream misuse errors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dedisp/single_pulse_search.hpp"
+#include "dedisp/streaming_sweep.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+namespace {
+
+FilterbankConfig small_config() {
+  FilterbankConfig cfg;
+  cfg.center_freq_mhz = 350.0;
+  cfg.bandwidth_mhz = 100.0;
+  cfg.num_channels = 32;
+  cfg.sample_time_ms = 2.0;
+  cfg.obs_length_s = 10.0;
+  return cfg;
+}
+
+Filterbank noisy_filterbank(FilterbankConfig cfg, std::uint64_t seed) {
+  Filterbank fb(cfg);
+  Rng rng(seed);
+  fb.add_noise(rng, 1.0);
+  fb.inject_pulse(3.0, 40.0, 3.0, 20.0);
+  return fb;
+}
+
+bool events_identical(const std::vector<SinglePulseEvent>& a,
+                      const std::vector<SinglePulseEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].dm != b[i].dm || a[i].snr != b[i].snr ||
+        a[i].time_s != b[i].time_s || a[i].sample != b[i].sample ||
+        a[i].downfact != b[i].downfact) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<SinglePulseEvent> stream_in_chunks(
+    const Filterbank& fb, const DmGrid& grid,
+    const SinglePulseSearchParams& params, std::size_t chunk) {
+  StreamingSweep sweep(fb.config(), grid, params);
+  const std::size_t total = sweep.total_samples();
+  for (std::size_t begin = 0; begin < total; begin += chunk) {
+    sweep.push(fb, begin, std::min(chunk, total - begin));
+  }
+  return sweep.finalize();
+}
+
+TEST(StreamingSweep, MatchesOneShotAcrossChunkSizesAndThreads) {
+  const Filterbank fb = noisy_filterbank(small_config(), 3);
+  const DmGrid grid({{0.0, 10.0, 0.01}, {10.0, 60.0, 0.1}});
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    SinglePulseSearchParams params;
+    params.threads = threads;
+    const auto reference = single_pulse_search(fb, grid, params);
+    ASSERT_FALSE(reference.empty());
+    StreamingSweep probe(fb.config(), grid, params);
+    const std::size_t max_shift = probe.max_shift();
+    ASSERT_GT(max_shift, 0u);
+    for (std::size_t factor : {1u, 2u, 7u}) {
+      const auto streamed =
+          stream_in_chunks(fb, grid, params, factor * max_shift);
+      EXPECT_TRUE(events_identical(streamed, reference))
+          << "chunk " << factor << "x max_shift, threads " << threads;
+    }
+  }
+}
+
+TEST(StreamingSweep, MatchesOneShotOnFineStepStridedGrid) {
+  const Filterbank fb = noisy_filterbank(small_config(), 11);
+  // Fine 0.002 steps make adjacent trials collapse onto shared shift plans;
+  // the stride exercises the strided trial walk in the merge.
+  const DmGrid grid({{0.0, 8.0, 0.002}});
+  SinglePulseSearchParams params;
+  params.dm_stride = 3;
+  params.threads = 2;
+  const auto reference = single_pulse_search(fb, grid, params);
+  const auto streamed = stream_in_chunks(fb, grid, params, 777);
+  EXPECT_TRUE(events_identical(streamed, reference));
+}
+
+TEST(StreamingSweep, RaggedAndSingleSampleChunksMatch) {
+  const Filterbank fb = noisy_filterbank(small_config(), 5);
+  const DmGrid grid({{30.0, 50.0, 0.5}});
+  const SinglePulseSearchParams params;
+  const auto reference = single_pulse_search(fb, grid, params);
+
+  // Deliberately ragged pattern: tiny, huge, then odd-sized blocks.
+  StreamingSweep sweep(fb.config(), grid, params);
+  const std::size_t total = sweep.total_samples();
+  const std::size_t sizes[] = {1, 2, 3, 1000, 7, 501};
+  std::size_t begin = 0, i = 0;
+  while (begin < total) {
+    const std::size_t count = std::min(sizes[i++ % 6], total - begin);
+    sweep.push(fb, begin, count);
+    begin += count;
+  }
+  EXPECT_TRUE(events_identical(sweep.finalize(), reference));
+}
+
+TEST(StreamingSweep, PushFramesMatchesColumnPush) {
+  const Filterbank fb = noisy_filterbank(small_config(), 9);
+  const DmGrid grid({{35.0, 45.0, 0.25}});
+  const SinglePulseSearchParams params;
+  const auto reference = single_pulse_search(fb, grid, params);
+
+  // Rebuild the stream from time-major frames (the .fil wire layout).
+  StreamingSweep sweep(fb.config(), grid, params);
+  const std::size_t channels = fb.num_channels();
+  const std::size_t total = sweep.total_samples();
+  std::vector<float> frames;
+  const std::size_t chunk = 512;
+  for (std::size_t begin = 0; begin < total; begin += chunk) {
+    const std::size_t count = std::min(chunk, total - begin);
+    frames.resize(count * channels);
+    for (std::size_t s = 0; s < count; ++s) {
+      for (std::size_t c = 0; c < channels; ++c) {
+        frames[s * channels + c] = fb.at(c, begin + s);
+      }
+    }
+    sweep.push_frames(frames.data(), count);
+  }
+  EXPECT_TRUE(events_identical(sweep.finalize(), reference));
+}
+
+// The overlap/tail double-count regression: a chunk boundary placed so the
+// pulse straddles it at EVERY offset in [0, max_shift]. A per-chunk (or
+// repeated) tail normalization rescales the carried samples once per chunk
+// they straddle and shifts the detected S/N; the streaming result must stay
+// byte-identical to the one-shot sweep at every split position.
+TEST(StreamingSweep, PulseStraddlingChunkBoundaryAtEveryOffset) {
+  FilterbankConfig cfg = small_config();
+  cfg.num_channels = 16;
+  cfg.obs_length_s = 6.0;
+  Filterbank fb(cfg);
+  Rng rng(17);
+  fb.add_noise(rng, 1.0);
+  fb.inject_pulse(3.0, 40.0, 4.0, 20.0);
+
+  const DmGrid grid({{38.0, 42.0, 0.5}});
+  const SinglePulseSearchParams params;
+  const auto reference = single_pulse_search(fb, grid, params);
+  ASSERT_FALSE(reference.empty());
+
+  StreamingSweep probe(cfg, grid, params);
+  const std::size_t max_shift = probe.max_shift();
+  const std::size_t total = probe.total_samples();
+  // The brightest event marks the pulse's dedispersed arrival sample.
+  const auto peak = std::max_element(
+      reference.begin(), reference.end(),
+      [](const auto& a, const auto& b) { return a.snr < b.snr; });
+  const auto pulse_sample = static_cast<std::size_t>(peak->sample);
+  ASSERT_GT(pulse_sample, max_shift);
+  ASSERT_LT(pulse_sample + max_shift, total);
+
+  for (std::size_t offset = 0; offset <= max_shift; ++offset) {
+    const std::size_t split = pulse_sample - offset + max_shift;
+    StreamingSweep sweep(cfg, grid, params);
+    sweep.push(fb, 0, split);
+    sweep.push(fb, split, total - split);
+    ASSERT_TRUE(events_identical(sweep.finalize(), reference))
+        << "boundary at pulse offset " << offset;
+  }
+}
+
+TEST(StreamingSweep, RejectsMisuse) {
+  const FilterbankConfig cfg = small_config();
+  const Filterbank fb = noisy_filterbank(cfg, 3);
+  const DmGrid grid({{0.0, 10.0, 0.5}});
+
+  {  // finalize before the observation is complete
+    StreamingSweep sweep(cfg, grid);
+    sweep.push(fb, 0, 100);
+    EXPECT_THROW(sweep.finalize(), std::logic_error);
+  }
+  {  // pushing past the configured observation length
+    StreamingSweep sweep(cfg, grid);
+    EXPECT_THROW(sweep.push(fb, 0, fb.num_samples() + 1),
+                 std::invalid_argument);
+  }
+  {  // non-contiguous block
+    StreamingSweep sweep(cfg, grid);
+    sweep.push(fb, 0, 10);
+    EXPECT_THROW(sweep.push(fb, 20, 10), std::invalid_argument);
+  }
+  {  // geometry mismatch
+    FilterbankConfig other = cfg;
+    other.num_channels = 8;
+    const Filterbank small(other);
+    StreamingSweep sweep(cfg, grid);
+    EXPECT_THROW(sweep.push(small, 0, 10), std::invalid_argument);
+  }
+  {  // finalize twice, push after finalize
+    StreamingSweep sweep(cfg, grid);
+    sweep.push(fb, 0, fb.num_samples());
+    (void)sweep.finalize();
+    EXPECT_THROW(sweep.finalize(), std::logic_error);
+    EXPECT_THROW(sweep.push(fb, 0, 1), std::logic_error);
+  }
+}
+
+}  // namespace
+}  // namespace drapid

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace drapid {
@@ -66,6 +68,67 @@ TEST(DmGrid, SurveysCoverExpectedRanges) {
   const DmGrid palfa = DmGrid::palfa();
   EXPECT_GT(palfa.max_dm(), 2000.0);
   EXPECT_GT(palfa.size(), 5000u);
+}
+
+TEST(DmGridPrefix, IsExactTrialPrefix) {
+  const DmGrid grid = DmGrid::gbt350drift();
+  const DmGrid cut = grid.prefix(150.0);
+  ASSERT_LT(cut.size(), grid.size());
+  for (std::size_t i = 0; i < cut.size(); ++i) {
+    ASSERT_EQ(cut.dm_at(i), grid.dm_at(i)) << "trial " << i;
+  }
+  EXPECT_LT(cut.max_dm(), 150.0);
+  // The next trial of the full grid is at/above the clip edge.
+  EXPECT_GE(grid.dm_at(cut.size()), 150.0);
+}
+
+TEST(DmGridPrefix, KeepsTrialLandingExactlyOnClipEdge) {
+  // The off-by-one this pins: when dm_end sits exactly on (or within one
+  // ulp above) a trial value, re-deriving the count from segment arithmetic
+  // with a 1e-9 slack dropped that last trial. The prefix must be resolved
+  // against the materialized trials: every trial strictly below dm_end
+  // survives, including one exactly 1 ulp below.
+  const DmGrid grid({{0.0, 10.0, 0.1}});
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    const double edge = grid.dm_at(i);
+    const DmGrid at_edge = grid.prefix(edge);
+    ASSERT_EQ(at_edge.size(), i) << "edge on trial " << i;
+    ASSERT_EQ(at_edge.max_dm(), grid.dm_at(i - 1));
+    const DmGrid just_above =
+        grid.prefix(std::nextafter(edge, std::numeric_limits<double>::max()));
+    ASSERT_EQ(just_above.size(), i + 1) << "edge 1 ulp above trial " << i;
+    ASSERT_EQ(just_above.max_dm(), edge);
+  }
+}
+
+TEST(DmGridPrefix, SurveyPlanEdgesKeepEveryTrialBelowTheClip) {
+  // The same pin over the real survey plans, where accumulated floating
+  // point (begin + i*step across many segments) makes the edge cases live.
+  for (const DmGrid& grid : {DmGrid::gbt350drift(), DmGrid::palfa()}) {
+    for (std::size_t i = 1; i < grid.size(); i += 137) {
+      const double edge =
+          std::nextafter(grid.dm_at(i), std::numeric_limits<double>::max());
+      const DmGrid cut = grid.prefix(edge);
+      ASSERT_EQ(cut.size(), i + 1) << "edge above trial " << i;
+      ASSERT_EQ(cut.max_dm(), grid.dm_at(i));
+    }
+  }
+}
+
+TEST(DmGridPrefix, ClippedPlanSegmentsStayConsistent) {
+  const DmGrid grid = DmGrid::palfa();
+  const DmGrid cut = grid.prefix(500.0);
+  // spacing_at keeps working on the clipped plan, and matches the parent.
+  for (double dm : {0.5, 50.0, 250.0, cut.max_dm()}) {
+    EXPECT_DOUBLE_EQ(cut.spacing_at(dm), grid.spacing_at(dm)) << dm;
+  }
+  EXPECT_LE(cut.plan().back().dm_end, 500.0);
+}
+
+TEST(DmGridPrefix, EmptyPrefixThrows) {
+  const DmGrid grid({{1.0, 2.0, 0.1}});
+  EXPECT_THROW(grid.prefix(1.0), std::invalid_argument);
+  EXPECT_THROW(grid.prefix(0.5), std::invalid_argument);
 }
 
 class DmGridRoundTrip : public ::testing::TestWithParam<double> {};

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -48,6 +51,63 @@ TEST(ObservationId, MalformedKeyThrows) {
   EXPECT_THROW(ObservationId::from_key("a|nan?|0|0|1"), std::runtime_error);
   EXPECT_THROW(ObservationId::from_key("a|1|2|3|4|extra"),
                std::runtime_error);
+}
+
+TEST(ObservationId, RejectsTrailingGarbageInNumericFields) {
+  // from_chars stops at the first bad character; the remainder must be
+  // treated as garbage, not silently dropped.
+  EXPECT_THROW(ObservationId::from_key("a|1.5x|2|3|4"), std::runtime_error);
+  EXPECT_THROW(ObservationId::from_key("a|1|2|3|4junk"), std::runtime_error);
+  EXPECT_THROW(ObservationId::from_key("a|1|2 |3|4"), std::runtime_error);
+  EXPECT_THROW(ObservationId::from_key("a|1|2|3|4.5"), std::runtime_error);
+}
+
+TEST(ObservationId, RejectsEmbeddedNulAndNonFiniteSpellings) {
+  // An embedded NUL would round-trip into a different observation identity.
+  EXPECT_THROW(ObservationId::from_key(std::string("a\0b|1|2|3|4", 11)),
+               std::runtime_error);
+  EXPECT_THROW(ObservationId::from_key(std::string("a|1|2|3|4\0", 10)),
+               std::runtime_error);
+  // from_chars accepts "inf"/"nan"/overflowing spellings; keys must not.
+  EXPECT_THROW(ObservationId::from_key("a|inf|2|3|4"), std::runtime_error);
+  EXPECT_THROW(ObservationId::from_key("a|1|nan|3|4"), std::runtime_error);
+  EXPECT_THROW(ObservationId::from_key("a|1|2|1e999|4"), std::runtime_error);
+}
+
+TEST(ObservationId, KeyRejectsUnrepresentableIds) {
+  // Ids that key() cannot spell reversibly must fail at key(), not produce
+  // an ambiguous key that from_key() mis-parses.
+  ObservationId id = sample_obs();
+  id.dataset = "PAL|FA";  // '|' collides with the field separator
+  EXPECT_THROW(id.key(), std::runtime_error);
+  id = sample_obs();
+  id.dataset = std::string("PA\0LFA", 6);
+  EXPECT_THROW(id.key(), std::runtime_error);
+  id = sample_obs();
+  id.mjd = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(id.key(), std::runtime_error);
+  id = sample_obs();
+  id.dec_deg = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(id.key(), std::runtime_error);
+}
+
+TEST(ObservationId, FuzzedIdsRoundTripExactly) {
+  // 10k randomized ids (harsh magnitudes included) survive key -> from_key
+  // byte-exactly.
+  Rng rng(1234);
+  const char* datasets[] = {"PALFA", "GBT350Drift", "x", "a b c",
+                            "surveys/2014-run"};
+  for (int i = 0; i < 10000; ++i) {
+    ObservationId id;
+    id.dataset = datasets[rng.below(5)];
+    const double scale = std::pow(10.0, rng.uniform(-12.0, 12.0));
+    id.mjd = rng.uniform(-1.0, 1.0) * scale;
+    id.ra_deg = rng.uniform(0.0, 360.0);
+    id.dec_deg = rng.uniform(-90.0, 90.0);
+    id.beam = static_cast<int>(rng.below(1u << 16)) - (1 << 15);
+    const ObservationId back = ObservationId::from_key(id.key());
+    ASSERT_EQ(back, id) << "iteration " << i << " key " << id.key();
+  }
 }
 
 TEST(ObservationId, KeyFormatIsStable) {

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: full build + ctest, then a ThreadSanitizer pass over the
 # concurrency-heavy suites — the thread pool's helping parallel_for join,
-# the engine's mutex-protected stage registry, concurrent spill I/O, and
-# the span tracer's per-thread buffers — the places a data race would live.
+# the engine's mutex-protected stage registry, concurrent spill I/O, the
+# span tracer's per-thread buffers, and the survey service's single-writer/
+# many-reader archive — the places a data race would live.
 #
 # Usage: tools/check.sh [tsan-build-dir]   (default: build-tsan)
 # Set DRAPID_SKIP_TSAN=1 to stop after the regular build + ctest.
@@ -21,19 +22,19 @@ ctest --test-dir build -j "$(nproc)" --output-on-failure
 # Timing-noise sensitive, so it runs only when asked for (CI runs it as a
 # non-blocking job; see .github/workflows/ci.yml).
 if [[ "${DRAPID_BENCH_CHECK:-0}" == "1" ]]; then
-  echo "=== micro-bench regression gate (vs BENCH_PR5.json) ==="
+  echo "=== micro-bench regression gate (vs BENCH_PR6.json) ==="
   cmake --build build -j "$(nproc)" --target bench_micro_dataflow \
     bench_micro_rapid bench_micro_dedisp bench_micro_ml bench_micro_cv \
-    report_diff
+    bench_serve report_diff
   current="$(mktemp)"
   trap 'rm -f "$current"' EXIT
   tools/bench_baseline.sh "$current"
   bench_status=0
   for bench in bench_micro_dataflow bench_micro_rapid bench_micro_dedisp \
-               bench_micro_ml bench_micro_cv; do
+               bench_micro_ml bench_micro_cv bench_serve; do
     echo "--- $bench ---"
     build/tools/report_diff --bench "$bench" --metrics-only 1 \
-      --tolerance 0.10 --a BENCH_PR5.json --b "$current" || bench_status=1
+      --tolerance 0.10 --a BENCH_PR6.json --b "$current" || bench_status=1
   done
   if [[ "$bench_status" != "0" ]]; then
     echo "check: micro-bench gate flagged >10% changes (see rows above)"
@@ -56,6 +57,9 @@ TSAN_TARGETS=(
   obs_trace_test
   ml_tree_presort_test
   dedisp_sweep_test
+  dedisp_streaming_test
+  serve_torture_test
+  serve_service_test
 )
 
 cmake -S . -B "$TSAN_BUILD_DIR" -DCMAKE_BUILD_TYPE=Debug -DDRAPID_TSAN=ON
