@@ -49,8 +49,7 @@ int main(int argc, char** argv) {
     for (const bool aggregate : {true, false}) {
       EngineConfig engine_config;
       engine_config.num_executors = executors;
-      engine_config.worker_threads =
-          static_cast<std::size_t>(opts.integer("threads"));
+      engine_config.exec = bench.exec_policy();
       engine_config.partitions_per_core = 8;
       Engine engine(engine_config);
       DrapidConfig drapid_config;

@@ -121,8 +121,7 @@ int main(int argc, char** argv) {
     EngineConfig engine_config;
     engine_config.num_executors = executors;
     engine_config.cores_per_executor = 2;
-    engine_config.worker_threads =
-        static_cast<std::size_t>(opts.integer("threads"));
+    engine_config.exec = bench.exec_policy();
     engine_config.partitions_per_core = 8;
     // The paper's memory ratio: one executor holds ~1/4 of the dataset
     // (2,560 MB vs 10.2 GB), so 1 executor spills and 5+ do not.
@@ -156,6 +155,13 @@ int main(int argc, char** argv) {
     row.set("spill_bytes",
             static_cast<std::int64_t>(result.metrics.total_spill_bytes()));
     row.set("wall_seconds", result.wall_seconds);
+    // Measured-vs-modeled makespan: stage wall clocks stamped by the engine
+    // (genuinely concurrent under --backend=process) against the priced
+    // schedule. The ratio should hold steady across backends/workers.
+    const auto makespan = validate_makespan(result.metrics, cluster_sim);
+    row.set("backend", exec_backend_name(engine_config.exec.backend));
+    row.set("measured_stage_seconds", makespan.measured_seconds);
+    row.set("modeled_over_measured", makespan.ratio);
     row.set("records", static_cast<std::int64_t>(result.records.size()));
     bench.report().add_result(std::move(row));
   }
@@ -207,8 +213,7 @@ int main(int argc, char** argv) {
       EngineConfig engine_config;
       engine_config.num_executors = 1;
       engine_config.cores_per_executor = 2;
-      engine_config.worker_threads =
-          static_cast<std::size_t>(opts.integer("threads"));
+      engine_config.exec = bench.exec_policy();
       engine_config.partitions_per_core = 8;
       engine_config.executor_memory_bytes = data.data_csv.size() / 4 + 1;
       engine_config.faults.seed =

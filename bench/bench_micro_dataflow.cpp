@@ -15,7 +15,7 @@ namespace {
 EngineConfig bench_config() {
   EngineConfig cfg;
   cfg.num_executors = 4;
-  cfg.worker_threads = 2;
+  cfg.exec = ExecPolicy::local(2);
   cfg.partitions_per_core = 4;
   return cfg;
 }
@@ -63,6 +63,27 @@ void BM_AggregateByKey(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_AggregateByKey)->Arg(10000)->Arg(100000);
+
+// The same shuffle through the process backend: per iteration the engine
+// forks workers, runs the hash stage in them, and ships the routing maps
+// back over checksummed socket frames. The gap to BM_PartitionBy is the
+// fork + IPC overhead a real multi-process deployment pays.
+void BM_ProcessShuffle(benchmark::State& state) {
+  EngineConfig cfg = bench_config();
+  cfg.exec = ExecPolicy::process(
+      static_cast<std::size_t>(state.range(1)), 2);
+  Engine engine(cfg);
+  const auto rdd = parallelize(
+      engine, make_pairs(static_cast<std::size_t>(state.range(0)), 100), 8);
+  const HashPartitioner part{32};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_by(engine, rdd, part));
+    engine.reset_metrics();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ProcessShuffle)->Args({10000, 2})->Args({10000, 4});
 
 void BM_JoinCopartitioned(benchmark::State& state) {
   Engine engine(bench_config());

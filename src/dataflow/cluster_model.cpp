@@ -159,4 +159,14 @@ JobMetrics scale_metrics(const JobMetrics& job, double factor) {
   return scaled;
 }
 
+MakespanValidation validate_makespan(const JobMetrics& measured,
+                                     const SimResult& modeled) {
+  MakespanValidation v;
+  v.measured_seconds = measured.total_wall_seconds();
+  v.modeled_seconds = modeled.total_seconds;
+  v.ratio = v.measured_seconds > 0.0 ? v.modeled_seconds / v.measured_seconds
+                                     : 0.0;
+  return v;
+}
+
 }  // namespace drapid

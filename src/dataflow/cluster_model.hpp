@@ -98,4 +98,25 @@ SimResult simulate_workstation(const std::vector<std::size_t>& task_costs,
 /// synthetic run extrapolated to the 10.2 GB PALFA subset).
 JobMetrics scale_metrics(const JobMetrics& job, double factor);
 
+/// Measured-vs-modeled makespan comparison. Before PR 7 the model's output
+/// could only be eyeballed against the paper's figures; with the process
+/// backend actually running stages concurrently, Engine::run_stage stamps a
+/// real wall clock per stage (StageMetrics::wall_seconds) that the priced
+/// schedule can be validated against.
+struct MakespanValidation {
+  /// Sum of engine-stamped stage wall clocks (0 when nothing was stamped,
+  /// e.g. metrics rebuilt from a serialized report).
+  double measured_seconds = 0.0;
+  double modeled_seconds = 0.0;  ///< the cost model's priced makespan
+  /// modeled / measured; 0 when unmeasured. The model prices the paper's
+  /// 15-node testbed, not this host, so the interesting signal is this
+  /// ratio staying stable across backends and worker counts — a drifting
+  /// ratio means the model mis-prices concurrency, not that the host is
+  /// slow.
+  double ratio = 0.0;
+};
+
+MakespanValidation validate_makespan(const JobMetrics& measured,
+                                     const SimResult& modeled);
+
 }  // namespace drapid

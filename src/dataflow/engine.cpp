@@ -1,9 +1,11 @@
 #include "dataflow/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <sstream>
 
+#include "dataflow/ipc/process_executor.hpp"
 #include "util/text_table.hpp"
 
 namespace drapid {
@@ -66,11 +68,27 @@ std::size_t JobMetrics::total_retry_cost() const {
   for (const auto& s : stages) total += s.total_retry_cost();
   return total;
 }
+std::size_t JobMetrics::total_worker_deaths() const {
+  std::size_t total = 0;
+  for (const auto& s : stages) total += s.worker_deaths;
+  return total;
+}
+std::size_t JobMetrics::total_ipc_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : stages) total += s.ipc_bytes;
+  return total;
+}
+double JobMetrics::total_wall_seconds() const {
+  double total = 0.0;
+  for (const auto& s : stages) total += s.wall_seconds;
+  return total;
+}
 
 std::string JobMetrics::summary() const {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"stage", "tasks", "records_in", "bytes_in", "shuffle_bytes",
-                  "spill_bytes", "compute_cost", "retries", "stolen"});
+                  "spill_bytes", "compute_cost", "retries", "stolen",
+                  "deaths", "ipc_bytes"});
   for (const auto& s : stages) {
     rows.push_back({s.name, std::to_string(s.tasks.size()),
                     std::to_string(s.total_records_in()),
@@ -79,14 +97,17 @@ std::string JobMetrics::summary() const {
                     std::to_string(s.total_spill_bytes()),
                     std::to_string(s.total_compute_cost()),
                     std::to_string(s.total_retries()),
-                    std::to_string(s.tasks_stolen)});
+                    std::to_string(s.tasks_stolen),
+                    std::to_string(s.worker_deaths),
+                    std::to_string(s.ipc_bytes)});
   }
   return render_table(rows);
 }
 
 Engine::Engine(EngineConfig config)
     : config_(config),
-      pool_(config.worker_threads == 0 ? 1 : config.worker_threads),
+      pool_(config.exec.resolve_threads(
+          config.worker_threads == 0 ? 1 : config.worker_threads)),
       faults_(config.faults),
       tracer_(config.tracer ? *config.tracer : obs::global_tracer()),
       stages_counter_(obs::global_counters().counter("engine.stages")),
@@ -97,7 +118,21 @@ Engine::Engine(EngineConfig config)
       stolen_counter_(obs::global_counters().counter("engine.tasks_stolen")),
       parks_counter_(obs::global_counters().counter("engine.parks")),
       fastpath_counter_(
-          obs::global_counters().counter("engine.fastpath_completions")) {
+          obs::global_counters().counter("engine.fastpath_completions")),
+      workers_forked_counter_(
+          obs::global_counters().counter("engine.workers_forked")),
+      worker_deaths_counter_(
+          obs::global_counters().counter("engine.worker_deaths")),
+      ipc_bytes_counter_(obs::global_counters().counter("engine.ipc_bytes")) {
+  if (config_.exec.backend == ExecBackend::kProcess &&
+      process_executor_supported()) {
+    executor_ = std::make_unique<ProcessExecutor>(
+        *this, config_.exec.resolve_workers(config_.num_executors));
+  } else {
+    // Local backend, or a sanitizer build where forking a multithreaded
+    // process would deadlock the TSan runtime: run everything in-process.
+    executor_ = std::make_unique<LocalExecutor>(*this);
+  }
   namespace fs = std::filesystem;
   fs::path dir = config_.spill_dir.empty()
                      ? fs::temp_directory_path() / "drapid_spill"
@@ -127,50 +162,18 @@ StageMetrics& Engine::begin_stage(const std::string& name, std::size_t tasks) {
 }
 
 void Engine::run_stage(StageMetrics& stage,
-                       const std::function<void(TaskContext&)>& body) {
-  const std::size_t max_attempts =
-      std::max<std::size_t>(1, config_.max_task_attempts);
+                       const std::function<void(TaskContext&)>& body,
+                       const StageIO& io) {
   obs::ScopedSpan stage_span(tracer_, "stage", stage.name, "dataflow");
   stage_span.arg("tasks", static_cast<std::int64_t>(stage.tasks.size()));
   const SchedulerStats pool_before = pool_.stats();
-  pool_.parallel_for(stage.tasks.size(), [&](std::size_t p) {
-    auto& task = stage.tasks[p];
-    obs::ScopedSpan task_span(tracer_, "task", stage.name, "dataflow");
-    task_span.arg("partition", static_cast<std::int64_t>(p));
-    TaskContext ctx(stage.name, p, task, task_span);
-    for (std::size_t attempt = 0;; ++attempt) {
-      ctx.attempt_ = attempt;
-      task.attempts = attempt + 1;
-      if (faults_.fail_task(stage.name, p, attempt)) {
-        retries_counter_.add();
-        if (tracer_.enabled()) {
-          obs::Json args = obs::Json::object();
-          args.set("stage", stage.name);
-          args.set("partition", static_cast<std::int64_t>(p));
-          args.set("attempt", static_cast<std::int64_t>(attempt));
-          tracer_.instant("task.retry", std::move(args), "fault");
-        }
-        if (attempt + 1 >= max_attempts) {
-          failures_counter_.add();
-          task_span.arg("failed", true);
-          throw TaskFailure("task failed permanently after " +
-                            std::to_string(attempt + 1) +
-                            " attempts: stage=" + stage.name +
-                            " partition=" + std::to_string(p));
-        }
-        continue;  // the reattempt backoff is modeled, not slept
-      }
-      body(ctx);
-      tasks_counter_.add();
-      if (attempt > 0) {
-        // Each failed attempt is modeled as dying just before completion:
-        // one full attempt's compute is wasted per failure.
-        task.retry_cost += attempt * task.compute_cost;
-        task_span.arg("attempts", static_cast<std::int64_t>(task.attempts));
-      }
-      return;
-    }
-  });
+  const auto wall_start = std::chrono::steady_clock::now();
+  executor_->run_stage_tasks(
+      StageRun{stage, body, io.valid() ? &io : nullptr});
+  stage.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   const SchedulerStats pool_after = pool_.stats();
   const std::uint64_t stolen = pool_after.tasks_stolen - pool_before.tasks_stolen;
   const std::uint64_t parks = pool_after.parks - pool_before.parks;

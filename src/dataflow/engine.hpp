@@ -17,13 +17,16 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 
+#include "dataflow/executor.hpp"
 #include "dataflow/fault.hpp"
 #include "dataflow/metrics.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "util/exec_policy.hpp"
 #include "util/thread_pool.hpp"
 
 namespace drapid {
@@ -39,8 +42,16 @@ struct EngineConfig {
   /// Partitions assigned per core (paper's custom partitioner used 32).
   std::size_t partitions_per_core = 32;
   /// Worker threads actually used on this machine (independent of the
-  /// modeled executor count; capped by hardware).
+  /// modeled executor count; capped by hardware). Deprecated in favor of
+  /// exec.threads_per_worker, which wins when set; this field remains the
+  /// shim so pre-PR 7 call sites keep their exact pool size.
   std::size_t worker_threads = 4;
+  /// Execution policy: which backend runs stage tasks (local in-process
+  /// pool, or forked worker processes shuffling over Unix-domain sockets),
+  /// how many worker processes (0 = num_executors — the modeled cluster
+  /// finally gets real processes), and pool threads per worker (0 = the
+  /// worker_threads shim above).
+  ExecPolicy exec;
   /// Directory for spill files; empty selects the system temp directory.
   std::string spill_dir;
   /// Attempt budget per task (first run + retries). A task whose every
@@ -87,6 +98,8 @@ class TaskContext {
 
  private:
   friend class Engine;
+  friend class LocalExecutor;
+  friend class ProcessExecutor;
   TaskContext(const std::string& stage_name, std::size_t partition,
               TaskMetrics& metrics, obs::ScopedSpan& span)
       : stage_name_(stage_name),
@@ -124,16 +137,26 @@ class Engine {
   /// running one — never invalidate it.
   StageMetrics& begin_stage(const std::string& name, std::size_t tasks);
 
-  /// Runs body(ctx) for every task slot of `stage` on the worker pool,
-  /// giving each task up to config().max_task_attempts attempts. Injected
-  /// failures kill an attempt *at launch* (so a body observes either a
-  /// complete prior run or none; bodies need not be idempotent mid-flight)
-  /// and are retried with the wasted work recorded in attempts/retry_cost;
-  /// genuine exceptions from the body propagate immediately, first one
-  /// wins. The whole stage runs under a "stage" trace span and each task
-  /// under a nested "task" span; retries emit "task.retry" instants.
+  /// Runs body(ctx) for every task slot of `stage` through the configured
+  /// executor backend, giving each task up to config().max_task_attempts
+  /// attempts. Injected failures kill an attempt *at launch* (so a body
+  /// observes either a complete prior run or none; bodies need not be
+  /// idempotent mid-flight) and are retried with the wasted work recorded in
+  /// attempts/retry_cost; genuine exceptions from the body propagate
+  /// immediately, first one wins. The whole stage runs under a "stage" trace
+  /// span and each task under a nested "task" span; retries emit
+  /// "task.retry" instants.
+  ///
+  /// `io` is the stage's output contract (see executor.hpp). Stages that
+  /// pass one may run their bodies in worker processes under the process
+  /// backend; stages that omit it always run in-process on every backend.
   void run_stage(StageMetrics& stage,
-                 const std::function<void(TaskContext&)>& body);
+                 const std::function<void(TaskContext&)>& body,
+                 const StageIO& io = {});
+
+  /// The backend actually executing stage tasks (resolved from config().exec
+  /// at construction; a TSan build downgrades process to local).
+  Executor& executor() { return *executor_; }
 
   /// The tracer this engine records into (config().tracer or the global).
   obs::Tracer& tracer() { return tracer_; }
@@ -142,6 +165,9 @@ class Engine {
   std::string next_spill_path();
 
  private:
+  friend class LocalExecutor;
+  friend class ProcessExecutor;
+
   EngineConfig config_;
   ThreadPool pool_;
   FaultInjector faults_;
@@ -150,6 +176,7 @@ class Engine {
   std::string spill_dir_;
   std::atomic<std::size_t> spill_counter_{0};
   obs::Tracer& tracer_;
+  std::unique_ptr<Executor> executor_;
   // Registry lookups happen once here; task loops pay one relaxed add.
   obs::CounterRegistry::Counter& stages_counter_;
   obs::CounterRegistry::Counter& tasks_counter_;
@@ -158,6 +185,9 @@ class Engine {
   obs::CounterRegistry::Counter& stolen_counter_;
   obs::CounterRegistry::Counter& parks_counter_;
   obs::CounterRegistry::Counter& fastpath_counter_;
+  obs::CounterRegistry::Counter& workers_forked_counter_;
+  obs::CounterRegistry::Counter& worker_deaths_counter_;
+  obs::CounterRegistry::Counter& ipc_bytes_counter_;
 };
 
 }  // namespace drapid

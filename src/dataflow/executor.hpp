@@ -1,0 +1,93 @@
+// Pluggable stage executors for the dataflow engine.
+//
+// Engine::run_stage keeps its TaskContext& callback shape, but task
+// placement, the bounded retry loop, and failure recovery all route through
+// an Executor so the scheduler drives every backend identically:
+//
+//   * LocalExecutor — the default: one task per partition on the engine's
+//     in-process work-stealing pool, byte-identical to the pre-PR 7 engine
+//     (same attempt loop, same spans, same counters).
+//   * ProcessExecutor (dataflow/ipc/process_executor.hpp) — forks N worker
+//     processes per stage and ships each task's declared output back over a
+//     Unix-domain socket in checksummed frames; worker death is detected as
+//     socket EOF and recovered through the same bounded-retry budget.
+//
+// A stage body is an arbitrary closure with in-memory side effects, which a
+// child process cannot apply to the coordinator. Stages therefore declare an
+// optional StageIO contract: serialize(p) captures task p's output where the
+// body ran, absorb(p, bytes) applies it in the coordinator. Stages without a
+// contract (spill I/O, in-memory bookkeeping) always execute in-process on
+// every backend; all data-plane RDD stages (dataflow/rdd.hpp) declare one.
+//
+// Bodies routed to a process worker run sequentially on the child's only
+// thread and must not touch the engine's thread pool (the pool's workers do
+// not exist after fork). No engine stage body does.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace drapid {
+
+class Engine;
+class TaskContext;
+struct StageMetrics;
+
+/// Output contract of one stage: how a task's result leaves the process the
+/// body ran in and re-enters the coordinator. serialize must be a pure
+/// function of the body's completed effects for partition p; absorb(p,
+/// serialize(p)) in the coordinator must leave the stage's outputs exactly
+/// as if the body had run there — that equivalence is what makes process
+/// and local backends byte-identical.
+struct StageIO {
+  std::function<std::string(std::size_t partition)> serialize;
+  std::function<void(std::size_t partition, const std::string& bytes)> absorb;
+
+  bool valid() const { return serialize != nullptr && absorb != nullptr; }
+};
+
+/// One stage execution handed from Engine::run_stage to the executor.
+struct StageRun {
+  StageMetrics& stage;
+  const std::function<void(TaskContext&)>& body;
+  /// Output contract, or nullptr when the stage has none (in-process only).
+  const StageIO* io = nullptr;
+};
+
+/// A stage execution backend. Implementations own task placement and the
+/// per-task attempt loop; the engine owns stage spans, scheduler-stat
+/// attribution, and the metrics registry.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Backend name as spelled on --backend ("local" | "process").
+  virtual const char* name() const = 0;
+  /// OS processes running task bodies (1 for the in-process backend).
+  virtual std::size_t workers() const = 0;
+
+  /// Runs every task of `run.stage` to completion (with retries) or throws:
+  /// TaskFailure once any task exhausts the engine's attempt budget, or the
+  /// first body exception otherwise.
+  virtual void run_stage_tasks(StageRun run) = 0;
+};
+
+/// In-process backend: the pre-PR 7 execution path, verbatim. Tasks fan out
+/// over the engine's work-stealing pool; injected failures kill an attempt
+/// at launch and are retried with the wasted work recorded in
+/// attempts/retry_cost. StageIO contracts are ignored (outputs are already
+/// in place).
+class LocalExecutor : public Executor {
+ public:
+  explicit LocalExecutor(Engine& engine) : engine_(engine) {}
+
+  const char* name() const override { return "local"; }
+  std::size_t workers() const override { return 1; }
+  void run_stage_tasks(StageRun run) override;
+
+ private:
+  Engine& engine_;
+};
+
+}  // namespace drapid

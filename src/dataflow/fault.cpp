@@ -69,6 +69,15 @@ SpillFault FaultInjector::spill_fault(const std::string& cache,
              : SpillFault::kLose;
 }
 
+bool FaultInjector::kill_worker(const std::string& stage, std::size_t worker,
+                                std::size_t incarnation) const {
+  if (incarnation != 0) return false;
+  for (const auto& kill : plan_.kill_workers) {
+    if (kill.worker == worker && stage.rfind(kill.stage, 0) == 0) return true;
+  }
+  return false;
+}
+
 std::vector<int> FaultInjector::dead_nodes(std::size_t num_nodes) const {
   std::vector<int> dead;
   for (int node : plan_.dead_nodes) {

@@ -25,6 +25,17 @@ struct TaskFailure : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// One planned worker-process kill: during any stage whose name starts with
+/// `stage`, worker slot `worker` of the process backend SIGKILLs itself
+/// before running its last assigned task. Only the slot's first incarnation
+/// dies (replacement workers forked for recovery are spared), so the kill is
+/// deterministic and the stage always completes within the attempt budget.
+/// The local backend has no worker processes; it ignores these entries.
+struct WorkerKill {
+  std::string stage;
+  std::size_t worker = 0;
+};
+
 /// What should happen to one freshly-written spill file.
 enum class SpillFault {
   kNone,     ///< leave the file alone
@@ -61,11 +72,17 @@ struct FaultPlan {
   /// Nodes that are always dead.
   std::vector<int> dead_nodes;
 
+  /// Worker processes killed mid-stage (process backend only) — the
+  /// first-class injection point for real process deaths, replacing the
+  /// ad-hoc task-kill-only plans for that backend.
+  std::vector<WorkerKill> kill_workers;
+
   bool any() const {
     return task_failure_rate > 0.0 || spill_fault_rate > 0.0 ||
            node_fault_rate > 0.0 || !fail_once_stages.empty() ||
            !corrupt_spill_partitions.empty() ||
-           !lose_spill_partitions.empty() || !dead_nodes.empty();
+           !lose_spill_partitions.empty() || !dead_nodes.empty() ||
+           !kill_workers.empty();
   }
 };
 
@@ -88,6 +105,13 @@ class FaultInjector {
 
   /// The data nodes dead under this plan (explicit list plus rate draws).
   std::vector<int> dead_nodes(std::size_t num_nodes) const;
+
+  /// Should worker slot `worker` (incarnation `incarnation`: 0 = the
+  /// original fork, >0 = a replacement forked after a death) SIGKILL itself
+  /// during `stage`? Matches kill_workers entries by stage-name prefix, the
+  /// same convention as fail_once_stages; only incarnation 0 dies.
+  bool kill_worker(const std::string& stage, std::size_t worker,
+                   std::size_t incarnation) const;
 
  private:
   /// Uniform [0,1) draw for a fault site, independent of every other site.

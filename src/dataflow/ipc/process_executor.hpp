@@ -1,0 +1,66 @@
+// Multi-process stage execution over Unix-domain sockets.
+//
+// ProcessExecutor is the first backend that runs stage bodies in real OS
+// processes, turning the engine's "modeled executors" into actual workers.
+// Per stage it forks N children (round-robin task assignment, deterministic),
+// each of which runs its tasks sequentially on its only thread and ships
+// every completed task back as one checksummed wire frame (ipc/wire.hpp);
+// the coordinator absorbs frames through the stage's StageIO contract.
+//
+// Fork-per-stage is what makes arbitrary C++ closures shippable: the child
+// inherits the body, its captured RDD partitions, and the FaultInjector via
+// copy-on-write, so nothing is serialized on the way *in* — only declared
+// task outputs come back. The costs of that choice are contained here:
+//
+//   * Children must never touch the parent's thread pool (its workers do
+//     not exist after fork) — bodies run inline on the child's main thread.
+//   * Children exit with _exit(), never exit(): running atexit handlers or
+//     flushing inherited stdio in a forked copy corrupts the parent's state.
+//   * A child closes every other worker's parent-side socket before running
+//     tasks; an inherited duplicate would keep a dead sibling's socket open
+//     and mask the EOF that death detection relies on.
+//   * Engine state mutated in a child (metrics, counters, spill counters)
+//     lands in the child's COW copy and is discarded — everything the
+//     coordinator needs rides the wire frame.
+//
+// Failure model: a worker that dies (socket EOF or a corrupt frame —
+// indistinguishable from SIGKILL mid-write, and treated the same) charges
+// one attempt to each of its unfinished tasks, exactly like an injected
+// task kill under the local backend. If any task's budget survives, a
+// replacement worker (incarnation + 1) is forked for the remainder;
+// FaultInjector::kill_worker only fires at incarnation 0, so planned kills
+// always recover deterministically. A task whose budget is exhausted fails
+// the stage with the same TaskFailure the local backend throws.
+//
+// Stages without a StageIO contract (spill I/O, in-memory cache bookkeeping)
+// and TSan builds (fork of a multithreaded process deadlocks the sanitizer
+// runtime) fall back to the in-process LocalExecutor path.
+#pragma once
+
+#include <cstddef>
+
+#include "dataflow/executor.hpp"
+
+namespace drapid {
+
+/// False when the build cannot fork workers (thread sanitizer); the engine
+/// then silently downgrades a process policy to the local backend.
+bool process_executor_supported();
+
+class ProcessExecutor : public Executor {
+ public:
+  /// `workers` is clamped to at least 1; each stage forks at most
+  /// min(workers, tasks) children.
+  ProcessExecutor(Engine& engine, std::size_t workers);
+
+  const char* name() const override { return "process"; }
+  std::size_t workers() const override { return workers_; }
+  void run_stage_tasks(StageRun run) override;
+
+ private:
+  Engine& engine_;
+  std::size_t workers_;
+  LocalExecutor local_;  ///< fallback for stages without a StageIO contract
+};
+
+}  // namespace drapid

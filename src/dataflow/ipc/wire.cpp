@@ -1,0 +1,101 @@
+#include "dataflow/ipc/wire.hpp"
+
+#include "util/checksum.hpp"
+
+namespace drapid::ipc {
+
+namespace {
+
+// magic, kind, partition, error_kind, nine TaskMetrics counters,
+// payload_len.
+constexpr std::size_t kHeaderWords = 14;
+constexpr std::size_t kHeaderBytes = kHeaderWords * sizeof(std::uint64_t);
+
+std::uint64_t read_u64(const char* data) {
+  std::uint64_t v;
+  std::memcpy(&v, data, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::string encode_frame(const TaskFrame& frame) {
+  WireWriter w;
+  w.put_u64(kWireMagic);
+  w.put_u64(static_cast<std::uint64_t>(frame.kind));
+  w.put_u64(frame.partition);
+  w.put_u64(static_cast<std::uint64_t>(frame.error_kind));
+  w.put_u64(frame.metrics.records_in);
+  w.put_u64(frame.metrics.bytes_in);
+  w.put_u64(frame.metrics.records_out);
+  w.put_u64(frame.metrics.bytes_out);
+  w.put_u64(frame.metrics.shuffle_bytes);
+  w.put_u64(frame.metrics.spill_bytes);
+  w.put_u64(frame.metrics.compute_cost);
+  w.put_u64(frame.metrics.attempts);
+  w.put_u64(frame.metrics.retry_cost);
+  w.put_u64(frame.payload.size());
+  w.put_bytes(frame.payload.data(), frame.payload.size());
+  // Checksum covers every byte after the magic: header words + payload.
+  const std::string& bytes = w.buffer();
+  const std::uint64_t checksum =
+      checksum_fold(kChecksumSeed, bytes.data() + sizeof(std::uint64_t),
+                    bytes.size() - sizeof(std::uint64_t));
+  w.put_u64(checksum);
+  return w.take();
+}
+
+DecodeStatus try_decode_frame(const char* data, std::size_t size,
+                              TaskFrame& out, std::size_t& consumed) {
+  if (size < sizeof(std::uint64_t)) return DecodeStatus::kIncomplete;
+  if (read_u64(data) != kWireMagic) return DecodeStatus::kCorrupt;
+  if (size < kHeaderBytes) return DecodeStatus::kIncomplete;
+
+  const std::uint64_t kind = read_u64(data + 1 * sizeof(std::uint64_t));
+  const std::uint64_t error_kind = read_u64(data + 3 * sizeof(std::uint64_t));
+  const std::uint64_t payload_len =
+      read_u64(data + (kHeaderWords - 1) * sizeof(std::uint64_t));
+  // Reject absurd claims before waiting on them: a flipped length bit must
+  // surface as corruption now, not as a coordinator hung on a read.
+  if (kind > static_cast<std::uint64_t>(FrameKind::kError) ||
+      error_kind > static_cast<std::uint64_t>(WireErrorKind::kTaskFailure) ||
+      payload_len > kMaxWirePayload) {
+    return DecodeStatus::kCorrupt;
+  }
+
+  const std::size_t total =
+      kHeaderBytes + static_cast<std::size_t>(payload_len) +
+      sizeof(std::uint64_t);
+  if (size < total) return DecodeStatus::kIncomplete;
+
+  const std::uint64_t stored =
+      read_u64(data + total - sizeof(std::uint64_t));
+  const std::uint64_t computed = checksum_fold(
+      kChecksumSeed, data + sizeof(std::uint64_t),
+      total - 2 * sizeof(std::uint64_t));
+  if (stored != computed) return DecodeStatus::kCorrupt;
+
+  WireReader r(data, total - sizeof(std::uint64_t));
+  r.get_u64();  // magic
+  out.kind = static_cast<FrameKind>(r.get_u64());
+  out.partition = r.get_u64();
+  out.error_kind = static_cast<WireErrorKind>(r.get_u64());
+  out.metrics = TaskMetrics{};
+  out.metrics.partition = static_cast<std::size_t>(out.partition);
+  out.metrics.records_in = static_cast<std::size_t>(r.get_u64());
+  out.metrics.bytes_in = static_cast<std::size_t>(r.get_u64());
+  out.metrics.records_out = static_cast<std::size_t>(r.get_u64());
+  out.metrics.bytes_out = static_cast<std::size_t>(r.get_u64());
+  out.metrics.shuffle_bytes = static_cast<std::size_t>(r.get_u64());
+  out.metrics.spill_bytes = static_cast<std::size_t>(r.get_u64());
+  out.metrics.compute_cost = static_cast<std::size_t>(r.get_u64());
+  out.metrics.attempts = static_cast<std::size_t>(r.get_u64());
+  out.metrics.retry_cost = static_cast<std::size_t>(r.get_u64());
+  r.get_u64();  // payload_len, already validated
+  out.payload.assign(r.get_bytes(static_cast<std::size_t>(payload_len)),
+                     static_cast<std::size_t>(payload_len));
+  consumed = total;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace drapid::ipc

@@ -55,6 +55,22 @@ struct StageMetrics {
   std::size_t parks = 0;
   std::size_t fastpath_completions = 0;
 
+  // Process-backend activity for this stage (all zero under the local
+  // backend or when the stage fell back to in-process execution).
+  /// Worker processes forked for this stage, replacements included.
+  std::size_t workers_used = 0;
+  /// Worker processes that died (socket EOF / corrupt frame) mid-stage.
+  std::size_t worker_deaths = 0;
+  /// Result-frame bytes received from workers over the task sockets.
+  std::size_t ipc_bytes = 0;
+
+  /// Measured wall-clock seconds the stage's execution took (stamped by
+  /// Engine::run_stage around the executor call; 0 for stages recorded
+  /// without run_stage, e.g. parallelize and in-memory cache stages). This
+  /// is what cluster_model's makespan validation compares the priced
+  /// schedule against.
+  double wall_seconds = 0.0;
+
   std::size_t total_records_in() const;
   std::size_t total_bytes_in() const;
   std::size_t total_shuffle_bytes() const;
@@ -77,6 +93,11 @@ struct JobMetrics {
   std::size_t total_compute_cost() const;
   std::size_t total_retries() const;
   std::size_t total_retry_cost() const;
+  std::size_t total_worker_deaths() const;
+  std::size_t total_ipc_bytes() const;
+  /// Measured wall-clock sum over stages (stages run back to back except
+  /// nested lineage recomputation, which double-counts its parent's time).
+  double total_wall_seconds() const;
   /// Human-readable per-stage summary table.
   std::string summary() const;
 };

@@ -38,6 +38,17 @@ obs::JobReport make_job_report(std::string label, const JobMetrics& metrics,
     row.tasks_stolen = stage.tasks_stolen;
     row.parks = stage.parks;
     row.fastpath_completions = stage.fastpath_completions;
+    row.workers_used = stage.workers_used;
+    row.worker_deaths = stage.worker_deaths;
+    row.ipc_bytes = stage.ipc_bytes;
+    row.wall_seconds = stage.wall_seconds;
+    if (stage.worker_deaths > 0) {
+      obs::ObsEvent event;
+      event.kind = "worker_death";
+      event.stage = stage.name;
+      event.count = static_cast<std::int64_t>(stage.worker_deaths);
+      job.events.push_back(std::move(event));
+    }
     for (const TaskMetrics& task : stage.tasks) {
       row.records_out += task.records_out;
       row.bytes_out += task.bytes_out;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "dataflow/engine.hpp"
+#include "dataflow/ipc/wire.hpp"  // value codecs backing StageIO contracts
 #include "util/flat_hash.hpp"  // stable_hash + the per-partition hash tables
 
 namespace drapid {
@@ -184,6 +185,23 @@ Rdd<K, V> parallelize(Engine& engine, std::vector<std::pair<K, V>> pairs,
 }
 
 namespace detail {
+/// StageIO contract for the common transformation shape "task p fills
+/// exactly parts[p]": serialize ships the slot's records (from wherever the
+/// body ran), absorb decodes them into the coordinator's slot. The wire
+/// codecs round-trip every record byte-exactly, so a partition absorbed
+/// from a worker process is indistinguishable from one computed in-process.
+template <typename T>
+StageIO vector_io(std::vector<std::vector<T>>& parts) {
+  StageIO io;
+  io.serialize = [&parts](std::size_t p) {
+    return ipc::encode_payload(parts[p]);
+  };
+  io.absorb = [&parts](std::size_t p, const std::string& bytes) {
+    parts[p] = ipc::decode_payload<T>(bytes);
+  };
+  return io;
+}
+
 template <typename K, typename V>
 void record_input(TaskMetrics& task, const std::vector<std::pair<K, V>>& part) {
   task.records_in = part.size();
@@ -216,7 +234,7 @@ auto map_pairs(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
     out.partitions[p].reserve(in.partitions[p].size());
     for (const auto& kv : in.partitions[p]) out.partitions[p].push_back(fn(kv));
     detail::record_output(task, out.partitions[p]);
-  });
+  }, detail::vector_io(out.partitions));
   return out;
 }
 
@@ -238,7 +256,7 @@ auto map_values(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
       out.partitions[p].emplace_back(kv.first, fn(kv.second));
     }
     detail::record_output(task, out.partitions[p]);
-  });
+  }, detail::vector_io(out.partitions));
   return out;
 }
 
@@ -258,7 +276,7 @@ Rdd<K, V> filter_pairs(Engine& engine, const Rdd<K, V>& in, Pred&& pred,
       if (pred(kv)) out.partitions[p].push_back(kv);
     }
     detail::record_output(task, out.partitions[p]);
-  });
+  }, detail::vector_io(out.partitions));
   return out;
 }
 
@@ -287,7 +305,7 @@ auto flat_map_metered(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
       }
     }
     detail::record_output(task, out.partitions[p]);
-  });
+  }, detail::vector_io(out.partitions));
   return out;
 }
 
@@ -336,7 +354,29 @@ Rdd<K, V> partition_by(Engine& engine, const Rdd<K, V>& in,
     }
     task.records_out = task.records_in;
     task.bytes_out = task.bytes_in;
-  });
+  }, [&] {
+    // Process-backend contract: ship the per-record routing map (4 bytes a
+    // record — the records themselves never cross; the placement pass below
+    // reads them from the coordinator's own copy of `in`) and rebuild the
+    // per-target counts from it on absorb.
+    StageIO io;
+    io.serialize = [&target_of](std::size_t p) {
+      return ipc::encode_payload(target_of[p]);
+    };
+    io.absorb = [&target_of, &counts, targets](std::size_t p,
+                                               const std::string& bytes) {
+      target_of[p] = ipc::decode_payload<std::uint32_t>(bytes);
+      auto& count = counts[p];
+      count.assign(targets, 0);
+      for (const std::uint32_t t : target_of[p]) {
+        if (t >= targets) {
+          throw ipc::WireError("partition_by routing target out of range");
+        }
+        ++count[t];
+      }
+    };
+    return io;
+  }());
   // offsets[s][t] = where source s's run starts inside target t.
   std::vector<std::vector<std::size_t>> offsets(
       sources, std::vector<std::size_t>(targets, 0));
@@ -393,7 +433,7 @@ Rdd<K, Agg> aggregate_by_key(Engine& engine, const Rdd<K, V>& in,
     }
     combined.partitions[p] = local.take_entries();
     detail::record_output(task, combined.partitions[p]);
-  });
+  }, detail::vector_io(combined.partitions));
 
   const bool copartitioned =
       combined.partitioner_id == partitioner.id() &&
@@ -422,7 +462,7 @@ Rdd<K, Agg> aggregate_by_key(Engine& engine, const Rdd<K, V>& in,
     }
     out.partitions[p] = local.take_entries();
     detail::record_output(task, out.partitions[p]);
-  });
+  }, detail::vector_io(out.partitions));
   return out;
 }
 
@@ -513,7 +553,7 @@ Rdd<K, std::pair<V, std::optional<W>>> left_outer_join(
       }
     }
     detail::record_output(task, out.partitions[p]);
-  });
+  }, detail::vector_io(out.partitions));
   return out;
 }
 

@@ -329,8 +329,9 @@ std::vector<SinglePulseEvent> single_pulse_search(
       span.arg("events", static_cast<std::int64_t>(found[i].size()));
     }
   };
-  if (params.threads > 1 && sweep.plans.size() > 1) {
-    ThreadPool pool(params.threads);
+  const std::size_t sweep_threads = params.sweep_threads();
+  if (sweep_threads > 1 && sweep.plans.size() > 1) {
+    ThreadPool pool(sweep_threads);
     pool.parallel_for(sweep.plans.size(), run_plan);
   } else {
     for (std::size_t i = 0; i < sweep.plans.size(); ++i) run_plan(i);
@@ -362,7 +363,7 @@ std::vector<SinglePulseEvent> single_pulse_search(
                    static_cast<std::int64_t>(sweep.num_trials -
                                              sweep.plans.size()));
     sweep_span.arg("events", static_cast<std::int64_t>(events.size()));
-    sweep_span.arg("threads", static_cast<std::int64_t>(params.threads));
+    sweep_span.arg("threads", static_cast<std::int64_t>(sweep_threads));
   }
   return events;
 }

@@ -26,6 +26,7 @@
 #include "dedisp/filterbank.hpp"
 #include "spe/dm_grid.hpp"
 #include "spe/spe.hpp"
+#include "util/exec_policy.hpp"
 
 namespace drapid {
 
@@ -96,9 +97,17 @@ struct SinglePulseSearchParams {
   std::vector<int> boxcar_widths = {1, 2, 4, 8, 16, 32};
   /// Trial stride over the grid (1 = every trial; larger = faster scans).
   std::size_t dm_stride = 1;
-  /// Worker threads for the DM sweep (1 = run on the calling thread). The
-  /// sweep output is byte-identical at any thread count.
+  /// Deprecated shim for exec: worker threads for the DM sweep (1 = run on
+  /// the calling thread). Ignored when exec.threads_per_worker is set.
   std::size_t threads = 1;
+  /// Execution policy for the sweep; the DM sweep always runs in-process
+  /// (only its pool width applies), so only threads_per_worker matters here.
+  ExecPolicy exec;
+
+  /// Pool width after the deprecation shim: exec.threads_per_worker if set,
+  /// else the legacy `threads` field. Sweep output is byte-identical at any
+  /// width.
+  std::size_t sweep_threads() const { return exec.resolve_threads(threads); }
 };
 
 /// Reusable matched-filter workspace: boxcar prefix sums, per-sample best

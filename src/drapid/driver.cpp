@@ -63,7 +63,7 @@ StringRdd load_keyed_file(Engine& engine, BlockStore& store,
     // scan cost (the cluster cost model prices these as CPU work).
     task.compute_cost = task.records_in + task.bytes_in / 32;
     detail::record_output(task, rdd.partitions[c]);
-  });
+  }, detail::vector_io(rdd.partitions));
   return rdd;
 }
 

@@ -97,8 +97,9 @@ CvResult cross_validate(
     fold_span.arg("test_seconds", fold_result.test_seconds);
   };
 
-  if (options.threads > 1 && k > 1) {
-    ThreadPool pool(options.threads);
+  const std::size_t fold_threads = options.fold_threads();
+  if (fold_threads > 1 && k > 1) {
+    ThreadPool pool(fold_threads);
     pool.parallel_for(static_cast<std::size_t>(k), run_fold);
   } else {
     for (std::size_t fi = 0; fi < static_cast<std::size_t>(k); ++fi) {

@@ -17,6 +17,7 @@
 
 #include "ml/classifier.hpp"
 #include "ml/eval.hpp"
+#include "util/exec_policy.hpp"
 #include "util/rng.hpp"
 
 namespace drapid {
@@ -68,9 +69,16 @@ struct CvResult {
 using TrainTransform = std::function<Dataset(const Dataset&, Rng&)>;
 
 struct CvOptions {
-  /// Worker threads for fold evaluation; 1 = serial. Any value yields
-  /// byte-identical results.
+  /// Deprecated shim for exec: worker threads for fold evaluation; 1 =
+  /// serial. Ignored when exec.threads_per_worker is set.
   std::size_t threads = 1;
+  /// Execution policy for fold evaluation; folds always run in-process, so
+  /// only threads_per_worker matters here.
+  ExecPolicy exec;
+
+  /// Pool width after the deprecation shim. Any value yields byte-identical
+  /// results.
+  std::size_t fold_threads() const { return exec.resolve_threads(threads); }
 };
 
 /// Runs k-fold CV with a fresh classifier per fold from `factory`; fold

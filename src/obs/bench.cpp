@@ -17,8 +17,9 @@ namespace {
 std::map<std::string, std::string> merged_spec(
     std::map<std::string, std::string> extra) {
   static const std::pair<const char*, const char*> kCore[] = {
-      {"scale", "1"},     {"threads", "2"},  {"seed", "2018"},
-      {"fault-rate", "0"}, {"trace-out", ""}, {"json-out", ""},
+      {"scale", "1"},      {"threads", "2"},  {"seed", "2018"},
+      {"fault-rate", "0"}, {"backend", "local"}, {"workers", "0"},
+      {"trace-out", ""},   {"json-out", ""},
   };
   for (const auto& [name, value] : kCore) extra.emplace(name, value);
   return extra;
@@ -52,6 +53,7 @@ BenchOptions::BenchOptions(std::string tool, int argc,
     help_ = true;
     return;
   }
+  parse_exec_backend(opts_.str("backend"));  // reject typos at startup
   for (const auto& [name, value] : opts_.items()) {
     report_.set_config(name, typed_value(value));
   }

@@ -1,8 +1,8 @@
 // Shared command-line surface for the bench binaries.
 //
 // Every bench accepts the same core flag set — {--scale, --threads, --seed,
-// --fault-rate} plus the observability outputs {--trace-out, --json-out} and
-// --help — and layers its own flags on top. BenchOptions owns that merged
+// --fault-rate, --backend, --workers} plus the observability outputs
+// {--trace-out, --json-out} and --help — and layers its own flags on top. BenchOptions owns that merged
 // parse, flips the global tracer on when --trace-out is given, pre-populates
 // a RunReport with the resolved config, and exports both artifacts in
 // finish(), so a bench main reduces to:
@@ -18,6 +18,7 @@
 #include <string>
 
 #include "obs/report.hpp"
+#include "util/exec_policy.hpp"
 #include "util/options.hpp"
 
 namespace drapid {
@@ -43,6 +44,21 @@ class BenchOptions {
   long long threads() const { return opts_.integer("threads"); }
   long long seed() const { return opts_.integer("seed"); }
   double fault_rate() const { return opts_.number("fault-rate"); }
+  const std::string& backend() const { return opts_.str("backend"); }
+  long long workers() const { return opts_.integer("workers"); }
+
+  /// The resolved execution policy: --backend=local|process, --workers=N
+  /// worker processes (0 = backend default), --threads pool threads. This is
+  /// the one struct benches thread into EngineConfig::exec — the legacy
+  /// per-bench thread knobs are shims over it now.
+  ExecPolicy exec_policy() const {
+    ExecPolicy policy;
+    policy.backend = parse_exec_backend(backend());
+    policy.workers = static_cast<std::size_t>(workers() < 0 ? 0 : workers());
+    policy.threads_per_worker =
+        static_cast<std::size_t>(threads() < 1 ? 1 : threads());
+    return policy;
+  }
   const std::string& trace_out() const { return opts_.str("trace-out"); }
   const std::string& json_out() const { return opts_.str("json-out"); }
 

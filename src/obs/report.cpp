@@ -24,6 +24,8 @@ constexpr StageField kStageFields[] = {
     {"retries", false},       {"retry_cost", true},
     {"tasks_stolen", false},  {"parks", false},
     {"fastpath_completions", false},
+    {"workers_used", false},  {"worker_deaths", false},
+    {"ipc_bytes", false},     {"wall_seconds", true},
 };
 
 double stage_field(const StageReport& s, const char* name) {
@@ -42,6 +44,10 @@ double stage_field(const StageReport& s, const char* name) {
   if (f == "fastpath_completions") {
     return static_cast<double>(s.fastpath_completions);
   }
+  if (f == "workers_used") return static_cast<double>(s.workers_used);
+  if (f == "worker_deaths") return static_cast<double>(s.worker_deaths);
+  if (f == "ipc_bytes") return static_cast<double>(s.ipc_bytes);
+  if (f == "wall_seconds") return s.wall_seconds;
   return s.retry_cost;
 }
 
@@ -63,6 +69,10 @@ Json StageReport::to_json() const {
   row.set("tasks_stolen", tasks_stolen);
   row.set("parks", parks);
   row.set("fastpath_completions", fastpath_completions);
+  row.set("workers_used", workers_used);
+  row.set("worker_deaths", worker_deaths);
+  row.set("ipc_bytes", ipc_bytes);
+  row.set("wall_seconds", wall_seconds);
   return row;
 }
 
@@ -223,7 +233,8 @@ std::string validate_run_report(const Json& report) {
       const Json* kind = event.find("kind");
       if (!kind || !kind->is_string()) return event_where + ": missing kind";
       const std::string& k = kind->as_string();
-      if (k != "retry" && k != "recover" && k != "failover") {
+      if (k != "retry" && k != "recover" && k != "failover" &&
+          k != "worker_death") {
         return event_where + ": unknown kind \"" + k + "\"";
       }
       const Json* count = event.find("count");

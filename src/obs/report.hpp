@@ -36,14 +36,24 @@ struct StageReport {
   std::uint64_t tasks_stolen = 0;
   std::uint64_t parks = 0;
   std::uint64_t fastpath_completions = 0;
+  /// Process-backend activity (all zero on the local backend or when the
+  /// stage ran in-process): forked workers (replacements included), workers
+  /// that died mid-stage, and result-frame bytes shipped over the sockets.
+  std::uint64_t workers_used = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t ipc_bytes = 0;
+  /// Measured wall-clock seconds of the stage's execution, as stamped by
+  /// Engine::run_stage — what cluster-model makespans are validated against.
+  double wall_seconds = 0.0;
 
   Json to_json() const;
 };
 
 /// A discrete fault-tolerance event observed during a job: a task retry, a
-/// spill-partition lineage recovery, or a block-store replica failover.
+/// spill-partition lineage recovery, a block-store replica failover, or a
+/// worker-process death on the process backend.
 struct ObsEvent {
-  std::string kind;       ///< "retry" | "recover" | "failover"
+  std::string kind;  ///< "retry" | "recover" | "failover" | "worker_death"
   std::string stage;      ///< stage name, or "" when not stage-scoped
   std::int64_t partition = -1;  ///< -1 when not partition-scoped
   std::int64_t count = 1;

@@ -1,0 +1,70 @@
+// One execution policy for every parallelism knob in the system.
+//
+// Before PR 7 the repo had three independent ways to say "how parallel":
+// SinglePulseSearchParams::threads for the DM sweep, CvOptions::threads for
+// fold-parallel cross-validation, and EngineConfig::worker_threads (plus raw
+// pool sizes in benches) for the dataflow engine. ExecPolicy collapses them
+// into one struct — which backend runs the work, how many worker *processes*
+// the process backend forks, and how many pool *threads* each worker (or the
+// single local process) uses. The legacy knobs survive as deprecation shims:
+// a zero field defers to the old flag, so existing call sites and CLI flags
+// keep their exact behavior.
+//
+// Lives in util (not dataflow) because the dedisp and ml layers consume it
+// without depending on the engine.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace drapid {
+
+/// Which executor implementation runs stage tasks.
+enum class ExecBackend {
+  kLocal,    ///< in-process work-stealing pool (the default; PR 3 scheduler)
+  kProcess,  ///< forked worker processes shuffling over Unix-domain sockets
+};
+
+inline const char* exec_backend_name(ExecBackend backend) {
+  return backend == ExecBackend::kProcess ? "process" : "local";
+}
+
+/// Parses "local" / "process"; throws std::runtime_error on anything else.
+inline ExecBackend parse_exec_backend(const std::string& name) {
+  if (name == "local") return ExecBackend::kLocal;
+  if (name == "process") return ExecBackend::kProcess;
+  throw std::runtime_error("unknown execution backend: '" + name +
+                           "' (expected local or process)");
+}
+
+struct ExecPolicy {
+  ExecBackend backend = ExecBackend::kLocal;
+  /// Worker processes for the process backend. 0 = derive from context
+  /// (the engine uses its modeled executor count).
+  std::size_t workers = 0;
+  /// In-process pool threads per worker. 0 = defer to the legacy knob the
+  /// call site used before ExecPolicy existed (its deprecation shim).
+  std::size_t threads_per_worker = 0;
+
+  static ExecPolicy local(std::size_t threads) {
+    return {ExecBackend::kLocal, 0, threads};
+  }
+  static ExecPolicy process(std::size_t workers,
+                            std::size_t threads_per_worker = 0) {
+    return {ExecBackend::kProcess, workers, threads_per_worker};
+  }
+
+  /// The effective pool-thread count: this policy's threads_per_worker, or
+  /// the legacy flag value when unset. Shim direction is new-wins: setting
+  /// threads_per_worker overrides whatever the old knob says.
+  std::size_t resolve_threads(std::size_t legacy) const {
+    return threads_per_worker != 0 ? threads_per_worker : legacy;
+  }
+  /// The effective process-worker count (`fallback` when unset).
+  std::size_t resolve_workers(std::size_t fallback) const {
+    return workers != 0 ? workers : fallback;
+  }
+};
+
+}  // namespace drapid

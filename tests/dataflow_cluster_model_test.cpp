@@ -141,5 +141,29 @@ TEST(ClusterModel, PaperSpecsMatchSection61) {
   EXPECT_DOUBLE_EQ(ws.memory_gb, 16.0);
 }
 
+TEST(ClusterModel, MakespanValidationComparesMeasuredToModeled) {
+  JobMetrics job = uniform_job(8, 1000);
+  job.stages[0].wall_seconds = 2.0;
+  StageMetrics second;
+  second.name = "second";
+  second.wall_seconds = 0.5;
+  job.stages.push_back(std::move(second));
+  const auto sim = simulate_cluster(job, ClusterSpec::paper_beowulf(5));
+  const auto v = validate_makespan(job, sim);
+  EXPECT_DOUBLE_EQ(v.measured_seconds, 2.5);
+  EXPECT_DOUBLE_EQ(v.modeled_seconds, sim.total_seconds);
+  EXPECT_DOUBLE_EQ(v.ratio, sim.total_seconds / 2.5);
+}
+
+TEST(ClusterModel, MakespanValidationHandlesUnstampedMetrics) {
+  // Metrics rebuilt from a serialized report carry no wall clocks; the
+  // ratio must read "unmeasured", not divide by zero.
+  const auto job = uniform_job(4, 100);
+  const auto sim = simulate_cluster(job, ClusterSpec::paper_beowulf(5));
+  const auto v = validate_makespan(job, sim);
+  EXPECT_DOUBLE_EQ(v.measured_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(v.ratio, 0.0);
+}
+
 }  // namespace
 }  // namespace drapid

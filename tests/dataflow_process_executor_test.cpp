@@ -1,0 +1,333 @@
+// ProcessExecutor suite: the multi-process backend must be a drop-in
+// replacement for the in-process pool — byte-identical stage outputs, the
+// same retry accounting under injected task kills, and lossless recovery
+// when a whole worker process is SIGKILLed mid-stage. Fork-based tests skip
+// themselves under ThreadSanitizer (fork + threads is undefined there); the
+// engine itself falls back to LocalExecutor in those builds.
+#include "dataflow/ipc/process_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataflow/block_store.hpp"
+#include "dataflow/rdd.hpp"
+#include "drapid/pipeline.hpp"
+#include "util/exec_policy.hpp"
+
+namespace drapid {
+namespace {
+
+using StringRdd = Rdd<std::string, std::string>;
+
+#define DRAPID_REQUIRE_FORK()                                         \
+  do {                                                                \
+    if (!process_executor_supported()) {                              \
+      GTEST_SKIP() << "fork-based backend unavailable in this build " \
+                      "(thread sanitizer)";                           \
+    }                                                                 \
+  } while (0)
+
+EngineConfig base_config() {
+  EngineConfig cfg;
+  cfg.num_executors = 2;
+  cfg.partitions_per_core = 4;
+  return cfg;
+}
+
+EngineConfig process_config(std::size_t workers) {
+  EngineConfig cfg = base_config();
+  cfg.exec = ExecPolicy::process(workers, 2);
+  return cfg;
+}
+
+EngineConfig local_config() {
+  EngineConfig cfg = base_config();
+  cfg.exec = ExecPolicy::local(2);
+  return cfg;
+}
+
+std::vector<std::pair<std::string, std::string>> make_pairs(std::size_t n) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs.emplace_back("key" + std::to_string(i % 97),
+                       "value-" + std::to_string(i * 31));
+  }
+  return pairs;
+}
+
+// The full shuffle pipeline (map → partition → aggregate → join) run under
+// one engine; used to compare backends end to end.
+std::vector<std::pair<std::string, std::string>> run_pipeline(Engine& engine) {
+  const auto rdd = parallelize(engine, make_pairs(600), 8);
+  const auto upper = map_pairs(
+      engine, rdd,
+      [](const std::pair<std::string, std::string>& kv) {
+        return std::make_pair(kv.first, kv.second + "!");
+      },
+      "xform");
+  const HashPartitioner part{16};
+  const auto shuffled = partition_by(engine, upper, part);
+  const auto counts = aggregate_by_key(
+      engine, shuffled, std::size_t{0},
+      [](std::size_t& agg, const std::string&) { ++agg; },
+      [](std::size_t& agg, std::size_t&& other) { agg += other; }, part);
+  const auto joined = left_outer_join(engine, shuffled, counts, part);
+  const auto flattened = map_pairs(
+      engine, joined,
+      [](const std::pair<std::string,
+                         std::pair<std::string, std::optional<std::size_t>>>&
+             kv) {
+        return std::make_pair(
+            kv.first, kv.second.first + "|" +
+                          std::to_string(kv.second.second.value_or(0)));
+      },
+      "flatten");
+  auto out = flattened.collect();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ProcessExecutor, EngineSelectsRequestedBackend) {
+  Engine local(local_config());
+  EXPECT_EQ(std::string(local.executor().name()), "local");
+  if (!process_executor_supported()) {
+    Engine fallback(process_config(2));
+    EXPECT_EQ(std::string(fallback.executor().name()), "local")
+        << "unsupported builds must silently fall back";
+    return;
+  }
+  Engine process(process_config(3));
+  EXPECT_EQ(std::string(process.executor().name()), "process");
+  EXPECT_EQ(process.executor().workers(), 3u);
+}
+
+TEST(ProcessExecutor, ShufflePipelineMatchesLocalByteForByte) {
+  DRAPID_REQUIRE_FORK();
+  Engine local(local_config());
+  const auto expected = run_pipeline(local);
+  Engine process(process_config(2));
+  const auto actual = run_pipeline(process);
+  ASSERT_EQ(actual.size(), expected.size());
+  EXPECT_EQ(actual, expected);
+  // The process run really went over the wire: stages with codecs report
+  // forked workers and shipped bytes.
+  std::size_t staged_ipc = 0, staged_workers = 0;
+  for (const auto& stage : process.metrics().stages) {
+    staged_ipc += stage.ipc_bytes;
+    staged_workers += stage.workers_used;
+  }
+  EXPECT_GT(staged_ipc, 0u);
+  EXPECT_GT(staged_workers, 0u);
+  EXPECT_EQ(process.metrics().total_ipc_bytes(), staged_ipc);
+  EXPECT_EQ(process.metrics().total_worker_deaths(), 0u);
+}
+
+TEST(ProcessExecutor, InjectedTaskKillsMatchLocalRetryAccounting) {
+  DRAPID_REQUIRE_FORK();
+  const auto run = [](EngineConfig cfg) {
+    cfg.faults.fail_once_stages = {"xform"};
+    Engine engine(cfg);
+    const auto rdd = parallelize(engine, make_pairs(200), 8);
+    const auto out = map_pairs(
+        engine, rdd,
+        [](const std::pair<std::string, std::string>& kv) {
+          return std::make_pair(kv.first, kv.second + "#");
+        },
+        "xform");
+    StageMetrics stage;
+    for (const auto& s : engine.metrics().stages) {
+      if (s.name == "xform") stage = s;
+    }
+    return std::make_pair(out.collect(), stage);
+  };
+  const auto [local_out, local_stage] = run(local_config());
+  const auto [process_out, process_stage] = run(process_config(2));
+  EXPECT_EQ(process_out, local_out);
+  // Every first attempt was killed by the injector in both backends; the
+  // wire carries the child's attempt counters back unchanged.
+  ASSERT_EQ(process_stage.tasks.size(), local_stage.tasks.size());
+  for (std::size_t p = 0; p < local_stage.tasks.size(); ++p) {
+    EXPECT_EQ(process_stage.tasks[p].attempts, 2u);
+    EXPECT_EQ(process_stage.tasks[p].attempts, local_stage.tasks[p].attempts);
+    EXPECT_EQ(process_stage.tasks[p].retry_cost,
+              local_stage.tasks[p].retry_cost);
+  }
+  EXPECT_EQ(process_stage.total_retries(), local_stage.total_retries());
+  EXPECT_EQ(process_stage.worker_deaths, 0u)
+      << "injected task kills die inside the child, not the child itself";
+}
+
+TEST(ProcessExecutor, WorkerDeathRecoversByteIdentically) {
+  DRAPID_REQUIRE_FORK();
+  const auto run = [](EngineConfig cfg) {
+    Engine engine(cfg);
+    const auto rdd = parallelize(engine, make_pairs(400), 8);
+    const auto out = map_pairs(
+        engine, rdd,
+        [](const std::pair<std::string, std::string>& kv) {
+          return std::make_pair(kv.first + "/x", kv.second);
+        },
+        "xform");
+    StageMetrics stage;
+    for (const auto& s : engine.metrics().stages) {
+      if (s.name == "xform") stage = s;
+    }
+    return std::make_pair(out.collect(), stage);
+  };
+  const auto [clean_out, clean_stage] = run(local_config());
+
+  EngineConfig cfg = process_config(2);
+  cfg.faults.kill_workers.push_back({"xform", 0});
+  const auto [faulty_out, faulty_stage] = run(cfg);
+  EXPECT_EQ(faulty_out, clean_out) << "worker death must be lossless";
+  EXPECT_EQ(faulty_stage.worker_deaths, 1u);
+  // Two workers forked up front plus one replacement incarnation.
+  EXPECT_EQ(faulty_stage.workers_used, 3u);
+  // The victim's unfinished tasks were re-run: at least one task shows a
+  // charged attempt, and the stage counted the retries.
+  std::size_t reattempted = 0;
+  for (const auto& t : faulty_stage.tasks) reattempted += t.attempts > 1;
+  EXPECT_GE(reattempted, 1u);
+  EXPECT_GE(faulty_stage.total_retries(), reattempted);
+  for (const auto& t : clean_stage.tasks) EXPECT_EQ(t.attempts, 1u);
+}
+
+TEST(ProcessExecutor, RepeatedDeathsExhaustTheAttemptBudget) {
+  DRAPID_REQUIRE_FORK();
+  EngineConfig cfg = process_config(2);
+  cfg.max_task_attempts = 1;  // one death is already one charged attempt
+  cfg.faults.kill_workers.push_back({"doomed", 0});
+  Engine engine(cfg);
+  const auto rdd = parallelize(engine, make_pairs(100), 8);
+  EXPECT_THROW(map_pairs(
+                   engine, rdd,
+                   [](const std::pair<std::string, std::string>& kv) {
+                     return kv;
+                   },
+                   "doomed"),
+               TaskFailure);
+}
+
+TEST(ProcessExecutor, ChildExceptionsPropagateToTheParent) {
+  DRAPID_REQUIRE_FORK();
+  Engine engine(process_config(2));
+  auto& stage = engine.begin_stage("buggy", 4);
+  std::vector<std::vector<int>> sink(4);
+  StageIO io;
+  io.serialize = [](std::size_t) { return std::string(); };
+  io.absorb = [&sink](std::size_t p, const std::string&) { sink[p].clear(); };
+  try {
+    engine.run_stage(stage,
+                     [](TaskContext& ctx) {
+                       if (ctx.partition() == 2) {
+                         throw std::runtime_error("boom in child");
+                       }
+                     },
+                     io);
+    FAIL() << "the child's exception must cross the socket";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom in child"), std::string::npos);
+  }
+}
+
+TEST(ProcessExecutor, StagesWithoutCodecsRunInProcess) {
+  DRAPID_REQUIRE_FORK();
+  // Spill and cache stages have no StageIO; they must keep running in the
+  // parent (side effects visible, no forks) even on the process backend.
+  Engine engine(process_config(2));
+  auto& stage = engine.begin_stage("inproc", 4);
+  std::atomic<int> touched{0};
+  engine.run_stage(stage,
+                   [&](TaskContext&) { touched.fetch_add(1); });
+  EXPECT_EQ(touched.load(), 4);
+  EXPECT_EQ(stage.workers_used, 0u);
+  EXPECT_EQ(stage.ipc_bytes, 0u);
+}
+
+// ------------------------------------------------ kill_worker plan semantics
+
+TEST(FaultInjectorKillWorker, FiresOncePerStagePrefixAndWorker) {
+  FaultPlan plan;
+  plan.kill_workers.push_back({"search", 1});
+  const FaultInjector inj(plan);
+  EXPECT_TRUE(inj.enabled());
+  EXPECT_TRUE(inj.kill_worker("search", 1, 0));
+  EXPECT_TRUE(inj.kill_worker("search:scan", 1, 0));  // prefix matches
+  EXPECT_FALSE(inj.kill_worker("search", 0, 0));      // other worker
+  EXPECT_FALSE(inj.kill_worker("load", 1, 0));        // other stage
+  EXPECT_FALSE(inj.kill_worker("search", 1, 1))
+      << "replacement incarnations must survive or recovery livelocks";
+}
+
+// --------------------------------------------------------- ExecPolicy shims
+
+TEST(ExecPolicy, ShimsPreferNewKnobsOverLegacy) {
+  ExecPolicy policy;  // defaults: local backend, unset widths
+  EXPECT_EQ(policy.backend, ExecBackend::kLocal);
+  EXPECT_EQ(policy.resolve_threads(3), 3u);  // legacy wins when unset
+  EXPECT_EQ(policy.resolve_workers(5), 5u);
+  policy = ExecPolicy::process(4, 2);
+  EXPECT_EQ(policy.backend, ExecBackend::kProcess);
+  EXPECT_EQ(policy.resolve_threads(8), 2u);  // new knob wins
+  EXPECT_EQ(policy.resolve_workers(8), 4u);
+  EXPECT_EQ(parse_exec_backend("local"), ExecBackend::kLocal);
+  EXPECT_EQ(parse_exec_backend("process"), ExecBackend::kProcess);
+  EXPECT_THROW(parse_exec_backend("cloud"), std::runtime_error);
+  EXPECT_EQ(std::string(exec_backend_name(ExecBackend::kProcess)), "process");
+}
+
+// ------------------------------------------------- end-to-end acceptance
+
+// The ISSUE.md acceptance bar: the full D-RAPID pipeline on the process
+// backend produces a byte-identical ML file vs the local backend, including
+// when a worker is killed mid-search.
+TEST(ProcessExecutor, FullPipelineMatchesLocalIncludingUnderWorkerKill) {
+  DRAPID_REQUIRE_FORK();
+  PipelineConfig pipeline;
+  pipeline.survey = SurveyConfig::gbt350drift();
+  pipeline.survey.obs_length_s = 60.0;
+  pipeline.survey.noise_events_per_second = 10.0;
+  pipeline.num_observations = 4;
+  pipeline.visibility = 0.08;
+  pipeline.seed = 5;
+
+  const auto run = [&pipeline](EngineConfig cfg) {
+    Engine engine(cfg);
+    BlockStore store(15);
+    run_full_pipeline(engine, store, pipeline);
+    auto ml = store.get("GBT350Drift.ml.csv");
+    return std::make_pair(std::move(ml),
+                          engine.metrics().total_worker_deaths());
+  };
+
+  EngineConfig local_cfg;
+  local_cfg.num_executors = 4;
+  local_cfg.exec = ExecPolicy::local(2);
+  const auto [local_ml, local_deaths] = run(local_cfg);
+  ASSERT_FALSE(local_ml.empty());
+  EXPECT_EQ(local_deaths, 0u);
+
+  EngineConfig process_cfg = local_cfg;
+  process_cfg.exec = ExecPolicy::process(4, 2);
+  const auto [process_ml, process_deaths] = run(process_cfg);
+  EXPECT_EQ(process_ml, local_ml) << "process backend must be byte-identical";
+  EXPECT_EQ(process_deaths, 0u);
+
+  EngineConfig faulty_cfg = process_cfg;
+  faulty_cfg.faults.kill_workers.push_back({"search", 2});
+  const auto [faulty_ml, faulty_deaths] = run(faulty_cfg);
+  EXPECT_EQ(faulty_ml, local_ml)
+      << "a SIGKILLed search worker must not change the output";
+  EXPECT_GE(faulty_deaths, 1u) << "the planned kill must actually fire";
+}
+
+}  // namespace
+}  // namespace drapid

@@ -22,7 +22,7 @@ ctest --test-dir build -j "$(nproc)" --output-on-failure
 # Timing-noise sensitive, so it runs only when asked for (CI runs it as a
 # non-blocking job; see .github/workflows/ci.yml).
 if [[ "${DRAPID_BENCH_CHECK:-0}" == "1" ]]; then
-  echo "=== micro-bench regression gate (vs BENCH_PR6.json) ==="
+  echo "=== micro-bench regression gate (vs BENCH_PR7.json) ==="
   cmake --build build -j "$(nproc)" --target bench_micro_dataflow \
     bench_micro_rapid bench_micro_dedisp bench_micro_ml bench_micro_cv \
     bench_serve report_diff
@@ -34,7 +34,7 @@ if [[ "${DRAPID_BENCH_CHECK:-0}" == "1" ]]; then
                bench_micro_ml bench_micro_cv bench_serve; do
     echo "--- $bench ---"
     build/tools/report_diff --bench "$bench" --metrics-only 1 \
-      --tolerance 0.10 --a BENCH_PR6.json --b "$current" || bench_status=1
+      --tolerance 0.10 --a BENCH_PR7.json --b "$current" || bench_status=1
   done
   if [[ "$bench_status" != "0" ]]; then
     echo "check: micro-bench gate flagged >10% changes (see rows above)"
@@ -47,6 +47,11 @@ if [[ "${DRAPID_SKIP_TSAN:-0}" == "1" ]]; then
   exit 0
 fi
 
+# Fork-based suites are safe to list here: fork() after threads exist is
+# undefined under TSan, so process_executor_supported() reports false in
+# TSan builds — the engine falls back to LocalExecutor and the fork-only
+# tests GTEST_SKIP themselves instead of hanging the run. What remains
+# (wire codecs, ExecPolicy shims, backend fallback) still runs under TSan.
 TSAN_TARGETS=(
   util_thread_pool_test
   util_thread_pool_stress_test
@@ -54,6 +59,8 @@ TSAN_TARGETS=(
   dataflow_spill_test
   dataflow_fault_test
   dataflow_rdd_test
+  dataflow_ipc_wire_test
+  dataflow_process_executor_test
   obs_trace_test
   ml_tree_presort_test
   dedisp_sweep_test

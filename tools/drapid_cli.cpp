@@ -3,10 +3,15 @@
 //   drapid simulate --survey gbt350|palfa --observations N --out DIR
 //       writes DIR/data.csv, DIR/clusters.csv and DIR/truth.csv
 //   drapid search --data FILE --clusters FILE --out FILE [--executors N]
+//                 [--backend local|process] [--workers N]
 //                 [--fault-rate R] [--fault-seed S] [--max-attempts K]
+//                 [--kill-worker STAGE:ID]
 //       runs the D-RAPID job on real files and writes the ML file;
+//       --backend=process executes stages in forked worker processes
+//       (candidate output is byte-identical to --backend=local);
 //       --fault-rate injects task kills, spill damage, and dead data nodes
-//       at rate R and lets retry + lineage recovery absorb them
+//       at rate R and lets retry + lineage recovery absorb them;
+//       --kill-worker SIGKILLs one process worker mid-stage
 //   drapid classify --ml FILE [--scheme 2|4*|4|7|8] [--filter IG|GR|SU|Cor|1R]
 //                   [--learner RF|J48|PART|JRip|SMO|MPN] [--smote]
 //       5-fold cross-validates a labeled ML file and reports the scores
@@ -100,14 +105,20 @@ int cmd_search(int argc, const char* const argv[]) {
                             {"survey", "gbt350"},
                             {"executors", "4"},
                             {"threads", "2"},
+                            {"backend", "local"},
+                            {"workers", "0"},
+                            {"kill-worker", ""},
                             {"fault-rate", "0"},
                             {"fault-seed", "24077"},
                             {"max-attempts", "4"}});
   if (opts.help_requested()) {
-    std::cout << opts.usage("drapid search",
-                            "Runs the D-RAPID dataflow job on --data and "
-                            "--clusters files and writes the ML file; "
-                            "--fault-rate injects recoverable faults.");
+    std::cout << opts.usage(
+        "drapid search",
+        "Runs the D-RAPID dataflow job on --data and --clusters files and "
+        "writes the ML file; --backend=process runs stages in --workers "
+        "forked worker processes (0 = one per executor); --fault-rate "
+        "injects recoverable faults and --kill-worker STAGE:ID SIGKILLs a "
+        "process worker mid-stage.");
     return 0;
   }
   BlockStore store(15);
@@ -121,6 +132,23 @@ int cmd_search(int argc, const char* const argv[]) {
       static_cast<std::size_t>(opts.integer("threads"));
   engine_config.max_task_attempts =
       static_cast<std::size_t>(opts.integer("max-attempts"));
+  engine_config.exec.backend = parse_exec_backend(opts.str("backend"));
+  engine_config.exec.workers =
+      static_cast<std::size_t>(opts.integer("workers"));
+  // --kill-worker STAGE:ID deterministically SIGKILLs process-backend worker
+  // ID during the first stage whose name starts with STAGE (recovered via
+  // the retry budget; the local backend ignores it).
+  if (!opts.str("kill-worker").empty()) {
+    const std::string& spec = opts.str("kill-worker");
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("--kill-worker expects STAGE:ID, got " + spec);
+    }
+    WorkerKill kill;
+    kill.stage = spec.substr(0, colon);
+    kill.worker = static_cast<std::size_t>(parse_int(spec.substr(colon + 1)));
+    engine_config.faults.kill_workers.push_back(std::move(kill));
+  }
   // --fault-rate R injects task kills, spill-file damage, and dead data
   // nodes at rate R (deterministic per --fault-seed); the job retries and
   // recovers, and the summary's retries column shows the cost.
