@@ -4,6 +4,7 @@
 
 #include "micro_support.hpp"
 
+#include "dedisp/kernels.hpp"
 #include "dedisp/periodicity.hpp"
 #include "dedisp/single_pulse_search.hpp"
 #include "util/rng.hpp"
@@ -88,6 +89,66 @@ void BM_DmSweep(benchmark::State& state) {
                                                     fb.num_samples()));
 }
 BENCHMARK(BM_DmSweep)->Arg(1)->Arg(2);
+
+/// The two-stage subband sweep over the same fine-step workload — the
+/// apples-to-apples comparison row for BM_DmSweep (identical detected
+/// events, groups picked by the cost model).
+void BM_DmSweepSubband(benchmark::State& state) {
+  const auto fb = bench_filterbank(32);
+  SinglePulseSearchParams params;
+  params.method = SweepMethod::kSubband;
+  params.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(single_pulse_search(fb, sweep_grid(), params));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sweep_grid().size() *
+                                                    fb.num_samples()));
+}
+BENCHMARK(BM_DmSweepSubband)->Arg(1)->Arg(2);
+
+/// The dispatched accumulation kernel on a dedispersion-sized row — the
+/// inner loop both sweep methods and the streaming path run hottest.
+void BM_KernelAccumulate(benchmark::State& state) {
+  const std::size_t n = 5000;
+  Rng rng(7);
+  std::vector<float> in(n);
+  for (auto& x : in) x = static_cast<float>(rng.normal());
+  std::vector<double> out(n, 0.0);
+  for (auto _ : state) {
+    kernels::accumulate_f32(out.data(), in.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(kernels::dispatch_name());
+}
+BENCHMARK(BM_KernelAccumulate);
+
+/// The selection kernel behind robust_stats, on fresh noise every iteration
+/// — reusing one array would let the branch predictor memorize the data and
+/// overstate std::nth_element by an order of magnitude.
+void BM_KernelSelect(benchmark::State& state) {
+  const std::size_t n = 5000;
+  Rng rng(11);
+  std::vector<std::vector<double>> inputs(64);
+  for (auto& v : inputs) {
+    v.resize(n);
+    for (auto& x : v) x = rng.normal();
+  }
+  std::vector<double> work(n), scratch(n);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    std::copy(inputs[next].begin(), inputs[next].end(), work.begin());
+    next = (next + 1) % inputs.size();
+    benchmark::DoNotOptimize(
+        kernels::select_kth(work.data(), scratch.data(), n, n / 2));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(kernels::dispatch_name());
+}
+BENCHMARK(BM_KernelSelect);
 
 /// The pre-shift-plan formulation — every trial dedispersed and detected
 /// independently — kept as the in-tree yardstick for the sweep speedup.

@@ -8,6 +8,7 @@
 //   phase 4  candidate processing   — DBSCAN clustering + RAPID peak search
 //
 //   ./examples/full_search [--seed N] [--period S] [--dm X] [--threads T]
+//                          [--sweep exact|subband] [--groups G]
 #include <iostream>
 
 #include "clustering/dbscan.hpp"
@@ -23,7 +24,9 @@ int main(int argc, char** argv) {
   Options opts(argc, argv, {{"seed", "42"},
                             {"period", "1.2"},
                             {"dm", "48"},
-                            {"threads", "1"}});
+                            {"threads", "1"},
+                            {"sweep", "exact"},
+                            {"groups", "0"}});
   const double period = opts.number("period");
   const double dm = opts.number("dm");
 
@@ -55,6 +58,10 @@ int main(int argc, char** argv) {
   const DmGrid grid({{0.0, 120.0, 1.0}});
   SinglePulseSearchParams sp_params;
   sp_params.threads = static_cast<std::size_t>(opts.integer("threads"));
+  // --sweep=subband runs the two-stage subband dedispersion; the detected
+  // event set is identical to the exact sweep, only faster.
+  sp_params.method = parse_sweep_method(opts.str("sweep"));
+  sp_params.subband_groups = static_cast<std::size_t>(opts.integer("groups"));
   const SweepPlan sweep = build_sweep_plan(fb, grid, sp_params.dm_stride);
   const auto events = single_pulse_search(fb, grid, sp_params);
   std::cout << "phase 2+3a: " << events.size()
@@ -62,6 +69,7 @@ int main(int argc, char** argv) {
             << " trial DMs (" << sweep.plans.size()
             << " unique shift plans, "
             << sweep.num_trials - sweep.plans.size() << " dedup hits, "
+            << sweep_method_name(sp_params.method) << " sweep, "
             << sp_params.threads << " thread(s))\n";
 
   // Phase 3b: periodicity search on the series dedispersed at the best DM.

@@ -1,0 +1,174 @@
+// Scalar kernel implementations and the runtime dispatcher.
+//
+// The scalar loops are written exactly like the pre-kernel code they replace
+// (same operation per element, same order), so the scalar path is
+// bit-identical to seed on every input. The AVX2 implementations live in
+// kernels_avx2.cpp, compiled with -mavx2 in its own translation unit so no
+// AVX2 instruction can leak into code that runs on non-AVX2 hosts.
+#include "dedisp/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace drapid {
+namespace kernels {
+
+namespace scalar {
+
+void accumulate_f32(double* out, const float* in, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] += in[i];
+}
+
+void accumulate_f64(double* out, const double* in, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] += in[i];
+}
+
+void combine_f64(double* out, const double* const* in, std::size_t ngroups,
+                 std::size_t n) {
+  if (ngroups == 0) {
+    std::fill(out, out + n, 0.0);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = in[0][i];
+    for (std::size_t g = 1; g < ngroups; ++g) acc += in[g][i];
+    out[i] = acc;
+  }
+}
+
+void abs_deviation(double* out, const double* in, std::size_t n,
+                   double center) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::abs(in[i] - center);
+}
+
+double select_kth(double* v, double* scratch, std::size_t n, std::size_t k) {
+  // Exact selection is algorithm-independent, so the scalar path just uses
+  // the library's introselect — precisely what robust_stats called before.
+  (void)scratch;
+  std::nth_element(v, v + static_cast<long>(k), v + n);
+  return v[k];
+}
+
+void certify_below(const double* prefix, std::size_t begin, std::size_t end,
+                   std::size_t back, std::size_t ahead, double bound,
+                   unsigned char* below) {
+  for (std::size_t c = begin; c < end; ++c) {
+    below[c] &=
+        static_cast<unsigned char>(prefix[c + ahead] - prefix[c - back] <
+                                   bound);
+  }
+}
+
+}  // namespace scalar
+
+namespace {
+
+bool detect_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool resolve_use_avx2() {
+  if (!detect_avx2()) return false;
+  const char* force = std::getenv("DRAPID_FORCE_SCALAR");
+  return !(force != nullptr && force[0] == '1' && force[1] == '\0');
+}
+
+}  // namespace
+
+bool avx2_supported() {
+  static const bool supported = detect_avx2();
+  return supported;
+}
+
+bool using_avx2() {
+  static const bool use = resolve_use_avx2();
+  return use;
+}
+
+const char* dispatch_name() { return using_avx2() ? "avx2" : "scalar"; }
+
+void accumulate_f32(double* out, const float* in, std::size_t n) {
+  if (using_avx2()) {
+    avx2::accumulate_f32(out, in, n);
+  } else {
+    scalar::accumulate_f32(out, in, n);
+  }
+}
+
+void accumulate_f64(double* out, const double* in, std::size_t n) {
+  if (using_avx2()) {
+    avx2::accumulate_f64(out, in, n);
+  } else {
+    scalar::accumulate_f64(out, in, n);
+  }
+}
+
+void combine_f64(double* out, const double* const* in, std::size_t ngroups,
+                 std::size_t n) {
+  if (using_avx2()) {
+    avx2::combine_f64(out, in, ngroups, n);
+  } else {
+    scalar::combine_f64(out, in, ngroups, n);
+  }
+}
+
+void abs_deviation(double* out, const double* in, std::size_t n,
+                   double center) {
+  if (using_avx2()) {
+    avx2::abs_deviation(out, in, n, center);
+  } else {
+    scalar::abs_deviation(out, in, n, center);
+  }
+}
+
+double select_kth(double* v, double* scratch, std::size_t n, std::size_t k) {
+  return using_avx2() ? avx2::select_kth(v, scratch, n, k)
+                      : scalar::select_kth(v, scratch, n, k);
+}
+
+void certify_below(const double* prefix, std::size_t begin, std::size_t end,
+                   std::size_t back, std::size_t ahead, double bound,
+                   unsigned char* below) {
+  if (using_avx2()) {
+    avx2::certify_below(prefix, begin, end, back, ahead, bound, below);
+  } else {
+    scalar::certify_below(prefix, begin, end, back, ahead, bound, below);
+  }
+}
+
+#if !defined(__x86_64__) && !defined(__i386__)
+// Non-x86 build: the AVX2 entry points exist so the dispatcher links, but
+// avx2_supported() is always false and they are never reached.
+namespace avx2 {
+void accumulate_f32(double* out, const float* in, std::size_t n) {
+  scalar::accumulate_f32(out, in, n);
+}
+void accumulate_f64(double* out, const double* in, std::size_t n) {
+  scalar::accumulate_f64(out, in, n);
+}
+void combine_f64(double* out, const double* const* in, std::size_t ngroups,
+                 std::size_t n) {
+  scalar::combine_f64(out, in, ngroups, n);
+}
+void abs_deviation(double* out, const double* in, std::size_t n,
+                   double center) {
+  scalar::abs_deviation(out, in, n, center);
+}
+double select_kth(double* v, double* scratch, std::size_t n, std::size_t k) {
+  return scalar::select_kth(v, scratch, n, k);
+}
+void certify_below(const double* prefix, std::size_t begin, std::size_t end,
+                   std::size_t back, std::size_t ahead, double bound,
+                   unsigned char* below) {
+  scalar::certify_below(prefix, begin, end, back, ahead, bound, below);
+}
+}  // namespace avx2
+#endif
+
+}  // namespace kernels
+}  // namespace drapid

@@ -1,0 +1,254 @@
+// AVX2 kernel implementations. This translation unit is the only one
+// compiled with -mavx2 (see CMakeLists.txt), so AVX2 instructions cannot
+// leak into code paths that run on non-AVX2 hosts; the dispatcher in
+// kernels.cpp only routes here after a CPUID check.
+//
+// All kernels are exact (see kernels.hpp): the elementwise ones perform the
+// identical per-element operation as the scalar loops, and select_kth is an
+// exact selection, so results are bit-identical across paths. No FMA is
+// used anywhere — a fused multiply-add would round differently than the
+// scalar code.
+#include "dedisp/kernels.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace drapid {
+namespace kernels {
+namespace avx2 {
+
+void accumulate_f32(double* out, const float* in, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 f = _mm256_loadu_ps(in + i);
+    const __m256d lo = _mm256_cvtps_pd(_mm256_castps256_ps128(f));
+    const __m256d hi = _mm256_cvtps_pd(_mm256_extractf128_ps(f, 1));
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(out + i), lo));
+    _mm256_storeu_pd(out + i + 4,
+                     _mm256_add_pd(_mm256_loadu_pd(out + i + 4), hi));
+  }
+  for (; i < n; ++i) out[i] += in[i];
+}
+
+void accumulate_f64(double* out, const double* in, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(out + i),
+                                            _mm256_loadu_pd(in + i)));
+  }
+  for (; i < n; ++i) out[i] += in[i];
+}
+
+void combine_f64(double* out, const double* const* in, std::size_t ngroups,
+                 std::size_t n) {
+  if (ngroups == 0) {
+    std::fill(out, out + n, 0.0);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d acc = _mm256_loadu_pd(in[0] + i);
+    for (std::size_t g = 1; g < ngroups; ++g) {
+      acc = _mm256_add_pd(acc, _mm256_loadu_pd(in[g] + i));
+    }
+    _mm256_storeu_pd(out + i, acc);
+  }
+  for (; i < n; ++i) {
+    double acc = in[0][i];
+    for (std::size_t g = 1; g < ngroups; ++g) acc += in[g][i];
+    out[i] = acc;
+  }
+}
+
+void abs_deviation(double* out, const double* in, std::size_t n,
+                   double center) {
+  const __m256d ctr = _mm256_set1_pd(center);
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_sub_pd(_mm256_loadu_pd(in + i), ctr);
+    _mm256_storeu_pd(out + i, _mm256_andnot_pd(sign, x));
+  }
+  for (; i < n; ++i) out[i] = std::abs(in[i] - center);
+}
+
+namespace {
+
+/// For each 4-bit lane mask: a permutevar8x32 index vector that packs the
+/// set (predicate-true) double lanes to the front in ascending lane order
+/// and the clear lanes behind them — one permutation serves both the left
+/// (front lanes valid) and right (back lanes valid) stores of a partition.
+struct PermTable {
+  alignas(32) std::int32_t idx[16][8];
+};
+
+constexpr PermTable make_perm_table() {
+  PermTable t{};
+  for (int m = 0; m < 16; ++m) {
+    int pos = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((m >> lane) & 1) {
+        t.idx[m][2 * pos] = 2 * lane;
+        t.idx[m][2 * pos + 1] = 2 * lane + 1;
+        ++pos;
+      }
+    }
+    for (int lane = 0; lane < 4; ++lane) {
+      if (!((m >> lane) & 1)) {
+        t.idx[m][2 * pos] = 2 * lane;
+        t.idx[m][2 * pos + 1] = 2 * lane + 1;
+        ++pos;
+      }
+    }
+  }
+  return t;
+}
+
+constexpr PermTable kPerm = make_perm_table();
+
+/// Out-of-place two-way partition of src[0..n) by (x < pivot), or
+/// (x <= pivot) when kLe: predicate-true elements land at out[0..lo), the
+/// rest at out[lo..n) (order within each side unspecified). Returns lo.
+///
+/// Each 4-lane block is permuted so true lanes pack to the front and false
+/// lanes to the back, then stored twice: once at the right cursor (back
+/// lanes valid) and once at the left cursor (front lanes valid), junk lanes
+/// falling into the still-unwritten gap between the cursors. The vector
+/// loop keeps the gap >= 8 so neither store can clobber valid data; the
+/// last < 8 elements partition scalar into the remaining gap.
+template <bool kLe>
+std::size_t partition4(const double* src, std::size_t n, double pivot,
+                       double* out) {
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  std::size_t i = 0;
+  const __m256d pv = _mm256_set1_pd(pivot);
+  for (; i + 8 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(src + i);
+    const __m256d cmp = kLe ? _mm256_cmp_pd(x, pv, _CMP_LE_OQ)
+                            : _mm256_cmp_pd(x, pv, _CMP_LT_OQ);
+    const int mask = _mm256_movemask_pd(cmp);
+    const int cnt = __builtin_popcount(static_cast<unsigned>(mask));
+    const __m256i perm = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(kPerm.idx[mask]));
+    const __m256d packed = _mm256_castsi256_pd(
+        _mm256_permutevar8x32_epi32(_mm256_castpd_si256(x), perm));
+    _mm256_storeu_pd(out + hi - 4, packed);
+    hi -= static_cast<std::size_t>(4 - cnt);
+    _mm256_storeu_pd(out + lo, packed);
+    lo += static_cast<std::size_t>(cnt);
+  }
+  for (; i < n; ++i) {
+    const double x = src[i];
+    const bool left = kLe ? (x <= pivot) : (x < pivot);
+    if (left) {
+      out[lo++] = x;
+    } else {
+      out[--hi] = x;
+    }
+  }
+  return lo;
+}
+
+inline double median3(double a, double b, double c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+}  // namespace
+
+double select_kth(double* v, double* scratch, std::size_t n, std::size_t k) {
+  // Branch-free partition quickselect, ping-ponging between the caller's
+  // array and the scratch buffer. Noise-like data makes the comparisons in
+  // introselect ~50% mispredicted; the vector partition has no data-dependent
+  // branches at all. Pivots are median-of-3; a partition budget guards
+  // adversarial inputs, falling back to introselect on whatever remains.
+  double* bufs[2] = {v, scratch};
+  double* src = v;
+  int cur = 0;
+  constexpr std::size_t kSmall = 32;
+  int budget = 64;
+  while (n > kSmall && budget-- > 0) {
+    double* dst = bufs[1 - cur];
+    const double pivot = median3(src[0], src[n / 2], src[n - 1]);
+    const std::size_t nl = partition4<false>(src, n, pivot, dst);
+    if (k < nl) {
+      src = dst;
+      n = nl;
+      cur = 1 - cur;
+      continue;
+    }
+    if (nl == 0) {
+      // Every element >= pivot. Split the pivot-equal run off the front so
+      // the recursion always shrinks; the pivot is an actual element, so the
+      // run is non-empty.
+      const std::size_t ne = partition4<true>(src, n, pivot, dst);
+      if (k < ne) return pivot;
+      src = dst + ne;
+      n -= ne;
+      k -= ne;
+      cur = 1 - cur;
+      continue;
+    }
+    src = dst + nl;
+    n -= nl;
+    k -= nl;
+    cur = 1 - cur;
+  }
+  std::nth_element(src, src + static_cast<long>(k), src + n);
+  return src[k];
+}
+
+namespace {
+
+/// kByteMask[m] has byte i = 1 where bit i of m is set (little-endian), so a
+/// 4-bit movemask ANDs into four certificate bytes with one 32-bit op.
+constexpr std::uint32_t byte_mask(int m) {
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    if ((m >> i) & 1) out |= std::uint32_t{1} << (8 * i);
+  }
+  return out;
+}
+
+constexpr std::uint32_t kByteMask[16] = {
+    byte_mask(0),  byte_mask(1),  byte_mask(2),  byte_mask(3),
+    byte_mask(4),  byte_mask(5),  byte_mask(6),  byte_mask(7),
+    byte_mask(8),  byte_mask(9),  byte_mask(10), byte_mask(11),
+    byte_mask(12), byte_mask(13), byte_mask(14), byte_mask(15)};
+
+}  // namespace
+
+void certify_below(const double* prefix, std::size_t begin, std::size_t end,
+                   std::size_t back, std::size_t ahead, double bound,
+                   unsigned char* below) {
+  const __m256d bd = _mm256_set1_pd(bound);
+  std::size_t c = begin;
+  for (; c + 4 <= end; c += 4) {
+    const __m256d hi = _mm256_loadu_pd(prefix + c + ahead);
+    const __m256d lo = _mm256_loadu_pd(prefix + c - back);
+    const int m =
+        _mm256_movemask_pd(_mm256_cmp_pd(_mm256_sub_pd(hi, lo), bd,
+                                         _CMP_LT_OQ));
+    std::uint32_t bytes;
+    std::memcpy(&bytes, below + c, sizeof(bytes));
+    bytes &= kByteMask[m];
+    std::memcpy(below + c, &bytes, sizeof(bytes));
+  }
+  for (; c < end; ++c) {
+    below[c] &=
+        static_cast<unsigned char>(prefix[c + ahead] - prefix[c - back] <
+                                   bound);
+  }
+}
+
+}  // namespace avx2
+}  // namespace kernels
+}  // namespace drapid
+
+#endif  // x86

@@ -1,7 +1,12 @@
 #include "dedisp/single_pulse_search.hpp"
 
+#include "dedisp/kernels.hpp"
+#include "dedisp/subband_sweep.hpp"
+
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -16,6 +21,12 @@ namespace drapid {
 
 std::vector<std::uint32_t> dispersion_shifts(const Filterbank& fb, double dm) {
   const std::size_t n = fb.num_samples();
+  if (n > static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+    // The clamp value itself must fit the uint32 shift entries.
+    throw std::domain_error(
+        "dispersion_shifts: observation of " + std::to_string(n) +
+        " samples exceeds the 2^32-1 shift range");
+  }
   const double dt_s = fb.config().sample_time_ms * 1e-3;
   std::vector<std::uint32_t> shifts(fb.num_channels());
   const double ref_delay = dispersion_delay_s(dm, fb.channel_freq_mhz(0));
@@ -23,8 +34,21 @@ std::vector<std::uint32_t> dispersion_shifts(const Filterbank& fb, double dm) {
     const double delay =
         dispersion_delay_s(dm, fb.channel_freq_mhz(c)) - ref_delay;
     const double rounded = delay / dt_s + 0.5;
-    // A shift of num_samples already contributes nothing; clamping there
-    // keeps the vector (and dedup keys) bounded for extreme DMs.
+    // A negative or NaN shift would cast to uint32 as undefined behavior /
+    // silent wraparound (a negative DM makes every non-reference delay
+    // negative; a NaN frequency poisons the delay). Fail loudly instead.
+    if (!(rounded >= 0.0)) {
+      throw std::domain_error(
+          "dispersion_shifts: channel " + std::to_string(c) + " at DM " +
+          std::to_string(dm) + " has negative or NaN sample shift " +
+          std::to_string(rounded) +
+          " (negative DMs relative to the reference channel are not "
+          "searchable)");
+    }
+    // A shift of num_samples already contributes nothing; saturating there
+    // keeps the vector (and dedup keys) bounded for extreme DMs — this is
+    // deliberate saturation, not wraparound, and covers delays beyond the
+    // uint32 range as well.
     shifts[c] = rounded >= static_cast<double>(n)
                     ? static_cast<std::uint32_t>(n)
                     : static_cast<std::uint32_t>(rounded);
@@ -73,11 +97,7 @@ void dedisperse_plan(const Filterbank& fb, const ShiftPlan& plan,
   for (std::size_t c = 0; c < channels; ++c) {
     const std::uint32_t shift = plan.shifts[c];
     const std::size_t limit = n - static_cast<std::size_t>(shift);
-    const float* row = fb.channel_data(c) + shift;
-    double* out = series.data();
-    for (std::size_t s = 0; s < limit; ++s) {
-      out[s] += row[s];
-    }
+    kernels::accumulate_f32(series.data(), fb.channel_data(c) + shift, limit);
   }
 
   normalize_tail(plan, channels, series, scratch.contrib_prefix);
@@ -125,23 +145,28 @@ std::vector<double> dedisperse(const Filterbank& fb, double dm) {
 
 namespace {
 
-/// Robust location/scale from the median and the median absolute deviation.
-/// `workspace` is overwritten (copy of the values, then absolute deviations)
-/// — one reusable buffer instead of a pass-by-value copy per call.
+/// Robust location/scale from the median and the median absolute deviation,
+/// through the selection kernel (kernels.hpp). select_kth consumes its
+/// buffers, so the workspace is refilled from `values` before the MAD pass —
+/// the absolute deviations of a permuted copy are a permutation of the
+/// originals, so both selections return exactly the values the seed's
+/// in-place nth_element produced.
 std::pair<double, double> robust_stats(const std::vector<double>& values,
-                                       std::vector<double>& workspace) {
+                                       std::vector<double>& workspace,
+                                       std::vector<double>& select_scratch) {
   if (values.empty()) return {0.0, 1.0};
-  workspace.assign(values.begin(), values.end());
-  const std::size_t mid = workspace.size() / 2;
-  std::nth_element(workspace.begin(),
-                   workspace.begin() + static_cast<long>(mid),
-                   workspace.end());
-  const double median = workspace[mid];
-  for (auto& v : workspace) v = std::abs(v - median);
-  std::nth_element(workspace.begin(),
-                   workspace.begin() + static_cast<long>(mid),
-                   workspace.end());
-  const double mad = workspace[mid];
+  const std::size_t size = values.size();
+  const std::size_t mid = size / 2;
+  workspace.resize(size);
+  select_scratch.resize(size);
+  std::copy(values.begin(), values.end(), workspace.begin());
+  const double median =
+      kernels::select_kth(workspace.data(), select_scratch.data(), size, mid);
+  // select_kth consumed the workspace; refill and take deviations in one
+  // fused pass straight from the untouched input.
+  kernels::abs_deviation(workspace.data(), values.data(), size, median);
+  const double mad =
+      kernels::select_kth(workspace.data(), select_scratch.data(), size, mid);
   const double sigma = mad > 1e-12 ? mad * 1.4826 : 1.0;
   return {median, sigma};
 }
@@ -155,14 +180,11 @@ void detect_events_into(const std::vector<double>& series, double dm,
                         std::vector<SinglePulseEvent>& out) {
   const std::size_t n = series.size();
   if (n == 0) return;
-  const auto [median, sigma] = robust_stats(series, scratch.stats_workspace);
+  const auto [median, sigma] = robust_stats(series, scratch.stats_workspace,
+                                            scratch.select_scratch);
 
   // best S/N and width per sample across boxcars
-  auto& best_snr = scratch.best_snr;
-  auto& best_width = scratch.best_width;
   auto& prefix = scratch.prefix;
-  best_snr.resize(n);
-  best_width.resize(n);
   prefix.resize(n + 1);
   prefix[0] = 0.0;
   for (std::size_t s = 0; s < n; ++s) {
@@ -205,24 +227,34 @@ void detect_events_into(const std::vector<double>& series, double dm,
   // Only samples that end up part of an above-threshold island influence
   // the output events (below-threshold samples are merely skipped over),
   // so almost every center takes the certificate fast path: no division,
-  // no best-width bookkeeping. The handful of centers a boxcar pushes near
-  // threshold compute their exact best S/N and width the way a
-  // width-outermost scan would: widths in list order, strict improvement.
+  // no best-width bookkeeping. The certificate is evaluated boxcar-outer
+  // through the vectorized kernel — each boxcar ANDs its compare into a
+  // byte mask over its applicable centers, which computes exactly the
+  // AND-over-boxcars the old short-circuit center loop did. The handful of
+  // centers a boxcar pushes near threshold compute their exact best S/N
+  // and width the way a width-outermost scan would: widths in list order,
+  // strict improvement.
   const bool can_certify = params.snr_threshold > 0.0;
-  for (std::size_t c = 0; c < n; ++c) {
-    bool below = can_certify;
-    for (std::size_t b = 0; below && b < num_boxcars; ++b) {
+  auto& below = scratch.below;
+  below.assign(n, can_certify ? 1 : 0);
+  if (can_certify) {
+    for (std::size_t b = 0; b < num_boxcars; ++b) {
       const Boxcar& box = boxcars[b];
-      if (c < box.back || n - c < box.ahead) continue;
-      below = prefix[c + box.ahead] - prefix[c - box.back] < box.below_bound;
+      // Centers with c >= back and c + ahead <= n; every prefix read stays
+      // inside the n+1 entries.
+      const std::size_t begin = box.back;
+      const std::size_t end = n >= box.ahead ? n - box.ahead + 1 : 0;
+      if (begin >= end) continue;
+      kernels::certify_below(prefix.data(), begin, end, box.back, box.ahead,
+                             box.below_bound, below.data());
     }
-    if (below) {
-      best_snr[c] = 0.0;
-      best_width[c] = 1;
-      continue;
-    }
-    double best = 0.0;
-    int width = 1;
+  }
+  // Exact best S/N and width for one center, the way a width-outermost scan
+  // would see it: widths in list order, strict improvement. Only called for
+  // the handful of uncertified centers.
+  const auto exact_best = [&](std::size_t c, double& best, int& width) {
+    best = 0.0;
+    width = 1;
     for (std::size_t b = 0; b < num_boxcars; ++b) {
       const Boxcar& box = boxcars[b];
       if (c < box.back || n - c < box.ahead) continue;
@@ -233,31 +265,49 @@ void detect_events_into(const std::vector<double>& series, double dm,
         width = box.width;
       }
     }
-    best_snr[c] = best;
-    best_width[c] = width;
-  }
+  };
 
   // Local maxima above threshold, merging anything within the detecting
-  // width (one event per pulse, PRESTO-style).
+  // width (one event per pulse, PRESTO-style). A certified center's best
+  // S/N is below threshold by construction, so the island scan treats the
+  // certificate byte as "below" directly and computes the exact S/N only
+  // where the certificate declined — no per-sample best arrays at all.
   std::size_t s = 0;
   while (s < n) {
-    if (best_snr[s] < params.snr_threshold) {
+    double best;
+    int width;
+    if (below[s]) {
       ++s;
       continue;
     }
-    // Extend over the contiguous above-threshold island; keep the peak.
+    exact_best(s, best, width);
+    if (best < params.snr_threshold) {
+      ++s;
+      continue;
+    }
+    // Extend over the contiguous above-threshold island; keep the peak
+    // (strictly-greater comparison — first peak wins ties, exactly like the
+    // array-based scan).
+    double peak_snr = best;
+    int peak_width = width;
     std::size_t peak = s;
-    std::size_t end = s;
-    while (end < n && best_snr[end] >= params.snr_threshold) {
-      if (best_snr[end] > best_snr[peak]) peak = end;
+    std::size_t end = s + 1;
+    while (end < n && !below[end]) {
+      exact_best(end, best, width);
+      if (best < params.snr_threshold) break;
+      if (best > peak_snr) {
+        peak_snr = best;
+        peak_width = width;
+        peak = end;
+      }
       ++end;
     }
     SinglePulseEvent e;
     e.dm = dm;
-    e.snr = best_snr[peak];
+    e.snr = peak_snr;
     e.sample = static_cast<std::int64_t>(peak);
     e.time_s = static_cast<double>(peak) * sample_time_ms * 1e-3;
-    e.downfact = best_width[peak];
+    e.downfact = peak_width;
     out.push_back(e);
     s = end;
   }
@@ -300,9 +350,23 @@ std::vector<SinglePulseEvent> merge_plan_events(
 
 }  // namespace detail
 
+const char* sweep_method_name(SweepMethod method) {
+  return method == SweepMethod::kSubband ? "subband" : "exact";
+}
+
+SweepMethod parse_sweep_method(const std::string& name) {
+  if (name == "exact") return SweepMethod::kExact;
+  if (name == "subband") return SweepMethod::kSubband;
+  throw std::invalid_argument("unknown sweep method '" + name +
+                              "' (expected exact|subband)");
+}
+
 std::vector<SinglePulseEvent> single_pulse_search(
     const Filterbank& fb, const DmGrid& grid,
     const SinglePulseSearchParams& params) {
+  if (params.method == SweepMethod::kSubband) {
+    return subband_single_pulse_search(fb, grid, params);
+  }
   auto& tracer = obs::global_tracer();
   obs::ScopedSpan sweep_span(tracer, "dedisp.sweep", {}, "dedisp");
   Stopwatch watch;
@@ -364,6 +428,7 @@ std::vector<SinglePulseEvent> single_pulse_search(
                                              sweep.plans.size()));
     sweep_span.arg("events", static_cast<std::int64_t>(events.size()));
     sweep_span.arg("threads", static_cast<std::int64_t>(sweep_threads));
+    sweep_span.arg("kernel", kernels::dispatch_name());
   }
   return events;
 }

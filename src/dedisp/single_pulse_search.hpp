@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dedisp/filterbank.hpp"
@@ -64,6 +65,9 @@ SweepPlan build_sweep_plan(const Filterbank& fb, const DmGrid& grid,
 struct DedispScratch {
   std::vector<double> series;
   std::vector<std::uint32_t> contrib_prefix;
+  /// Subband partial-series arena: the worker's block-distinct coarse nodes,
+  /// one num_samples-long stripe each (unused by the exact method).
+  std::vector<double> group_series;
 };
 
 /// Dedisperses one shift plan into scratch.series (resized to
@@ -91,6 +95,26 @@ void normalize_tail(const ShiftPlan& plan, std::size_t channels,
 /// fewer channels and renormalized to keep the noise level uniform.
 std::vector<double> dedisperse(const Filterbank& fb, double dm);
 
+/// How the DM sweep dedisperses each unique shift plan.
+enum class SweepMethod {
+  /// PR 5 shift-plan sweep: every plan accumulates all channels directly.
+  /// The verification oracle — byte-identical to seed.
+  kExact,
+  /// PR 8 two-stage subband sweep (subband_sweep.hpp): coarse-dedisperse
+  /// channel groups once per distinct residual pattern, then synthesize
+  /// each plan from G offset subband streams. Same detected event set on
+  /// every surveyed input; per-sample series differ from exact only by
+  /// floating-point regrouping (documented bound).
+  kSubband,
+};
+
+/// "exact" / "subband" — for CLI flags, span args and error messages.
+const char* sweep_method_name(SweepMethod method);
+
+/// Parses "exact" / "subband" (as in `--sweep=`). Throws
+/// std::invalid_argument on anything else.
+SweepMethod parse_sweep_method(const std::string& name);
+
 struct SinglePulseSearchParams {
   double snr_threshold = 5.0;
   /// Boxcar widths in samples (PRESTO's downfacts).
@@ -103,6 +127,12 @@ struct SinglePulseSearchParams {
   /// Execution policy for the sweep; the DM sweep always runs in-process
   /// (only its pool width applies), so only threads_per_worker matters here.
   ExecPolicy exec;
+  /// Dedispersion method. kExact stays the default (and the oracle);
+  /// kSubband is the two-stage fast path with identical detected events.
+  SweepMethod method = SweepMethod::kExact;
+  /// Channel groups for SweepMethod::kSubband: 0 = cost-model auto, else
+  /// clamped to [1, channels]. Ignored by kExact.
+  std::size_t subband_groups = 0;
 
   /// Pool width after the deprecation shim: exec.threads_per_worker if set,
   /// else the legacy `threads` field. Sweep output is byte-identical at any
@@ -110,13 +140,15 @@ struct SinglePulseSearchParams {
   std::size_t sweep_threads() const { return exec.resolve_threads(threads); }
 };
 
-/// Reusable matched-filter workspace: boxcar prefix sums, per-sample best
-/// S/N and width, and the median/MAD workspace robust_stats sorts in place.
+/// Reusable matched-filter workspace: boxcar prefix sums, the certificate
+/// mask, and the median/MAD workspace robust_stats selects in place.
 struct DetectScratch {
   std::vector<double> prefix;
-  std::vector<double> best_snr;
-  std::vector<int> best_width;
   std::vector<double> stats_workspace;
+  /// Partition ping-pong buffer for the selection kernel (kernels.hpp).
+  std::vector<double> select_scratch;
+  /// Per-center certificate bytes for the boxcar-outer threshold scan.
+  std::vector<unsigned char> below;
 };
 
 /// Matched-filter detection on one dedispersed series: the series is

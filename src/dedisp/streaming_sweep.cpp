@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "dedisp/kernels.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -21,26 +22,38 @@ StreamingSweep::StreamingSweep(const FilterbankConfig& config,
   total_samples_ = geometry.num_samples();
   channels_ = geometry.num_channels();
   sweep_ = build_sweep_plan(geometry, grid_, params_.dm_stride);
-  for (const auto& plan : sweep_.plans) {
-    max_shift_ = std::max<std::size_t>(max_shift_, plan.max_shift);
+  if (subband()) {
+    // Coarse nodes only ever look back by a residual shift, so the carry —
+    // and with it every chunk's window — shrinks from the full-band max
+    // shift to the subband plan's max residual.
+    sub_ = build_subband_plan(sweep_, channels_, total_samples_,
+                              params_.subband_groups);
+    max_shift_ = std::min<std::size_t>(sub_.max_residual, total_samples_);
+    partials_.resize(sub_.total_patterns);
+    for (auto& partial : partials_) partial.assign(total_samples_, 0.0);
+  } else {
+    for (const auto& plan : sweep_.plans) {
+      max_shift_ = std::max<std::size_t>(max_shift_, plan.max_shift);
+    }
+    max_shift_ = std::min(max_shift_, total_samples_);
+    series_.resize(sweep_.plans.size());
+    for (auto& s : series_) s.assign(total_samples_, 0.0);
   }
-  max_shift_ = std::min(max_shift_, total_samples_);
-  series_.resize(sweep_.plans.size());
-  for (auto& s : series_) s.assign(total_samples_, 0.0);
   carry_.assign(channels_ * max_shift_, 0.0f);
-  if (params_.threads > 1 && sweep_.plans.size() > 1) {
-    pool_ = std::make_unique<ThreadPool>(params_.threads);
+  const std::size_t tasks = std::max(sweep_.plans.size(), partials_.size());
+  if (params_.sweep_threads() > 1 && tasks > 1) {
+    pool_ = std::make_unique<ThreadPool>(params_.sweep_threads());
   }
 }
 
 StreamingSweep::~StreamingSweep() = default;
 
 template <typename Fn>
-void StreamingSweep::for_each_plan(const Fn& fn) {
-  if (pool_) {
-    pool_->parallel_for(sweep_.plans.size(), fn);
+void StreamingSweep::for_each(std::size_t count, const Fn& fn) {
+  if (pool_ && count > 1) {
+    pool_->parallel_for(count, fn);
   } else {
-    for (std::size_t i = 0; i < sweep_.plans.size(); ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) fn(i);
   }
 }
 
@@ -78,7 +91,13 @@ void StreamingSweep::commit_block(std::size_t count) {
           : (pushed_ > max_shift_ ? pushed_ - max_shift_ : 0);
   if (completed > frontier_) {
     const std::size_t begin = frontier_;
-    for_each_plan([&](std::size_t i) { accumulate_plan(i, begin, completed); });
+    if (subband()) {
+      for_each(partials_.size(),
+               [&](std::size_t i) { accumulate_node(i, begin, completed); });
+    } else {
+      for_each(sweep_.plans.size(),
+               [&](std::size_t i) { accumulate_plan(i, begin, completed); });
+    }
     frontier_ = completed;
   }
   // Refresh the overlap carry with the last max_shift samples seen.
@@ -104,10 +123,38 @@ void StreamingSweep::accumulate_plan(std::size_t plan_index,
     const std::uint32_t shift = plan.shifts[c];
     const std::size_t limit =
         std::min<std::size_t>(out_end, total_samples_ - shift);
+    if (limit <= out_begin) continue;
     const float* row = window_.data() + c * window_stride_ - window_start_;
-    for (std::size_t s = out_begin; s < limit; ++s) {
-      series[s] += row[s + shift];
-    }
+    kernels::accumulate_f32(series.data() + out_begin, row + out_begin + shift,
+                            limit - out_begin);
+  }
+}
+
+void StreamingSweep::accumulate_node(std::size_t slot, std::size_t out_begin,
+                                     std::size_t out_end) {
+  // Recover (group, pattern) from the flat slot id.
+  const auto it = std::upper_bound(sub_.pattern_base.begin(),
+                                   sub_.pattern_base.end(), slot);
+  const std::size_t g =
+      static_cast<std::size_t>(it - sub_.pattern_base.begin()) - 1;
+  const SubbandGroup& group = sub_.groups[g];
+  const SubbandPattern& pattern =
+      sub_.patterns[g][slot - sub_.pattern_base[g]];
+  auto& partial = partials_[slot];
+  // Ascending channel order per partial sample, each sample completed in a
+  // single flush — the addition sequence of accumulate_subband_partial(),
+  // so finalize's combine sees byte-identical partials to the one-shot
+  // subband sweep.
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const std::uint32_t r = pattern.residuals[i];
+    if (r >= total_samples_) continue;
+    const std::size_t limit =
+        std::min<std::size_t>(out_end, total_samples_ - r);
+    if (limit <= out_begin) continue;
+    const float* row =
+        window_.data() + (group.begin + i) * window_stride_ - window_start_;
+    kernels::accumulate_f32(partial.data() + out_begin, row + out_begin + r,
+                            limit - out_begin);
   }
 }
 
@@ -163,18 +210,47 @@ std::vector<SinglePulseEvent> StreamingSweep::finalize() {
   auto& tracer = obs::global_tracer();
   obs::ScopedSpan span(tracer, "dedisp.stream.finalize", {}, "dedisp");
   std::vector<std::vector<SinglePulseEvent>> found(sweep_.plans.size());
-  for_each_plan([&](std::size_t i) {
-    // Tail normalization runs here, exactly once per fully-accumulated
-    // series — never per chunk, so overlap-carry samples are rescaled once.
-    thread_local std::vector<std::uint32_t> contrib_prefix;
-    thread_local DetectScratch detect_scratch;
-    normalize_tail(sweep_.plans[i], channels_, series_[i], contrib_prefix);
-    detect_events_into(series_[i],
-                       grid_.dm_at(sweep_.plans[i].trials.front()),
-                       config_.sample_time_ms, params_, detect_scratch,
-                       found[i]);
-    std::vector<double>().swap(series_[i]);  // done with this plan's series
-  });
+  if (subband()) {
+    const std::size_t num_groups = sub_.groups.size();
+    for_each(sweep_.plans.size(), [&](std::size_t i) {
+      // Stage 2 + tail normalization + detection per plan. Partials are
+      // shared across plans, so the synthesized series lives in reusable
+      // per-worker scratch and the partials stay resident until the loop
+      // ends. Byte-identical to subband_single_pulse_search(): same
+      // combine, same normalization, same detection.
+      thread_local std::vector<const double*> node_ptrs;
+      thread_local std::vector<double> series;
+      thread_local std::vector<std::uint32_t> contrib_prefix;
+      thread_local DetectScratch detect_scratch;
+      node_ptrs.resize(num_groups);
+      for (std::size_t g = 0; g < num_groups; ++g) {
+        node_ptrs[g] =
+            partials_[sub_.pattern_base[g] + sub_.entry(i, g).pattern].data();
+      }
+      combine_subband_series(sub_, i, node_ptrs.data(), total_samples_,
+                             series);
+      normalize_tail(sweep_.plans[i], channels_, series, contrib_prefix);
+      detect_events_into(series, grid_.dm_at(sweep_.plans[i].trials.front()),
+                         config_.sample_time_ms, params_, detect_scratch,
+                         found[i]);
+    });
+    partials_.clear();
+    partials_.shrink_to_fit();
+  } else {
+    for_each(sweep_.plans.size(), [&](std::size_t i) {
+      // Tail normalization runs here, exactly once per fully-accumulated
+      // series — never per chunk, so overlap-carry samples are rescaled
+      // once.
+      thread_local std::vector<std::uint32_t> contrib_prefix;
+      thread_local DetectScratch detect_scratch;
+      normalize_tail(sweep_.plans[i], channels_, series_[i], contrib_prefix);
+      detect_events_into(series_[i],
+                         grid_.dm_at(sweep_.plans[i].trials.front()),
+                         config_.sample_time_ms, params_, detect_scratch,
+                         found[i]);
+      std::vector<double>().swap(series_[i]);  // done with this plan's series
+    });
+  }
 
   std::vector<SinglePulseEvent> events =
       detail::merge_plan_events(sweep_, grid_, params_.dm_stride, found);
@@ -184,9 +260,20 @@ std::vector<SinglePulseEvent> StreamingSweep::finalize() {
                static_cast<std::int64_t>(sweep_.num_trials));
   counters.add("dedisp.stream.events",
                static_cast<std::int64_t>(events.size()));
+  if (subband()) {
+    counters.add("dedisp.subband.nodes",
+                 static_cast<std::int64_t>(sub_.total_patterns));
+    counters.add("dedisp.subband.residual_combines",
+                 static_cast<std::int64_t>(sweep_.plans.size() *
+                                           sub_.groups.size()));
+    counters.set_gauge("dedisp.subband.groups",
+                       static_cast<double>(sub_.groups.size()));
+  }
   if (span.active()) {
     span.arg("plans", static_cast<std::int64_t>(sweep_.plans.size()));
     span.arg("events", static_cast<std::int64_t>(events.size()));
+    span.arg("method", sweep_method_name(params_.method));
+    span.arg("kernel", kernels::dispatch_name());
   }
   return events;
 }

@@ -26,6 +26,16 @@
 // The result of finalize() is therefore byte-identical to
 // single_pulse_search() on the concatenated data, for any chunk size and
 // any thread count.
+//
+// With params.method == SweepMethod::kSubband the stream accumulates the
+// subband plan's coarse nodes (one partial series per distinct
+// (group, residual-pattern)) instead of per-plan series, and finalize
+// synthesizes each plan from its G offset partials before detection — the
+// same two stages as subband_single_pulse_search(), so the result is
+// byte-identical to the one-shot subband sweep. Stage 1 only ever looks
+// back by a pattern residual, so the overlap carry shrinks from the
+// full-band max shift to the subband plan's max residual (often an order
+// of magnitude less history per channel).
 #pragma once
 
 #include <cstddef>
@@ -34,6 +44,7 @@
 
 #include "dedisp/filterbank.hpp"
 #include "dedisp/single_pulse_search.hpp"
+#include "dedisp/subband_sweep.hpp"
 #include "spe/dm_grid.hpp"
 #include "spe/spe.hpp"
 
@@ -71,8 +82,10 @@ class StreamingSweep {
   std::size_t samples_pushed() const { return pushed_; }
   std::size_t total_samples() const { return total_samples_; }
 
-  /// Overlap carried across chunk boundaries: the largest per-channel shift
-  /// of any plan (clamped to the observation length).
+  /// Overlap carried across chunk boundaries, clamped to the observation
+  /// length: the largest per-channel shift of any plan (exact method), or
+  /// the subband plan's largest residual shift (subband method) — the only
+  /// input history stage 1 can still reference.
   std::size_t max_shift() const { return max_shift_; }
 
   std::size_t num_plans() const { return sweep_.plans.size(); }
@@ -93,13 +106,20 @@ class StreamingSweep {
   void commit_block(std::size_t count);
   void accumulate_plan(std::size_t plan_index, std::size_t out_begin,
                        std::size_t out_end);
+  /// Subband stage 1 for one coarse node's newly-completed range.
+  void accumulate_node(std::size_t slot, std::size_t out_begin,
+                       std::size_t out_end);
   template <typename Fn>
-  void for_each_plan(const Fn& fn);
+  void for_each(std::size_t count, const Fn& fn);
+
+  bool subband() const { return params_.method == SweepMethod::kSubband; }
 
   FilterbankConfig config_;
   DmGrid grid_;
   SinglePulseSearchParams params_;
   SweepPlan sweep_;
+  /// Groups × residual patterns decomposition (subband method only).
+  SubbandPlan sub_;
   std::size_t total_samples_ = 0;
   std::size_t channels_ = 0;
   std::size_t max_shift_ = 0;
@@ -119,8 +139,15 @@ class StreamingSweep {
   /// after each push (rows of max_shift_ floats, first carry-length valid).
   std::vector<float> carry_;
 
-  /// One fully-accumulated dedispersed series per unique shift plan.
+  /// One fully-accumulated dedispersed series per unique shift plan (exact
+  /// method; empty under subband).
   std::vector<std::vector<double>> series_;
+
+  /// One fully-accumulated partial series per coarse node, indexed by the
+  /// flat slot id pattern_base[g] + p (subband method; empty under exact).
+  /// Shared by every plan that uses the node, so none are freed until
+  /// finalize has detected every plan.
+  std::vector<std::vector<double>> partials_;
 
   std::unique_ptr<ThreadPool> pool_;
   bool finalized_ = false;

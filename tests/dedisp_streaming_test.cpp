@@ -172,6 +172,80 @@ TEST(StreamingSweep, PulseStraddlingChunkBoundaryAtEveryOffset) {
   }
 }
 
+// Subband streaming: the stream accumulates coarse-node partials and
+// finalize synthesizes each plan — the result must stay byte-identical to
+// the one-shot subband sweep (and hence carry the exact method's event set)
+// for any chunking and thread count, while carrying only the subband plan's
+// max residual across chunk boundaries instead of the full-band max shift.
+TEST(StreamingSweep, SubbandMatchesOneShotSubbandAcrossChunksAndThreads) {
+  const Filterbank fb = noisy_filterbank(small_config(), 21);
+  const DmGrid grid({{0.0, 10.0, 0.01}, {10.0, 60.0, 0.1}});
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    SinglePulseSearchParams params;
+    params.method = SweepMethod::kSubband;
+    params.threads = threads;
+    const auto reference = single_pulse_search(fb, grid, params);
+    ASSERT_FALSE(reference.empty());
+    for (std::size_t chunk : {37u, 512u, 5000u}) {
+      const auto streamed = stream_in_chunks(fb, grid, params, chunk);
+      EXPECT_TRUE(events_identical(streamed, reference))
+          << "chunk " << chunk << ", threads " << threads;
+    }
+  }
+}
+
+TEST(StreamingSweep, SubbandCarryIsMaxResidualNotFullBandShift) {
+  const Filterbank fb = noisy_filterbank(small_config(), 23);
+  const DmGrid grid({{0.0, 10.0, 0.01}, {10.0, 60.0, 0.1}});
+  SinglePulseSearchParams params;
+  StreamingSweep exact(fb.config(), grid, params);
+  params.method = SweepMethod::kSubband;
+  StreamingSweep subband(fb.config(), grid, params);
+  // The subband stage only ever looks back by a residual shift, so its
+  // overlap carry must be strictly smaller than the exact sweep's full-band
+  // max shift on this dispersion-dominated grid.
+  ASSERT_GT(exact.max_shift(), 0u);
+  EXPECT_LT(subband.max_shift(), exact.max_shift());
+  // And it still detects the exact oracle's event set.
+  params.method = SweepMethod::kExact;
+  const auto oracle = single_pulse_search(fb, grid, params);
+  params.method = SweepMethod::kSubband;
+  const auto streamed = stream_in_chunks(fb, grid, params, 911);
+  EXPECT_TRUE(events_identical(streamed, oracle));
+}
+
+TEST(StreamingSweep, SubbandPulseStraddlingEveryBoundaryOffset) {
+  // The same overlap/tail regression as the exact path, driven through the
+  // subband accumulator: a chunk split at every offset across the pulse.
+  FilterbankConfig cfg = small_config();
+  cfg.num_channels = 16;
+  cfg.obs_length_s = 6.0;
+  Filterbank fb(cfg);
+  Rng rng(27);
+  fb.add_noise(rng, 1.0);
+  fb.inject_pulse(3.0, 40.0, 4.0, 20.0);
+
+  const DmGrid grid({{38.0, 42.0, 0.5}});
+  SinglePulseSearchParams params;
+  params.method = SweepMethod::kSubband;
+  const auto reference = single_pulse_search(fb, grid, params);
+  ASSERT_FALSE(reference.empty());
+
+  StreamingSweep probe(cfg, grid, params);
+  const std::size_t carry = std::max<std::size_t>(probe.max_shift(), 1);
+  const std::size_t total = probe.total_samples();
+  const std::size_t pulse_sample = 1500;  // 3.0 s at 2 ms sampling
+  for (std::size_t offset = 0; offset <= carry; ++offset) {
+    const std::size_t split =
+        std::min(pulse_sample - offset + carry, total - 1);
+    StreamingSweep sweep(cfg, grid, params);
+    sweep.push(fb, 0, split);
+    sweep.push(fb, split, total - split);
+    ASSERT_TRUE(events_identical(sweep.finalize(), reference))
+        << "boundary at pulse offset " << offset;
+  }
+}
+
 TEST(StreamingSweep, RejectsMisuse) {
   const FilterbankConfig cfg = small_config();
   const Filterbank fb = noisy_filterbank(cfg, 3);
