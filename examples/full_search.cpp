@@ -9,10 +9,12 @@
 //
 //   ./examples/full_search [--seed N] [--period S] [--dm X] [--threads T]
 //                          [--sweep exact|subband] [--groups G]
+//                          [--rfi off|zerodm|mask|both]
 #include <iostream>
 
 #include "clustering/dbscan.hpp"
 #include "dedisp/periodicity.hpp"
+#include "dedisp/rfi_mitigation.hpp"
 #include "dedisp/single_pulse_search.hpp"
 #include "rapid/multithreaded.hpp"
 #include "util/options.hpp"
@@ -26,7 +28,8 @@ int main(int argc, char** argv) {
                             {"dm", "48"},
                             {"threads", "1"},
                             {"sweep", "exact"},
-                            {"groups", "0"}});
+                            {"groups", "0"},
+                            {"rfi", "off"}});
   const double period = opts.number("period");
   const double dm = opts.number("dm");
 
@@ -62,6 +65,9 @@ int main(int argc, char** argv) {
   // event set is identical to the exact sweep, only faster.
   sp_params.method = parse_sweep_method(opts.str("sweep"));
   sp_params.subband_groups = static_cast<std::size_t>(opts.integer("groups"));
+  // --rfi=zerodm|mask|both cleans the band before the sweep: zero-DM
+  // subtraction removes the broadband impulse, channel masking the RFI tone.
+  sp_params.rfi.policy = parse_mitigation_policy(opts.str("rfi"));
   const SweepPlan sweep = build_sweep_plan(fb, grid, sp_params.dm_stride);
   const auto events = single_pulse_search(fb, grid, sp_params);
   std::cout << "phase 2+3a: " << events.size()
@@ -69,7 +75,8 @@ int main(int argc, char** argv) {
             << " trial DMs (" << sweep.plans.size()
             << " unique shift plans, "
             << sweep.num_trials - sweep.plans.size() << " dedup hits, "
-            << sweep_method_name(sp_params.method) << " sweep, "
+            << sweep_method_name(sp_params.method) << " sweep, rfi="
+            << mitigation_policy_name(sp_params.rfi.policy) << ", "
             << sp_params.threads << " thread(s))\n";
 
   // Phase 3b: periodicity search on the series dedispersed at the best DM.

@@ -1,0 +1,103 @@
+#include "clustering/coincidence.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/flat_hash.hpp"
+
+namespace drapid {
+
+namespace {
+
+/// Packs a (time cell, DM cell) pair into one 64-bit key. Time cells are
+/// non-negative (event times are clamped at 0); DM cells are bounded by the
+/// grid size, far inside 32 bits.
+std::uint64_t cell_key(std::int64_t qt, std::int64_t qdm) {
+  return (static_cast<std::uint64_t>(qt) << 32) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(qdm));
+}
+
+}  // namespace
+
+CoincidenceResult coincidence_reject(
+    const std::vector<const ObservationData*>& beams, const DmGrid& grid,
+    const CoincidenceParams& params) {
+  if (beams.size() > 64) {
+    throw std::invalid_argument(
+        "coincidence_reject: more than 64 beams — shard the pointing");
+  }
+  if (!(params.time_window_s > 0.0) || !(params.dm_window_trials > 0.0)) {
+    throw std::invalid_argument(
+        "coincidence_reject: windows must be positive");
+  }
+  if (params.min_beams < 2) {
+    throw std::invalid_argument(
+        "coincidence_reject: min_beams < 2 would reject every detection");
+  }
+
+  CoincidenceResult result;
+  result.rejected.resize(beams.size());
+
+  const auto qt_of = [&](double time_s) {
+    return static_cast<std::int64_t>(
+        std::floor(std::max(0.0, time_s) / params.time_window_s));
+  };
+  const auto qdm_of = [&](double dm) {
+    return static_cast<std::int64_t>(
+        std::floor(static_cast<double>(grid.index_of(dm)) /
+                   params.dm_window_trials));
+  };
+
+  // Pass 1: which beams saw each cell.
+  FlatHashMap<std::uint64_t, std::uint64_t> cells;
+  for (std::size_t b = 0; b < beams.size(); ++b) {
+    const std::uint64_t bit = std::uint64_t{1} << b;
+    for (const auto& e : beams[b]->events) {
+      cells.try_emplace(cell_key(qt_of(e.time_s), qdm_of(e.dm)), 0)
+          .first->second |= bit;
+    }
+  }
+
+  // Pass 2: flag events whose 3×3 neighbourhood unions enough beams. The
+  // neighbourhood makes the test insensitive to cell-edge straddling: two
+  // beams' views of the same burst land in adjacent cells at worst.
+  for (std::size_t b = 0; b < beams.size(); ++b) {
+    const auto& events = beams[b]->events;
+    result.rejected[b].assign(events.size(), 0);
+    result.num_events += events.size();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const std::int64_t qt = qt_of(events[i].time_s);
+      const std::int64_t qdm = qdm_of(events[i].dm);
+      std::uint64_t seen = 0;
+      for (std::int64_t dt = -1; dt <= 1; ++dt) {
+        for (std::int64_t dd = -1; dd <= 1; ++dd) {
+          if (qt + dt < 0 || qdm + dd < 0) continue;
+          if (const std::uint64_t* mask =
+                  cells.find(cell_key(qt + dt, qdm + dd))) {
+            seen |= *mask;
+          }
+        }
+      }
+      if (static_cast<std::size_t>(std::popcount(seen)) >= params.min_beams) {
+        result.rejected[b][i] = 1;
+        ++result.num_rejected;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<SinglePulseEvent> coincidence_filter(
+    const ObservationData& beam, std::size_t beam_index,
+    const CoincidenceResult& result) {
+  const auto& flags = result.rejected.at(beam_index);
+  std::vector<SinglePulseEvent> kept;
+  kept.reserve(beam.events.size());
+  for (std::size_t i = 0; i < beam.events.size(); ++i) {
+    if (!flags[i]) kept.push_back(beam.events[i]);
+  }
+  return kept;
+}
+
+}  // namespace drapid

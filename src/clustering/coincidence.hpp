@@ -1,0 +1,59 @@
+// Multi-beam coincidence rejection (pipeline stage 2½).
+//
+// A multi-beam receiver points its beams at disjoint patches of sky, so a
+// genuine astrophysical pulse is seen by one beam (maybe two, at a beam
+// overlap). Terrestrial interference enters through the sidelobes of *every*
+// beam at once. The classic spatial filter — used by Parkes multibeam, FAST
+// 19-beam, and every SKA pipeline design since — therefore rejects any
+// detection that appears at compatible (DM, time) in `min_beams` or more
+// beams.
+//
+// Implementation: events are quantized onto a (time, DM-trial) grid of cell
+// size (time_window_s, dm_window_trials); a FlatHashMap from cell key to a
+// 64-bit beam bitmask records which beams saw each cell. An event is
+// coincident if the union of its 3×3 cell neighbourhood (so pairs straddling
+// a cell edge still count) covers >= min_beams distinct beams. DM proximity
+// is measured in trial-grid index units, like dbscan.hpp, so the window
+// adapts to the grid's DM-dependent spacing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "spe/dm_grid.hpp"
+#include "spe/spe_io.hpp"
+
+namespace drapid {
+
+struct CoincidenceParams {
+  /// Half-width of the coincidence cell along time (seconds).
+  double time_window_s = 0.05;
+  /// Half-width along DM, in trial-index units.
+  double dm_window_trials = 8.0;
+  /// Events in >= this many distinct beams at compatible (DM, time) are
+  /// flagged as interference. 2 would also reject beam-overlap pulses;
+  /// 3 is the conventional threshold.
+  std::size_t min_beams = 3;
+};
+
+struct CoincidenceResult {
+  /// rejected[b][i] is nonzero iff event i of beam b is coincident RFI.
+  std::vector<std::vector<std::uint8_t>> rejected;
+  std::size_t num_rejected = 0;
+  std::size_t num_events = 0;
+};
+
+/// Flags coincident events across one pointing's beams. `beams[b]` is beam
+/// b's event list; at most 64 beams (the bitmask width — wider receivers
+/// would shard pointings). Deterministic, single-threaded, O(events).
+CoincidenceResult coincidence_reject(
+    const std::vector<const ObservationData*>& beams, const DmGrid& grid,
+    const CoincidenceParams& params = {});
+
+/// Convenience: copies beam b's events with the flagged ones removed.
+std::vector<SinglePulseEvent> coincidence_filter(
+    const ObservationData& beam, std::size_t beam_index,
+    const CoincidenceResult& result);
+
+}  // namespace drapid

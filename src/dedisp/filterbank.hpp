@@ -64,6 +64,10 @@ class Filterbank {
   const float* channel_data(std::size_t channel) const {
     return data_.data() + channel * num_samples_;
   }
+  /// Mutable row access for in-place cleaning (rfi_mitigation.hpp).
+  float* channel_data(std::size_t channel) {
+    return data_.data() + channel * num_samples_;
+  }
 
   /// Adds zero-mean Gaussian radiometer noise of the given sigma.
   void add_noise(Rng& rng, double sigma = 1.0);

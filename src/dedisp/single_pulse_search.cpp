@@ -1,6 +1,7 @@
 #include "dedisp/single_pulse_search.hpp"
 
 #include "dedisp/kernels.hpp"
+#include "dedisp/rfi_mitigation.hpp"
 #include "dedisp/subband_sweep.hpp"
 
 #include <algorithm>
@@ -58,6 +59,30 @@ std::vector<std::uint32_t> dispersion_shifts(const Filterbank& fb, double dm) {
 
 SweepPlan build_sweep_plan(const Filterbank& fb, const DmGrid& grid,
                            std::size_t dm_stride) {
+  return build_sweep_plan(fb, grid, dm_stride, {});
+}
+
+SweepPlan build_sweep_plan(const Filterbank& fb, const DmGrid& grid,
+                           std::size_t dm_stride,
+                           const std::vector<std::uint8_t>& channel_mask) {
+  const std::size_t channels = fb.num_channels();
+  std::uint32_t active = 0;
+  if (!channel_mask.empty()) {
+    if (channel_mask.size() != channels) {
+      throw std::invalid_argument(
+          "build_sweep_plan: channel mask has " +
+          std::to_string(channel_mask.size()) + " entries for " +
+          std::to_string(channels) + " channels");
+    }
+    for (std::uint8_t m : channel_mask) {
+      if (m == 0) ++active;
+    }
+    if (active == 0) {
+      throw std::invalid_argument(
+          "build_sweep_plan: channel mask excludes every channel");
+    }
+  }
+  const auto saturated = static_cast<std::uint32_t>(fb.num_samples());
   SweepPlan sweep;
   const std::size_t stride = std::max<std::size_t>(1, dm_stride);
   // Dedup key: the raw bytes of the shift vector. Shift vectors are a
@@ -67,14 +92,35 @@ SweepPlan build_sweep_plan(const Filterbank& fb, const DmGrid& grid,
   std::string key;
   for (std::size_t trial = 0; trial < grid.size(); trial += stride) {
     auto shifts = dispersion_shifts(fb, grid.dm_at(trial));
+    if (active != 0 && active != channels) {
+      // Masked channels take the "contributes nothing" saturation value —
+      // they drop out of the accumulation, the dedup key, and the analytic
+      // contributor counts with no special cases downstream.
+      for (std::size_t c = 0; c < channels; ++c) {
+        if (channel_mask[c]) shifts[c] = saturated;
+      }
+    }
     key.assign(reinterpret_cast<const char*>(shifts.data()),
                shifts.size() * sizeof(std::uint32_t));
     auto [entry, inserted] =
         index.try_emplace(key, static_cast<std::uint32_t>(sweep.plans.size()));
     if (inserted) {
       ShiftPlan plan;
-      plan.max_shift =
-          shifts.empty() ? 0 : *std::max_element(shifts.begin(), shifts.end());
+      if (active != 0 && active != channels) {
+        // max_shift over surviving channels only: the saturated masked
+        // entries would otherwise stretch the streaming carry window (and
+        // the tail-normalization span) to the whole observation.
+        std::uint32_t max_shift = 0;
+        for (std::size_t c = 0; c < channels; ++c) {
+          if (!channel_mask[c]) max_shift = std::max(max_shift, shifts[c]);
+        }
+        plan.max_shift = max_shift;
+        plan.active_channels = active;
+      } else {
+        plan.max_shift = shifts.empty()
+                             ? 0
+                             : *std::max_element(shifts.begin(), shifts.end());
+      }
       plan.shifts = std::move(shifts);
       sweep.plans.push_back(std::move(plan));
     }
@@ -118,14 +164,21 @@ void normalize_tail(const ShiftPlan& plan, std::size_t channels,
     if (plan.shifts[c] < n) ++prefix[plan.shifts[c]];
   }
   for (std::size_t v = 1; v <= m; ++v) prefix[v] += prefix[v - 1];
-  const double full = static_cast<double>(channels);
-  // Head samples (s <= n-1-m) are covered by every channel (m < n implies
-  // every shift <= m, so prefix[m] == channels) and need no renormalization;
-  // only the max_shift-long tail is touched.
+  // A masked plan rescales to its active channel count: masked channels
+  // contribute no samples anywhere, so the "full" noise level is the
+  // reduced band's — exactly the series a filterbank with those channels
+  // physically removed would produce.
+  const std::size_t effective =
+      plan.active_channels != 0 ? plan.active_channels : channels;
+  const double full = static_cast<double>(effective);
+  // Head samples (s <= n-1-m) are covered by every active channel (m < n
+  // implies every counted shift <= m, so prefix[m] == effective) and need no
+  // renormalization; only the max_shift-long tail is touched.
   const std::size_t head = n > m ? n - m : 0;
   for (std::size_t s = head; s < n; ++s) {
     const std::uint32_t contributors = prefix[n - 1 - s];
-    if (contributors > 0 && static_cast<std::size_t>(contributors) < channels) {
+    if (contributors > 0 &&
+        static_cast<std::size_t>(contributors) < effective) {
       series[s] *= full / static_cast<double>(contributors);
     }
   }
@@ -143,8 +196,6 @@ std::vector<double> dedisperse(const Filterbank& fb, double dm) {
   return std::move(scratch.series);
 }
 
-namespace {
-
 /// Robust location/scale from the median and the median absolute deviation,
 /// through the selection kernel (kernels.hpp). select_kth consumes its
 /// buffers, so the workspace is refilled from `values` before the MAD pass —
@@ -154,7 +205,7 @@ namespace {
 std::pair<double, double> robust_stats(const std::vector<double>& values,
                                        std::vector<double>& workspace,
                                        std::vector<double>& select_scratch) {
-  if (values.empty()) return {0.0, 1.0};
+  if (values.empty()) return {0.0, 0.0};
   const std::size_t size = values.size();
   const std::size_t mid = size / 2;
   workspace.resize(size);
@@ -167,11 +218,14 @@ std::pair<double, double> robust_stats(const std::vector<double>& values,
   kernels::abs_deviation(workspace.data(), values.data(), size, median);
   const double mad =
       kernels::select_kth(workspace.data(), select_scratch.data(), size, mid);
-  const double sigma = mad > 1e-12 ? mad * 1.4826 : 1.0;
+  // MAD at (or numerically indistinguishable from) zero means the series
+  // has no measurable noise scale — constant, single-sample, or fully
+  // masked input. Report scale 0.0 and let callers refuse to standardize:
+  // the old 1.0 floor turned raw boxcar sums into fake "S/N" values, and a
+  // genuinely tiny MAD inflated any stray sample into an unbounded one.
+  const double sigma = mad > 1e-12 ? mad * 1.4826 : 0.0;
   return {median, sigma};
 }
-
-}  // namespace
 
 void detect_events_into(const std::vector<double>& series, double dm,
                         double sample_time_ms,
@@ -182,6 +236,10 @@ void detect_events_into(const std::vector<double>& series, double dm,
   if (n == 0) return;
   const auto [median, sigma] = robust_stats(series, scratch.stats_workspace,
                                             scratch.select_scratch);
+  // Degenerate-series guard: with no noise scale there is no S/N — every
+  // detection would divide by zero (or by a floor that makes the numbers
+  // meaningless). A constant series carries no pulse; report nothing.
+  if (!(sigma > 0.0)) return;
 
   // best S/N and width per sample across boxcars
   auto& prefix = scratch.prefix;
@@ -364,6 +422,11 @@ SweepMethod parse_sweep_method(const std::string& name) {
 std::vector<SinglePulseEvent> single_pulse_search(
     const Filterbank& fb, const DmGrid& grid,
     const SinglePulseSearchParams& params) {
+  if (params.rfi.policy != MitigationPolicy::kOff) {
+    // The mitigation stage (rfi_mitigation.cpp) estimates/applies the
+    // cleaning and re-enters here with policy kOff and the mask resolved.
+    return detail::mitigated_single_pulse_search(fb, grid, params);
+  }
   if (params.method == SweepMethod::kSubband) {
     return subband_single_pulse_search(fb, grid, params);
   }
@@ -371,7 +434,8 @@ std::vector<SinglePulseEvent> single_pulse_search(
   obs::ScopedSpan sweep_span(tracer, "dedisp.sweep", {}, "dedisp");
   Stopwatch watch;
 
-  const SweepPlan sweep = build_sweep_plan(fb, grid, params.dm_stride);
+  const SweepPlan sweep =
+      build_sweep_plan(fb, grid, params.dm_stride, params.channel_mask);
 
   // One event list per unique shift plan, detected with that plan's first
   // trial DM (the DM only lands in the events' `dm` field, so duplicate

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dedisp/filterbank.hpp"
@@ -43,6 +44,13 @@ struct ShiftPlan {
   std::vector<std::uint32_t> shifts;  ///< per channel, clamped to num_samples
   std::uint32_t max_shift = 0;
   std::vector<std::size_t> trials;    ///< ascending grid trial indices
+  /// Channels actually summed by this plan: 0 means "all channels" (the
+  /// unmasked fast path); a masked plan stores num_channels - masked here.
+  /// Masked channels carry a saturated shift of num_samples — they
+  /// contribute no samples and no tail-normalization counts — and the tail
+  /// rescale targets this count, so a masked sweep's S/N matches a
+  /// filterbank with those channels physically removed.
+  std::uint32_t active_channels = 0;
 };
 
 /// The deduplicated dedispersion plan for a whole (strided) DM grid.
@@ -58,6 +66,17 @@ struct SweepPlan {
 /// the strided sweep searches).
 SweepPlan build_sweep_plan(const Filterbank& fb, const DmGrid& grid,
                            std::size_t dm_stride = 1);
+
+/// Masked variant: channels with `channel_mask[c] != 0` are excluded from
+/// every plan by saturating their shift to num_samples (the same "contributes
+/// nothing" encoding extreme-DM channels already use), and each plan records
+/// the surviving channel count in `active_channels` so the tail
+/// normalization rescales against the reduced band. An empty mask is the
+/// unmasked plan; a non-empty mask must have one byte per channel. Masking
+/// every channel throws — there is nothing left to search.
+SweepPlan build_sweep_plan(const Filterbank& fb, const DmGrid& grid,
+                           std::size_t dm_stride,
+                           const std::vector<std::uint8_t>& channel_mask);
 
 /// Reusable dedispersion workspace: the output series plus the counting
 /// buffer the analytic tail normalization uses. Reusing one per worker makes
@@ -84,7 +103,10 @@ void dedisperse_plan(const Filterbank& fb, const ShiftPlan& plan,
 /// noise level. Must run exactly once per series, after every channel's
 /// contribution has been summed — the streaming sweep defers it to finalize
 /// so samples inside the chunk-overlap carry region are never rescaled
-/// twice. `contrib_prefix` is reusable scratch (overwritten).
+/// twice. `contrib_prefix` is reusable scratch (overwritten). For a masked
+/// plan (`plan.active_channels != 0`) the rescale target is the plan's
+/// active channel count, not `channels` — the result matches a filterbank
+/// with the masked channels physically removed.
 void normalize_tail(const ShiftPlan& plan, std::size_t channels,
                     std::vector<double>& series,
                     std::vector<std::uint32_t>& contrib_prefix);
@@ -115,6 +137,26 @@ const char* sweep_method_name(SweepMethod method);
 /// std::invalid_argument on anything else.
 SweepMethod parse_sweep_method(const std::string& name);
 
+/// RFI mitigation ahead of the sweep (rfi_mitigation.hpp holds the stage
+/// itself; the knob lives here so it threads through the search params).
+enum class MitigationPolicy {
+  kOff,          ///< no mitigation — byte-identical to the pre-RFI pipeline
+  kZeroDm,       ///< per-sample cross-channel mean subtraction
+  kChannelMask,  ///< robust per-channel statistics mask hot channels
+  kBoth,         ///< channel mask first, then zero-DM over surviving channels
+};
+
+struct RfiMitigationParams {
+  MitigationPolicy policy = MitigationPolicy::kOff;
+  /// Channel-mask threshold: a channel is masked when its per-channel mean
+  /// or variance sits more than this many robust sigmas (median/MAD across
+  /// the band) from the cross-channel median.
+  double mask_sigma = 6.0;
+  /// Hard cap on the masked fraction of the band; when the estimator wants
+  /// more, only the worst offenders (highest deviation score) are kept.
+  double max_mask_fraction = 0.25;
+};
+
 struct SinglePulseSearchParams {
   double snr_threshold = 5.0;
   /// Boxcar widths in samples (PRESTO's downfacts).
@@ -133,6 +175,17 @@ struct SinglePulseSearchParams {
   /// Channel groups for SweepMethod::kSubband: 0 = cost-model auto, else
   /// clamped to [1, channels]. Ignored by kExact.
   std::size_t subband_groups = 0;
+  /// RFI mitigation stage ahead of the sweep. kOff runs the pre-mitigation
+  /// pipeline untouched (no copy, byte-identical output); anything else
+  /// routes through apply_rfi_mitigation (rfi_mitigation.hpp) first.
+  RfiMitigationParams rfi;
+  /// Per-channel exclusion mask (1 = masked), one byte per channel. Usually
+  /// filled in by the mitigation stage; set it explicitly to pin a known
+  /// mask — the streaming sweep requires an explicit mask for mask policies
+  /// because it cannot estimate one from data it has not seen yet. Empty =
+  /// all channels active. Masked channels contribute neither samples nor
+  /// tail-normalization counts.
+  std::vector<std::uint8_t> channel_mask;
 
   /// Pool width after the deprecation shim: exec.threads_per_worker if set,
   /// else the legacy `threads` field. Sweep output is byte-identical at any
@@ -150,6 +203,17 @@ struct DetectScratch {
   /// Per-center certificate bytes for the boxcar-outer threshold scan.
   std::vector<unsigned char> below;
 };
+
+/// Robust location/scale of a series: {median, 1.4826 * MAD}. A degenerate
+/// series — empty, constant, or fully masked (every sample the same value)
+/// — has MAD 0 and returns scale 0.0: there is no noise level to
+/// standardize against, and callers must not divide by the scale
+/// (detect_events_into reports no events for such a series instead of
+/// spraying unbounded S/N). `workspace` and `select_scratch` are reusable
+/// buffers (overwritten); the input is untouched.
+std::pair<double, double> robust_stats(const std::vector<double>& values,
+                                       std::vector<double>& workspace,
+                                       std::vector<double>& select_scratch);
 
 /// Matched-filter detection on one dedispersed series: the series is
 /// standardized (median/robust sigma), each boxcar width is scanned, and

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "dedisp/kernels.hpp"
+#include "dedisp/rfi_mitigation.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -21,7 +22,16 @@ StreamingSweep::StreamingSweep(const FilterbankConfig& config,
   const Filterbank geometry(config_);
   total_samples_ = geometry.num_samples();
   channels_ = geometry.num_channels();
-  sweep_ = build_sweep_plan(geometry, grid_, params_.dm_stride);
+  if (policy_masks_channels(params_.rfi.policy) &&
+      params_.channel_mask.empty()) {
+    throw std::invalid_argument(
+        "StreamingSweep: channel-mask mitigation needs an explicit "
+        "params.channel_mask — a stream cannot estimate one from data it "
+        "has not seen (estimate_channel_mask over the observation first)");
+  }
+  zero_dm_ = policy_zero_dm(params_.rfi.policy);
+  sweep_ =
+      build_sweep_plan(geometry, grid_, params_.dm_stride, params_.channel_mask);
   if (subband()) {
     // Coarse nodes only ever look back by a residual shift, so the carry —
     // and with it every chunk's window — shrinks from the full-band max
@@ -158,6 +168,14 @@ void StreamingSweep::accumulate_node(std::size_t slot, std::size_t out_begin,
   }
 }
 
+void StreamingSweep::clean_block(std::size_t carry_len, std::size_t count) {
+  if (!zero_dm_ || count == 0) return;
+  zero_dm_subtract(window_.data(), window_stride_, channels_, carry_len,
+                   carry_len + count,
+                   params_.channel_mask.empty() ? nullptr
+                                                : params_.channel_mask.data());
+}
+
 void StreamingSweep::push_frames(const float* frames, std::size_t num_frames) {
   const std::size_t carry_len = prepare_window(num_frames);
   for (std::size_t c = 0; c < channels_; ++c) {
@@ -166,6 +184,7 @@ void StreamingSweep::push_frames(const float* frames, std::size_t num_frames) {
       row[s] = frames[s * channels_ + c];
     }
   }
+  clean_block(carry_len, num_frames);
   commit_block(num_frames);
 }
 
@@ -185,14 +204,15 @@ void StreamingSweep::push(const Filterbank& fb, std::size_t begin,
         "StreamingSweep: block starts at sample " + std::to_string(begin) +
         " but the stream is at " + std::to_string(pushed_));
   }
-  if (begin + count > total_samples_) {
-    throw std::invalid_argument("StreamingSweep: block overruns observation");
-  }
+  // An ingester reading fixed-size blocks overshoots on the final one; the
+  // filterbank itself bounds the real data, so clamp rather than throw.
+  count = std::min(count, total_samples_ - begin);
   const std::size_t carry_len = prepare_window(count);
   for (std::size_t c = 0; c < channels_; ++c) {
     std::memcpy(window_.data() + c * window_stride_ + carry_len,
                 fb.channel_data(c) + begin, count * sizeof(float));
   }
+  clean_block(carry_len, count);
   commit_block(count);
 }
 

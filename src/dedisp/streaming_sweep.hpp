@@ -75,6 +75,8 @@ class StreamingSweep {
 
   /// Pushes samples [begin, begin + count) of an in-memory filterbank (must
   /// match this sweep's geometry and continue exactly at samples_pushed()).
+  /// A `count` past the observation end is clamped — a fixed block size
+  /// naturally overshoots on the final chunk — and count 0 is a no-op.
   /// Convenience for tests and for ingesting synthesized observations.
   void push(const Filterbank& fb, std::size_t begin, std::size_t count);
 
@@ -101,6 +103,11 @@ class StreamingSweep {
   /// first, block after) and returns the carry length; the caller fills the
   /// block region. Throws if the block would overrun the observation.
   std::size_t prepare_window(std::size_t count);
+  /// Zero-DM subtraction over the freshly-filled block region of the window
+  /// (no-op unless the policy asks for it). The subtraction is per-sample,
+  /// so cleaning chunk by chunk matches the one-shot mitigated sweep bit
+  /// for bit; the carry refresh then naturally holds cleaned samples.
+  void clean_block(std::size_t carry_len, std::size_t count);
   /// Accumulates every plan's newly-completed output range from the window,
   /// then refreshes the overlap carry from the window's tail.
   void commit_block(std::size_t count);
@@ -126,6 +133,12 @@ class StreamingSweep {
 
   std::size_t pushed_ = 0;    ///< input samples accepted
   std::size_t frontier_ = 0;  ///< output samples accumulated per plan
+  /// Zero-DM subtraction enabled (params.rfi.policy includes it). Channel
+  /// masking comes through params.channel_mask: the stream cannot estimate
+  /// a mask from data it has not seen, so mask policies require an explicit
+  /// mask (the survey service estimates one from the full observation
+  /// before constructing the sweep) and the constructor throws otherwise.
+  bool zero_dm_ = false;
 
   /// Channel-major input window: for each channel, the carry (up to
   /// max_shift_ samples ending at the previous push) followed by the block

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "dedisp/kernels.hpp"
+#include "dedisp/rfi_mitigation.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "util/flat_hash.hpp"
@@ -233,11 +234,20 @@ struct PlanBlock {
 std::vector<SinglePulseEvent> subband_single_pulse_search(
     const Filterbank& fb, const DmGrid& grid,
     const SinglePulseSearchParams& params) {
+  if (params.rfi.policy != MitigationPolicy::kOff) {
+    // Route direct calls through the mitigation stage too; it re-enters
+    // single_pulse_search with the policy cleared, so pin the method in
+    // case the caller reached here without setting it.
+    SinglePulseSearchParams routed = params;
+    routed.method = SweepMethod::kSubband;
+    return detail::mitigated_single_pulse_search(fb, grid, routed);
+  }
   auto& tracer = obs::global_tracer();
   obs::ScopedSpan sweep_span(tracer, "dedisp.subband.sweep", {}, "dedisp");
   Stopwatch watch;
 
-  const SweepPlan sweep = build_sweep_plan(fb, grid, params.dm_stride);
+  const SweepPlan sweep =
+      build_sweep_plan(fb, grid, params.dm_stride, params.channel_mask);
   const SubbandPlan sub = build_subband_plan(
       sweep, fb.num_channels(), fb.num_samples(), params.subband_groups);
   const std::size_t n = fb.num_samples();

@@ -1,0 +1,62 @@
+#include "serve/coincidence.hpp"
+
+#include <cstdint>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace drapid {
+namespace serve {
+
+MultiBeamFilterResult reject_multibeam_rfi(
+    const CandidateArchive& archive, const std::vector<ObservationId>& beams,
+    const DmGrid& grid, const CoincidenceParams& params) {
+  obs::ScopedSpan span(obs::global_tracer(), "serve.coincidence",
+                       beams.empty() ? "" : beams.front().dataset, "serve");
+
+  // One query per beam; the snapshot the archive hands each query is
+  // immutable, so a concurrent ingest of other pointings is harmless.
+  std::vector<ObservationData> per_beam(beams.size());
+  for (std::size_t b = 0; b < beams.size(); ++b) {
+    Query q;
+    q.key = beams[b].key();
+    per_beam[b].id = beams[b];
+    for (const CandidateRecord& rec : archive.query(q)) {
+      per_beam[b].events.push_back(rec.event);
+    }
+  }
+  std::vector<const ObservationData*> views;
+  views.reserve(per_beam.size());
+  for (const ObservationData& beam : per_beam) views.push_back(&beam);
+
+  const CoincidenceResult coincidence =
+      coincidence_reject(views, grid, params);
+
+  MultiBeamFilterResult result;
+  result.num_candidates = coincidence.num_events;
+  result.num_rejected = coincidence.num_rejected;
+  result.kept.resize(beams.size());
+  for (std::size_t b = 0; b < beams.size(); ++b) {
+    const auto& flags = coincidence.rejected[b];
+    for (std::size_t i = 0; i < per_beam[b].events.size(); ++i) {
+      if (flags[i]) continue;
+      result.kept[b].push_back(
+          CandidateRecord{beams[b], per_beam[b].events[i]});
+    }
+  }
+
+  auto& counters = obs::global_counters();
+  counters.add("serve.coincidence_rejected",
+               static_cast<std::int64_t>(result.num_rejected));
+  counters.add("serve.coincidence_kept",
+               static_cast<std::int64_t>(result.num_candidates -
+                                         result.num_rejected));
+  if (span.active()) {
+    span.arg("beams", static_cast<std::int64_t>(beams.size()));
+    span.arg("rejected", static_cast<std::int64_t>(result.num_rejected));
+  }
+  return result;
+}
+
+}  // namespace serve
+}  // namespace drapid

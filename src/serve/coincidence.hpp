@@ -1,0 +1,39 @@
+// Archive-level multi-beam coincidence rejection.
+//
+// The survey service ingests each beam of a multi-beam pointing as its own
+// observation. This wrapper pulls one pointing's beams back out of the
+// candidate archive, runs the spatial coincidence filter over them
+// (clustering/coincidence.hpp), and returns the per-beam survivors — the
+// candidate lists downstream clustering and classification should consume.
+// Emits a `serve.coincidence` span plus `serve.coincidence_rejected` /
+// `serve.coincidence_kept` counters.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "clustering/coincidence.hpp"
+#include "serve/archive.hpp"
+#include "spe/dm_grid.hpp"
+#include "spe/spe.hpp"
+
+namespace drapid {
+namespace serve {
+
+struct MultiBeamFilterResult {
+  /// kept[b]: beam b's candidates with coincident interference removed,
+  /// in the archive's canonical order.
+  std::vector<std::vector<CandidateRecord>> kept;
+  std::size_t num_candidates = 0;
+  std::size_t num_rejected = 0;
+};
+
+/// Queries each beam id's candidates and rejects detections coincident in
+/// >= params.min_beams beams. Beams must all be ingested (and sealed)
+/// before calling; at most 64 beams per pointing.
+MultiBeamFilterResult reject_multibeam_rfi(
+    const CandidateArchive& archive, const std::vector<ObservationId>& beams,
+    const DmGrid& grid, const CoincidenceParams& params = {});
+
+}  // namespace serve
+}  // namespace drapid

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "dedisp/rfi_mitigation.hpp"
 #include "dedisp/streaming_sweep.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -103,7 +104,15 @@ void SurveyService::ingest(const Job& job) {
     throw std::invalid_argument(
         "observation geometry does not match the service configuration");
   }
-  StreamingSweep sweep(got, grid_, config_.search);
+  // The streaming sweep refuses to estimate a channel mask itself (it never
+  // sees the whole observation); the service has the full filterbank in
+  // hand, so estimate per observation here and hand the sweep a fixed mask.
+  SinglePulseSearchParams search = config_.search;
+  if (policy_masks_channels(search.rfi.policy) &&
+      search.channel_mask.empty()) {
+    search.channel_mask = estimate_channel_mask(job.fb, search.rfi);
+  }
+  StreamingSweep sweep(got, grid_, search);
   const std::size_t total = sweep.total_samples();
   const std::size_t chunk =
       config_.chunk_samples == 0 ? total : config_.chunk_samples;

@@ -101,4 +101,29 @@ DmGrid DmGrid::palfa() {
   });
 }
 
+DmGrid DmGrid::fast_crafts() {
+  // FAST/CRAFTS drift scan (1.05–1.45 GHz): the 19-beam receiver's
+  // single-pulse backend searches nearby and Galactic sources with fine
+  // steps, out to 1500 where extragalactic bursts live.
+  return DmGrid({
+      {0.0, 30.0, 0.01},
+      {30.0, 100.0, 0.05},
+      {100.0, 500.0, 0.10},
+      {500.0, 1000.0, 0.50},
+      {1000.0, 1500.0, 1.00},
+  });
+}
+
+DmGrid DmGrid::ska_mid() {
+  // SKA-Mid band 2: widest band and deepest DM range of the presets;
+  // coarse 2.0 steps carry the top half where smearing dominates anyway.
+  return DmGrid({
+      {0.0, 40.0, 0.01},
+      {40.0, 150.0, 0.05},
+      {150.0, 600.0, 0.20},
+      {600.0, 1500.0, 0.50},
+      {1500.0, 3000.0, 2.00},
+  });
+}
+
 }  // namespace drapid

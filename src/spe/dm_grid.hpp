@@ -62,6 +62,15 @@ class DmGrid {
   /// 0.01 → 2.0 spacing envelope over a deeper DM range.
   static DmGrid palfa();
 
+  /// Dedispersion plan modeled on the FAST/CRAFTS drift-scan single-pulse
+  /// processing (1.05–1.45 GHz): fine low-DM steps, 1500 pc cm^-3 ceiling.
+  static DmGrid fast_crafts();
+
+  /// Dedispersion plan modeled on an SKA-Mid band-2 single-pulse search:
+  /// the deepest range here (3000 pc cm^-3) with the same 0.01 → 2.0
+  /// spacing envelope.
+  static DmGrid ska_mid();
+
  private:
   std::vector<DmPlanSegment> plan_;
   std::vector<double> trials_;

@@ -1,0 +1,192 @@
+#include "synth/rfi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spe/dm_grid.hpp"
+#include "synth/dispersion.hpp"
+#include "synth/survey.hpp"
+
+namespace drapid {
+
+const char* rfi_family_name(RfiFamily family) {
+  switch (family) {
+    case RfiFamily::kNarrowbandCarrier: return "narrowband_carrier";
+    case RfiFamily::kSweptChirp: return "swept_chirp";
+    case RfiFamily::kPeriodicBroadband: break;
+  }
+  return "periodic_broadband";
+}
+
+RfiScenario draw_rfi_scenario(const SurveyConfig& config, double obs_length_s,
+                              Rng& rng) {
+  RfiScenario scenario;
+  const double band_lo = config.center_freq_mhz - config.bandwidth_mhz / 2.0;
+  const double band_hi = config.center_freq_mhz + config.bandwidth_mhz / 2.0;
+
+  const auto trains =
+      rng.poisson(config.periodic_broadband_per_observation);
+  for (std::uint64_t i = 0; i < trains; ++i) {
+    RfiInstance inst;
+    inst.family = RfiFamily::kPeriodicBroadband;
+    inst.t_begin_s = rng.uniform(0.0, obs_length_s);
+    inst.t_end_s = std::min(obs_length_s,
+                            inst.t_begin_s + rng.uniform(2.0, 20.0));
+    inst.period_s = rng.uniform(0.2, 2.0);
+    inst.strength = rng.uniform(8.0, 25.0);
+    inst.freq_begin_mhz = band_lo;
+    inst.freq_end_mhz = band_hi;
+    scenario.instances.push_back(inst);
+  }
+
+  const auto carriers =
+      rng.poisson(config.narrowband_carriers_per_observation);
+  for (std::uint64_t i = 0; i < carriers; ++i) {
+    RfiInstance inst;
+    inst.family = RfiFamily::kNarrowbandCarrier;
+    // Persistent: on for most of the observation.
+    inst.t_begin_s = rng.uniform(0.0, 0.2 * obs_length_s);
+    inst.t_end_s = obs_length_s - rng.uniform(0.0, 0.2 * obs_length_s);
+    inst.strength = rng.uniform(4.0, 12.0);
+    // A transmitter occupies a sliver of the band (0.2–2%).
+    const double width = config.bandwidth_mhz * rng.uniform(0.002, 0.02);
+    const double f0 = rng.uniform(band_lo, band_hi - width);
+    inst.freq_begin_mhz = f0;
+    inst.freq_end_mhz = f0 + width;
+    scenario.instances.push_back(inst);
+  }
+
+  const auto chirps = rng.poisson(config.swept_chirps_per_observation);
+  for (std::uint64_t i = 0; i < chirps; ++i) {
+    RfiInstance inst;
+    inst.family = RfiFamily::kSweptChirp;
+    inst.t_begin_s = rng.uniform(0.0, obs_length_s);
+    inst.t_end_s = std::min(obs_length_s,
+                            inst.t_begin_s + rng.uniform(0.5, 5.0));
+    inst.strength = rng.uniform(6.0, 18.0);
+    // Sweep a random stretch of the band, either direction.
+    const double f_a = rng.uniform(band_lo, band_hi);
+    const double f_b = rng.uniform(band_lo, band_hi);
+    inst.freq_begin_mhz = f_a;
+    inst.freq_end_mhz = f_b;
+    scenario.instances.push_back(inst);
+  }
+  return scenario;
+}
+
+namespace {
+
+std::int64_t sample_of(double time_s, double sample_time_ms) {
+  return static_cast<std::int64_t>(time_s / (sample_time_ms * 1e-3));
+}
+
+/// Burst train: each burst is a broadband impulse, so the search sees it at
+/// every trial with flat S/N — the same footprint as the unstructured
+/// add_rfi() bursts, repeated at the train period.
+void render_periodic_events(const RfiInstance& inst, const SurveyConfig& config,
+                            Rng& rng, std::vector<SinglePulseEvent>& events) {
+  const DmGrid& grid = *config.grid;
+  for (double t0 = inst.t_begin_s; t0 <= inst.t_end_s; t0 += inst.period_s) {
+    const std::size_t span = grid.size() / 2 + rng.below(grid.size() / 2);
+    const std::size_t stride = 1 + rng.below(4);
+    for (std::size_t i = 0; i < span; i += stride) {
+      SinglePulseEvent e;
+      e.dm = grid.dm_at(i);
+      e.snr = inst.strength + rng.normal(0.0, 0.6);
+      e.time_s = t0 + rng.normal(0.0, 2e-3);
+      e.sample = sample_of(e.time_s, config.sample_time_ms);
+      e.downfact = 4 << rng.below(3);
+      events.push_back(e);
+    }
+  }
+}
+
+/// Carrier: a persistent hot channel raises the baseline of every trial's
+/// series a little, tipping extra threshold crossings throughout the span,
+/// biased toward low DM where the channel's samples stay aligned.
+void render_carrier_events(const RfiInstance& inst, const SurveyConfig& config,
+                           double obs_length_s, Rng& rng,
+                           std::vector<SinglePulseEvent>& events) {
+  const DmGrid& grid = *config.grid;
+  const double span_s =
+      std::max(0.0, std::min(inst.t_end_s, obs_length_s) - inst.t_begin_s);
+  const auto count =
+      rng.poisson(span_s * 0.25 * std::max(1.0, inst.strength - 3.0));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SinglePulseEvent e;
+    const double idx = std::abs(rng.normal(
+        0.0, static_cast<double>(grid.size()) / 6.0));
+    e.dm = grid.dm_at(std::min<std::size_t>(
+        static_cast<std::size_t>(idx), grid.size() - 1));
+    e.snr = config.snr_threshold + rng.exponential(1.0);
+    e.time_s = inst.t_begin_s + rng.uniform(0.0, span_s);
+    e.sample = sample_of(e.time_s, config.sample_time_ms);
+    e.downfact = 1 << rng.below(3);
+    events.push_back(e);
+  }
+}
+
+/// Chirp: the sweep through the band mimics dispersion, so the search emits
+/// a ridge whose best-fit DM drifts across the chirp's duration.
+void render_chirp_events(const RfiInstance& inst, const SurveyConfig& config,
+                         Rng& rng, std::vector<SinglePulseEvent>& events) {
+  const DmGrid& grid = *config.grid;
+  const double duration = inst.t_end_s - inst.t_begin_s;
+  if (duration <= 0.0) return;
+  // Apparent DM scale from the chirp's drift rate: wider sweeps look like
+  // higher DMs. Derived from the instance alone (not the rng) so the same
+  // chirp traces the same DM track in every beam that sees it — the
+  // coincidence a multi-beam rejection stage keys on.
+  const double frac_span = std::min(
+      1.0, std::abs(inst.freq_end_mhz - inst.freq_begin_mhz) /
+               config.bandwidth_mhz);
+  const double dm_hi = grid.max_dm() * (0.10 + 0.45 * frac_span);
+  const double dm_lo = dm_hi * (0.15 + 0.06 * std::min(duration, 5.0));
+  const int steps = 10 + static_cast<int>(duration * 10.0);
+  for (int s = 0; s < steps; ++s) {
+    const double frac = static_cast<double>(s) / static_cast<double>(steps - 1);
+    const double t = inst.t_begin_s + frac * duration;
+    const double dm_center = inst.freq_begin_mhz > inst.freq_end_mhz
+                                 ? dm_lo + frac * (dm_hi - dm_lo)
+                                 : dm_hi - frac * (dm_hi - dm_lo);
+    const std::size_t center = grid.index_of(dm_center);
+    const int reach = 2 + static_cast<int>(rng.below(6));
+    for (int o = -reach; o <= reach; ++o) {
+      const long trial = static_cast<long>(center) + o;
+      if (trial < 0 || trial >= static_cast<long>(grid.size())) continue;
+      const double u = static_cast<double>(o) / static_cast<double>(reach + 1);
+      const double snr =
+          inst.strength * std::exp(-0.5 * u * u * 4.0) + rng.normal(0.0, 0.4);
+      if (snr < config.snr_threshold) continue;
+      SinglePulseEvent e;
+      e.dm = grid.dm_at(static_cast<std::size_t>(trial));
+      e.snr = snr;
+      e.time_s = t + rng.normal(0.0, 2e-3);
+      e.sample = sample_of(e.time_s, config.sample_time_ms);
+      e.downfact = 2 << rng.below(3);
+      events.push_back(e);
+    }
+  }
+}
+
+}  // namespace
+
+void render_rfi_events(const RfiScenario& scenario, const SurveyConfig& config,
+                       double obs_length_s, Rng& rng,
+                       std::vector<SinglePulseEvent>& events) {
+  for (const RfiInstance& inst : scenario.instances) {
+    switch (inst.family) {
+      case RfiFamily::kPeriodicBroadband:
+        render_periodic_events(inst, config, rng, events);
+        break;
+      case RfiFamily::kNarrowbandCarrier:
+        render_carrier_events(inst, config, obs_length_s, rng, events);
+        break;
+      case RfiFamily::kSweptChirp:
+        render_chirp_events(inst, config, rng, events);
+        break;
+    }
+  }
+}
+
+}  // namespace drapid

@@ -1,0 +1,90 @@
+// Structured RFI families for the synthetic survey layer.
+//
+// The clean simulator's interference is unstructured: isolated broadband
+// bursts and pulse-mimicking ridges. Real bands carry *structured*
+// interference with temporal and spectral shape, and mitigation stages are
+// judged against exactly those shapes. Three families cover the canonical
+// cases (the same taxonomy the FAST/CRAFTS and SKA pipeline papers excise
+// ahead of dedispersion):
+//
+//   * periodic broadband bursts — a radar/ignition-style train of
+//     undispersed impulses with a fixed repetition period. Zero-DM
+//     subtraction is the designed counter.
+//   * persistent narrowband carriers — a transmitter parked on a few
+//     channels for most of the observation, inflating that channel's mean
+//     and variance. Channel masking is the designed counter.
+//   * swept chirps — a carrier drifting through the band, crossing channels
+//     over seconds. Dedispersion sees a pulse-like ridge whose DM drifts
+//     with time; coincidence rejection (it appears in every beam) and the
+//     classifier are the counters.
+//
+// Every instance drawn is ground truth: the scenario is returned alongside
+// whatever it rendered, so mitigation precision/recall is directly
+// measurable against the injected astrophysical pulses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "spe/spe.hpp"
+#include "util/rng.hpp"
+
+namespace drapid {
+
+struct SurveyConfig;
+class DmGrid;
+
+enum class RfiFamily {
+  kPeriodicBroadband,
+  kNarrowbandCarrier,
+  kSweptChirp,
+};
+
+/// "periodic_broadband" / "narrowband_carrier" / "swept_chirp".
+const char* rfi_family_name(RfiFamily family);
+
+/// One ground-truth interference instance.
+struct RfiInstance {
+  RfiFamily family = RfiFamily::kPeriodicBroadband;
+  /// Beam the instance is local to, or kAllBeams for interference that
+  /// enters every beam's sidelobes (what coincidence rejection catches).
+  static constexpr std::size_t kAllBeams =
+      std::numeric_limits<std::size_t>::max();
+  std::size_t beam = kAllBeams;
+  double t_begin_s = 0.0;
+  double t_end_s = 0.0;
+  /// Burst repetition period (periodic broadband only).
+  double period_s = 0.0;
+  /// Event-level S/N scale / filterbank amplitude in noise-sigma units.
+  double strength = 0.0;
+  /// Occupied band (narrowband carrier: a few channels wide; swept chirp:
+  /// the sweep's start/end frequencies, begin > end for a downward drift).
+  double freq_begin_mhz = 0.0;
+  double freq_end_mhz = 0.0;
+};
+
+/// The structured interference drawn for one observation.
+struct RfiScenario {
+  std::vector<RfiInstance> instances;
+  bool empty() const { return instances.empty(); }
+};
+
+/// Draws a scenario from the survey's structured-RFI rates (Poisson counts
+/// per observation, uniform arrival). Deterministic in `rng`; draws nothing
+/// when every structured rate is zero, so pre-RFI presets consume no stream.
+RfiScenario draw_rfi_scenario(const SurveyConfig& config, double obs_length_s,
+                              Rng& rng);
+
+/// Renders a scenario into an *event-level* observation (the analytic
+/// simulator's output space): each instance appends the SPE signature a
+/// single-pulse search would emit for it — burst trains flat across DM,
+/// carrier-driven threshold crossings biased to low DM, and chirp ridges
+/// whose apparent DM drifts with time. Events carry no family tag (a real
+/// pipeline would not know); the scenario itself is the label.
+void render_rfi_events(const RfiScenario& scenario, const SurveyConfig& config,
+                       double obs_length_s, Rng& rng,
+                       std::vector<SinglePulseEvent>& events);
+
+}  // namespace drapid

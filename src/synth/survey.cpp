@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "synth/dispersion.hpp"
 
@@ -57,6 +59,94 @@ SurveyConfig SurveyConfig::palfa() {
   return cfg;
 }
 
+SurveyConfig SurveyConfig::fast_crafts() {
+  SurveyConfig cfg;
+  cfg.name = "FAST-CRAFTS";
+  cfg.center_freq_mhz = 1250.0;  // 1.05–1.45 GHz 19-beam receiver
+  cfg.bandwidth_mhz = 400.0;
+  cfg.obs_length_s = 52.4;       // drift time through one beam
+  cfg.sample_time_ms = 0.196608;
+  cfg.population.num_pulsars = 60;  // FAST sensitivity: richer population
+  cfg.population.num_rrats = 20;
+  cfg.population.dm_min = 10.0;
+  cfg.population.dm_max = 1200.0;
+  cfg.noise_clumps_per_observation = 20.0;
+  cfg.peaked_rfi_per_observation = 10.0;
+  cfg.rfi_bursts_per_observation = 1.2;
+  // Radio-quiet site, but satellites and aviation still cross the band.
+  cfg.periodic_broadband_per_observation = 1.5;
+  cfg.narrowband_carriers_per_observation = 2.0;
+  cfg.swept_chirps_per_observation = 0.8;
+  cfg.grid = std::make_shared<DmGrid>(DmGrid::fast_crafts());
+  return cfg;
+}
+
+SurveyConfig SurveyConfig::ska_mid() {
+  SurveyConfig cfg;
+  cfg.name = "SKA-Mid";
+  cfg.center_freq_mhz = 1400.0;  // band 2
+  cfg.bandwidth_mhz = 800.0;
+  cfg.obs_length_s = 300.0;
+  cfg.sample_time_ms = 0.064;
+  cfg.population.num_pulsars = 90;
+  cfg.population.num_rrats = 20;
+  cfg.population.dm_min = 20.0;
+  cfg.population.dm_max = 2500.0;
+  cfg.noise_clumps_per_observation = 30.0;
+  cfg.peaked_rfi_per_observation = 16.0;
+  cfg.rfi_bursts_per_observation = 2.0;
+  // The mitigation stress preset: all three structured families busy.
+  cfg.periodic_broadband_per_observation = 2.5;
+  cfg.narrowband_carriers_per_observation = 3.0;
+  cfg.swept_chirps_per_observation = 1.2;
+  cfg.grid = std::make_shared<DmGrid>(DmGrid::ska_mid());
+  return cfg;
+}
+
+void SurveyConfig::validate() const {
+  const auto fail = [this](const std::string& what) {
+    throw std::invalid_argument("SurveyConfig '" + name + "': " + what);
+  };
+  const auto positive = [&](double v, const char* field) {
+    if (!std::isfinite(v) || v <= 0.0) {
+      fail(std::string(field) + " must be positive and finite, got " +
+           std::to_string(v));
+    }
+  };
+  const auto rate = [&](double v, const char* field) {
+    if (!std::isfinite(v) || v < 0.0) {
+      fail(std::string(field) + " is a rate and must be finite and >= 0, "
+           "got " + std::to_string(v));
+    }
+  };
+  positive(center_freq_mhz, "center_freq_mhz");
+  positive(bandwidth_mhz, "bandwidth_mhz");
+  if (center_freq_mhz - bandwidth_mhz / 2.0 <= 0.0) {
+    fail("band bottom " +
+         std::to_string(center_freq_mhz - bandwidth_mhz / 2.0) +
+         " MHz is not positive — frequency bounds are inverted");
+  }
+  positive(obs_length_s, "obs_length_s");
+  positive(sample_time_ms, "sample_time_ms");
+  if (!std::isfinite(snr_threshold)) fail("snr_threshold must be finite");
+  rate(noise_events_per_second, "noise_events_per_second");
+  rate(rfi_bursts_per_observation, "rfi_bursts_per_observation");
+  rate(low_dm_events_per_second, "low_dm_events_per_second");
+  rate(noise_clumps_per_observation, "noise_clumps_per_observation");
+  rate(peaked_rfi_per_observation, "peaked_rfi_per_observation");
+  rate(periodic_broadband_per_observation,
+       "periodic_broadband_per_observation");
+  rate(narrowband_carriers_per_observation,
+       "narrowband_carriers_per_observation");
+  rate(swept_chirps_per_observation, "swept_chirps_per_observation");
+  rate(beam_radius_deg, "beam_radius_deg");
+  if (!std::isfinite(population.dm_min) || !std::isfinite(population.dm_max) ||
+      population.dm_min < 0.0 || population.dm_max < population.dm_min) {
+    fail("population DM range [" + std::to_string(population.dm_min) + ", " +
+         std::to_string(population.dm_max) + "] is inverted or negative");
+  }
+}
+
 SourceCatalog catalog_from_population(
     const std::vector<SyntheticSource>& sources) {
   SourceCatalog catalog;
@@ -68,7 +158,13 @@ SourceCatalog catalog_from_population(
 }
 
 SurveySimulator::SurveySimulator(SurveyConfig config, std::uint64_t seed)
-    : config_(std::move(config)), rng_(seed) {}
+    : config_(std::move(config)), rng_(seed) {
+  config_.validate();
+  if (!config_.grid) {
+    throw std::invalid_argument("SurveyConfig '" + config_.name +
+                                "': no trial-DM grid");
+  }
+}
 
 std::vector<SyntheticSource> SurveySimulator::draw_sources() {
   return draw_population(config_.population, rng_);
@@ -268,12 +364,10 @@ void SurveySimulator::add_peaked_rfi(std::vector<SinglePulseEvent>& events) {
   }
 }
 
-SimulatedObservation SurveySimulator::simulate(
-    const ObservationId& id, const std::vector<SyntheticSource>& visible) {
-  SimulatedObservation out;
-  out.data.id = id;
-  auto& events = out.data.events;
-
+void SurveySimulator::inject_sources(
+    const std::vector<SyntheticSource>& visible,
+    std::vector<SinglePulseEvent>& events,
+    std::vector<GroundTruthPulse>& truth) {
   for (const auto& src : visible) {
     if (src.type == SourceType::kPulsar) {
       const auto rotations =
@@ -292,7 +386,7 @@ SimulatedObservation SurveySimulator::simulate(
         const double snr0 = src.median_snr *
                             std::exp(rng_.normal(0.0, src.snr_sigma));
         if (snr0 < config_.snr_threshold) continue;
-        inject_pulse(src, t0, snr0, events, out.truth);
+        inject_pulse(src, t0, snr0, events, truth);
       }
     } else {
       const auto bursts = rng_.poisson(src.emission_rate *
@@ -302,21 +396,98 @@ SimulatedObservation SurveySimulator::simulate(
         const double snr0 = src.median_snr *
                             std::exp(rng_.normal(0.0, src.snr_sigma));
         if (snr0 < config_.snr_threshold) continue;
-        inject_pulse(src, t0, snr0, events, out.truth);
+        inject_pulse(src, t0, snr0, events, truth);
       }
     }
   }
+}
 
-  add_noise(events);
-  add_rfi(events);
-  add_noise_clumps(events);
-  add_peaked_rfi(events);
+namespace {
 
+void sort_events(std::vector<SinglePulseEvent>& events) {
   std::sort(events.begin(), events.end(),
             [](const SinglePulseEvent& a, const SinglePulseEvent& b) {
               if (a.dm != b.dm) return a.dm < b.dm;
               return a.time_s < b.time_s;
             });
+}
+
+}  // namespace
+
+SimulatedObservation SurveySimulator::simulate(
+    const ObservationId& id, const std::vector<SyntheticSource>& visible) {
+  SimulatedObservation out;
+  out.data.id = id;
+  auto& events = out.data.events;
+
+  inject_sources(visible, events, out.truth);
+  add_noise(events);
+  add_rfi(events);
+  add_noise_clumps(events);
+  add_peaked_rfi(events);
+  // Guarded so presets predating structured RFI draw nothing from the rng
+  // stream and stay byte-identical.
+  if (config_.has_structured_rfi()) {
+    RfiScenario scenario =
+        draw_rfi_scenario(config_, config_.obs_length_s, rng_);
+    render_rfi_events(scenario, config_, config_.obs_length_s, rng_, events);
+    out.rfi_truth = std::move(scenario.instances);
+  }
+
+  sort_events(events);
+  return out;
+}
+
+MultiBeamObservation SurveySimulator::simulate_multibeam(
+    const ObservationId& id, const std::vector<SyntheticSource>& visible,
+    std::size_t num_beams, double shared_rfi_fraction) {
+  if (num_beams == 0) {
+    throw std::invalid_argument("simulate_multibeam: num_beams must be >= 1");
+  }
+  MultiBeamObservation out;
+  // One scenario per pointing: ownership decides which beams see each
+  // instance. Shared instances enter through every beam's sidelobes; local
+  // ones stay in a single random beam.
+  RfiScenario scenario = draw_rfi_scenario(config_, config_.obs_length_s, rng_);
+  for (RfiInstance& inst : scenario.instances) {
+    if (!rng_.chance(shared_rfi_fraction)) inst.beam = rng_.below(num_beams);
+  }
+
+  out.beams.reserve(num_beams);
+  for (std::size_t b = 0; b < num_beams; ++b) {
+    SimulatedObservation obs;
+    obs.data.id = id;
+    obs.data.id.beam = id.beam + static_cast<int>(b);
+    auto& events = obs.data.events;
+    // Astrophysical sources appear only in the on-source beam: a genuine
+    // pulse coincident across many beams would have to be extraordinarily
+    // bright, which is exactly why multi-beam coincidence rejects RFI.
+    if (b == 0) inject_sources(visible, events, obs.truth);
+    add_noise(events);
+    add_rfi(events);
+    add_noise_clumps(events);
+    add_peaked_rfi(events);
+
+    RfiScenario beam_view;
+    for (const RfiInstance& inst : scenario.instances) {
+      if (inst.beam == RfiInstance::kAllBeams) {
+        // Sidelobe coupling varies beam to beam: jitter the strength and
+        // occasionally drop the instance entirely.
+        if (!rng_.chance(0.92)) continue;
+        RfiInstance seen = inst;
+        seen.strength *= std::exp(rng_.normal(0.0, 0.15));
+        beam_view.instances.push_back(seen);
+      } else if (inst.beam == b) {
+        beam_view.instances.push_back(inst);
+      }
+    }
+    render_rfi_events(beam_view, config_, config_.obs_length_s, rng_, events);
+    obs.rfi_truth = std::move(beam_view.instances);
+
+    sort_events(events);
+    out.beams.push_back(std::move(obs));
+  }
+  out.rfi_truth = std::move(scenario.instances);
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include "spe/dm_grid.hpp"
 #include "spe/spe_io.hpp"
 #include "synth/population.hpp"
+#include "synth/rfi.hpp"
 #include "util/rng.hpp"
 
 namespace drapid {
@@ -48,6 +49,13 @@ struct SurveyConfig {
   /// structure in DM without the Cordes shape (sweeping/periodic RFI) —
   /// the "negative examples ... from RFI".
   double peaked_rfi_per_observation = 10.0;
+  /// Structured RFI families (rfi.hpp): expected instances per observation.
+  /// All three render into both the event-level simulator and the raw
+  /// filterbank path, each with ground-truth labels. All default to 0, so
+  /// presets predating them generate byte-identical output.
+  double periodic_broadband_per_observation = 0.0;
+  double narrowband_carriers_per_observation = 0.0;
+  double swept_chirps_per_observation = 0.0;
   /// Upper bound on SPEs one pulse contributes. Real search pipelines bound
   /// the DM window they associate with a detection; without a cap, a bright
   /// low-DM pulse at 1.4 GHz (where the Cordes response is very wide) can
@@ -65,6 +73,32 @@ struct SurveyConfig {
   /// PALFA preset (Cordes et al. 2006): 1.4 GHz, 300 MHz band, Galactic
   /// plane, deeper DM distribution.
   static SurveyConfig palfa();
+
+  /// FAST/CRAFTS drift-scan preset (You et al. 2021): 1.05–1.45 GHz,
+  /// 19-beam receiver, very high sensitivity, moderate structured RFI
+  /// (satellites and aviation over a radio-quiet site).
+  static SurveyConfig fast_crafts();
+
+  /// SKA-Mid band-2 preset (Bhat et al. 2022 methodology study): 800 MHz
+  /// band, deep DM grid, heavy structured RFI — the stress preset for the
+  /// mitigation stage.
+  static SurveyConfig ska_mid();
+
+  /// Any structured RFI family enabled?
+  bool has_structured_rfi() const {
+    return periodic_broadband_per_observation > 0.0 ||
+           narrowband_carriers_per_observation > 0.0 ||
+           swept_chirps_per_observation > 0.0;
+  }
+
+  /// Rejects unusable configurations with std::invalid_argument naming the
+  /// offending field: non-positive/non-finite geometry (band, observation
+  /// length, sampling), an inverted band (bandwidth wider than twice the
+  /// center frequency puts the band bottom below 0 MHz), negative or
+  /// non-finite rates, and an inverted population DM range. Called by
+  /// SurveySimulator and the filterbank path, so bad values fail loudly at
+  /// construction instead of silently flowing into generation.
+  void validate() const;
 };
 
 /// One injected (ground-truth) pulse.
@@ -82,6 +116,19 @@ struct GroundTruthPulse {
 struct SimulatedObservation {
   ObservationData data;                 ///< SPEs, sorted by (dm, time)
   std::vector<GroundTruthPulse> truth;  ///< injected pulses with ≥ 1 SPE
+  /// Ground-truth structured interference rendered into this observation
+  /// (empty unless the config enables structured RFI families).
+  std::vector<RfiInstance> rfi_truth;
+};
+
+/// One multi-beam pointing: `beams.size()` observations sharing a sky.
+/// Shared-sky interference (RfiInstance::kAllBeams) lands in every beam
+/// with per-beam jitter; beam-local RFI and noise are drawn independently
+/// per beam; astrophysical sources appear only in the on-source beam 0 —
+/// exactly the asymmetry multi-beam coincidence rejection keys on.
+struct MultiBeamObservation {
+  std::vector<SimulatedObservation> beams;
+  std::vector<RfiInstance> rfi_truth;  ///< shared + beam-local instances
 };
 
 /// Builds the known-source catalogue for a synthetic population — the
@@ -114,10 +161,23 @@ class SurveySimulator {
       std::size_t count, const std::vector<SyntheticSource>& sources,
       double visibility);
 
+  /// Simulates one multi-beam pointing of `num_beams` beams (id.beam + b
+  /// for beam b). Structured RFI is drawn once for the pointing: with
+  /// probability `shared_rfi_fraction` an instance enters every beam
+  /// (per-beam S/N jitter, occasional dropout), otherwise it stays local to
+  /// one random beam. `visible` sources land in beam 0 only. Each beam also
+  /// gets independent noise, clumps, and pulse-mimicking artifacts.
+  MultiBeamObservation simulate_multibeam(
+      const ObservationId& id, const std::vector<SyntheticSource>& visible,
+      std::size_t num_beams, double shared_rfi_fraction = 0.7);
+
  private:
   void inject_pulse(const SyntheticSource& src, double t0, double snr0,
                     std::vector<SinglePulseEvent>& events,
                     std::vector<GroundTruthPulse>& truth);
+  void inject_sources(const std::vector<SyntheticSource>& visible,
+                      std::vector<SinglePulseEvent>& events,
+                      std::vector<GroundTruthPulse>& truth);
   void add_noise(std::vector<SinglePulseEvent>& events);
   void add_rfi(std::vector<SinglePulseEvent>& events);
   void add_noise_clumps(std::vector<SinglePulseEvent>& events);

@@ -246,6 +246,114 @@ TEST(StreamingSweep, SubbandPulseStraddlingEveryBoundaryOffset) {
   }
 }
 
+// --- final-chunk edge cases (the ingest bugfix sweep) -----------------------
+
+// An ingester reading fixed-size blocks overshoots on the final one. push()
+// clamps the count to the observation's remaining samples instead of
+// throwing, and the clamped stream stays byte-identical to the one-shot
+// sweep.
+TEST(StreamingSweep, OversizedFinalChunkClampsAndMatchesOneShot) {
+  const Filterbank fb = noisy_filterbank(small_config(), 31);
+  const DmGrid grid({{0.0, 10.0, 0.01}, {10.0, 60.0, 0.1}});
+  for (const SweepMethod method : {SweepMethod::kExact, SweepMethod::kSubband}) {
+    SinglePulseSearchParams params;
+    params.method = method;
+    const auto reference = single_pulse_search(fb, grid, params);
+    ASSERT_FALSE(reference.empty());
+
+    {  // fixed block size that does not divide the observation
+      StreamingSweep sweep(fb.config(), grid, params);
+      const std::size_t total = sweep.total_samples();
+      const std::size_t block = total / 2 + 7;
+      for (std::size_t begin = 0; begin < total; begin += block) {
+        sweep.push(fb, begin, block);  // final push overshoots; clamped
+      }
+      EXPECT_EQ(sweep.samples_pushed(), total);
+      EXPECT_TRUE(events_identical(sweep.finalize(), reference))
+          << "method " << static_cast<int>(method);
+    }
+    {  // one absurdly oversized push covers the whole observation
+      StreamingSweep sweep(fb.config(), grid, params);
+      sweep.push(fb, 0, fb.num_samples() + 12345);
+      EXPECT_TRUE(events_identical(sweep.finalize(), reference));
+    }
+  }
+}
+
+TEST(StreamingSweep, ZeroLengthChunksAreNoOps) {
+  const Filterbank fb = noisy_filterbank(small_config(), 33);
+  const DmGrid grid({{30.0, 50.0, 0.5}});
+  const SinglePulseSearchParams params;
+  const auto reference = single_pulse_search(fb, grid, params);
+
+  StreamingSweep sweep(fb.config(), grid, params);
+  const std::size_t total = sweep.total_samples();
+  sweep.push(fb, 0, 0);  // empty first read
+  sweep.push(fb, 0, total / 3);
+  sweep.push(fb, total / 3, 0);  // empty mid-stream read
+  EXPECT_EQ(sweep.samples_pushed(), total / 3);
+  sweep.push(fb, total / 3, total - total / 3);
+  sweep.push(fb, total, 0);  // empty read at end-of-stream
+  sweep.push(fb, total, 999);  // post-completion read clamps to nothing
+  EXPECT_EQ(sweep.samples_pushed(), total);
+  EXPECT_TRUE(events_identical(sweep.finalize(), reference));
+}
+
+// An observation shorter than the grid's max shift: every plan's shifts are
+// clamped to the (tiny) sample count, the carry spans the whole observation,
+// and the stream must still agree with the one-shot sweep for both methods.
+TEST(StreamingSweep, ObservationShorterThanMaxShiftMatchesOneShot) {
+  FilterbankConfig cfg = small_config();
+  cfg.obs_length_s = 0.25;  // 125 samples at 2 ms
+  Filterbank fb(cfg);
+  Rng rng(35);
+  fb.add_noise(rng, 1.0);
+
+  // DM 500 at 300–400 MHz shifts by far more than 125 samples.
+  const DmGrid grid({{400.0, 500.0, 5.0}});
+  for (const SweepMethod method : {SweepMethod::kExact, SweepMethod::kSubband}) {
+    SinglePulseSearchParams params;
+    params.method = method;
+    params.snr_threshold = 4.0;
+    const auto reference = single_pulse_search(fb, grid, params);
+    StreamingSweep probe(cfg, grid, params);
+    ASSERT_LE(probe.max_shift(), probe.total_samples());
+    for (std::size_t chunk : {1u, 7u, 125u, 1000u}) {
+      const auto streamed = stream_in_chunks(fb, grid, params, chunk);
+      EXPECT_TRUE(events_identical(streamed, reference))
+          << "chunk " << chunk << ", method " << static_cast<int>(method);
+    }
+  }
+}
+
+// First-chunk sizes bracketing the carry length: 1, max_shift - 1,
+// max_shift, max_shift + 1 — the offsets where the overlap carry logic has
+// historically gone wrong (empty carry, carry one short of full, exactly
+// full, and full-plus-one).
+TEST(StreamingSweep, FirstChunkBracketsCarryLength) {
+  const Filterbank fb = noisy_filterbank(small_config(), 37);
+  const DmGrid grid({{0.0, 10.0, 0.01}, {10.0, 60.0, 0.1}});
+  for (const SweepMethod method : {SweepMethod::kExact, SweepMethod::kSubband}) {
+    SinglePulseSearchParams params;
+    params.method = method;
+    const auto reference = single_pulse_search(fb, grid, params);
+    StreamingSweep probe(fb.config(), grid, params);
+    const std::size_t max_shift = probe.max_shift();
+    const std::size_t total = probe.total_samples();
+    ASSERT_GT(max_shift, 1u);
+    ASSERT_LT(max_shift + 1, total);
+    for (const std::size_t first :
+         {std::size_t{1}, max_shift - 1, max_shift, max_shift + 1}) {
+      StreamingSweep sweep(fb.config(), grid, params);
+      sweep.push(fb, 0, first);
+      sweep.push(fb, first, total - first);
+      ASSERT_TRUE(events_identical(sweep.finalize(), reference))
+          << "first chunk " << first << " (max_shift " << max_shift
+          << "), method " << static_cast<int>(method);
+    }
+  }
+}
+
 TEST(StreamingSweep, RejectsMisuse) {
   const FilterbankConfig cfg = small_config();
   const Filterbank fb = noisy_filterbank(cfg, 3);
@@ -256,9 +364,12 @@ TEST(StreamingSweep, RejectsMisuse) {
     sweep.push(fb, 0, 100);
     EXPECT_THROW(sweep.finalize(), std::logic_error);
   }
-  {  // pushing past the configured observation length
+  {  // push_frames keeps the strict overrun contract: its raw-pointer
+     // length is the caller's promise about the buffer, so an overrun is a
+     // bug, not a final-chunk overshoot.
     StreamingSweep sweep(cfg, grid);
-    EXPECT_THROW(sweep.push(fb, 0, fb.num_samples() + 1),
+    std::vector<float> frames((fb.num_samples() + 1) * fb.num_channels());
+    EXPECT_THROW(sweep.push_frames(frames.data(), fb.num_samples() + 1),
                  std::invalid_argument);
   }
   {  // non-contiguous block

@@ -1,0 +1,350 @@
+// Structured RFI scenarios, multi-beam observation generation, SurveyConfig /
+// filterbank-geometry validation, and the mitigation precision/recall
+// acceptance run against synthetic ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "synth/filterbank_survey.hpp"
+#include "synth/rfi.hpp"
+#include "synth/survey.hpp"
+
+namespace drapid {
+namespace {
+
+// --- SurveyConfig validation -------------------------------------------------
+
+TEST(SurveyConfigValidation, AllPresetsValidateAndSimulate) {
+  for (const SurveyConfig& cfg :
+       {SurveyConfig::gbt350drift(), SurveyConfig::palfa(),
+        SurveyConfig::fast_crafts(), SurveyConfig::ska_mid()}) {
+    EXPECT_NO_THROW(cfg.validate()) << cfg.name;
+    ASSERT_NE(cfg.grid, nullptr) << cfg.name;
+    SurveySimulator sim(cfg, 3);
+    ObservationId id;
+    id.dataset = cfg.name;
+    const SimulatedObservation obs = sim.simulate(id, {});
+    EXPECT_FALSE(obs.data.events.empty()) << cfg.name;
+  }
+}
+
+TEST(SurveyConfigValidation, RejectsNegativeRate) {
+  SurveyConfig cfg = SurveyConfig::gbt350drift();
+  cfg.noise_events_per_second = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  try {
+    cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("noise_events_per_second"),
+              std::string::npos);
+  }
+}
+
+TEST(SurveyConfigValidation, RejectsNonFiniteRate) {
+  SurveyConfig cfg = SurveyConfig::palfa();
+  cfg.swept_chirps_per_observation =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SurveyConfigValidation, RejectsInvertedFrequencyBounds) {
+  SurveyConfig cfg = SurveyConfig::gbt350drift();
+  cfg.bandwidth_mhz = 800.0;  // band bottom at 350 - 400 < 0 MHz
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  try {
+    cfg.validate();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("inverted"), std::string::npos);
+  }
+}
+
+TEST(SurveyConfigValidation, RejectsNonPositiveGeometry) {
+  SurveyConfig cfg = SurveyConfig::gbt350drift();
+  cfg.sample_time_ms = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SurveyConfig::gbt350drift();
+  cfg.obs_length_s = -5.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SurveyConfigValidation, RejectsInvertedPopulationDmRange) {
+  SurveyConfig cfg = SurveyConfig::palfa();
+  cfg.population.dm_min = 500.0;
+  cfg.population.dm_max = 100.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SurveyConfigValidation, SimulatorConstructorValidates) {
+  SurveyConfig cfg = SurveyConfig::gbt350drift();
+  cfg.rfi_bursts_per_observation = -0.5;
+  EXPECT_THROW(SurveySimulator(cfg, 1), std::invalid_argument);
+}
+
+// --- filterbank-geometry validation -----------------------------------------
+
+TEST(FilterbankSurveyValidation, RejectsZeroChannelGeometry) {
+  const SurveyConfig cfg = SurveyConfig::gbt350drift();
+  Rng rng(1);
+  FilterbankSurveyOptions options;
+  options.num_channels = 0;
+  EXPECT_THROW(
+      simulate_filterbank_observation(cfg, ObservationId{}, {}, rng, options),
+      std::invalid_argument);
+}
+
+TEST(FilterbankSurveyValidation, RejectsZeroSampleGeometry) {
+  const SurveyConfig cfg = SurveyConfig::gbt350drift();
+  Rng rng(1);
+  FilterbankSurveyOptions options;
+  options.obs_length_s = 0.0001;  // shorter than one 1 ms sample
+  EXPECT_THROW(
+      simulate_filterbank_observation(cfg, ObservationId{}, {}, rng, options),
+      std::invalid_argument);
+  options = FilterbankSurveyOptions{};
+  options.sample_time_ms = -1.0;
+  EXPECT_THROW(
+      simulate_filterbank_observation(cfg, ObservationId{}, {}, rng, options),
+      std::invalid_argument);
+}
+
+// --- scenario drawing --------------------------------------------------------
+
+TEST(RfiScenario, QuietPresetDrawsNothingAndConsumesNoStream) {
+  const SurveyConfig cfg = SurveyConfig::gbt350drift();
+  ASSERT_FALSE(cfg.has_structured_rfi());
+  Rng touched(42);
+  Rng untouched(42);
+  const RfiScenario scenario =
+      draw_rfi_scenario(cfg, cfg.obs_length_s, touched);
+  EXPECT_TRUE(scenario.empty());
+  // Poisson(0) must consume no draws: the stream is byte-identical.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(touched.uniform(), untouched.uniform());
+  }
+}
+
+TEST(RfiScenario, DirtyPresetDrawsAllThreeFamilies) {
+  const SurveyConfig cfg = SurveyConfig::ska_mid();
+  ASSERT_TRUE(cfg.has_structured_rfi());
+  bool periodic = false, carrier = false, chirp = false;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(seed);
+    for (const RfiInstance& inst :
+         draw_rfi_scenario(cfg, cfg.obs_length_s, rng).instances) {
+      periodic |= inst.family == RfiFamily::kPeriodicBroadband;
+      carrier |= inst.family == RfiFamily::kNarrowbandCarrier;
+      chirp |= inst.family == RfiFamily::kSweptChirp;
+      EXPECT_GE(inst.t_begin_s, 0.0);
+      EXPECT_LE(inst.t_end_s, cfg.obs_length_s);
+      EXPECT_GT(inst.strength, 0.0);
+    }
+  }
+  EXPECT_TRUE(periodic);
+  EXPECT_TRUE(carrier);
+  EXPECT_TRUE(chirp);
+}
+
+TEST(RfiScenario, SimulateAttachesGroundTruthAndRendersEvents) {
+  SurveySimulator sim(SurveyConfig::fast_crafts(), 5);
+  ObservationId id;
+  id.dataset = "FAST-CRAFTS";
+  bool saw_truth = false;
+  for (int i = 0; i < 6 && !saw_truth; ++i) {
+    id.mjd = 56000.0 + i;
+    const SimulatedObservation obs = sim.simulate(id, {});
+    saw_truth = !obs.rfi_truth.empty();
+  }
+  EXPECT_TRUE(saw_truth);
+}
+
+TEST(RfiScenario, QuietPresetSimulationHasNoRfiTruth) {
+  SurveySimulator sim(SurveyConfig::gbt350drift(), 5);
+  const SimulatedObservation obs = sim.simulate(ObservationId{}, {});
+  EXPECT_TRUE(obs.rfi_truth.empty());
+}
+
+// --- multi-beam generation ---------------------------------------------------
+
+SyntheticSource bright_source() {
+  SyntheticSource src;
+  src.name = "J0000+00";
+  src.type = SourceType::kRrat;
+  src.dm = 120.0;
+  src.width_ms = 10.0;
+  src.median_snr = 20.0;
+  src.snr_sigma = 0.1;
+  src.emission_rate = 3600.0;  // ~1 burst/s
+  return src;
+}
+
+TEST(MultiBeam, SourcesAppearOnlyInBeamZero) {
+  SurveySimulator sim(SurveyConfig::ska_mid(), 7);
+  const MultiBeamObservation pointing =
+      sim.simulate_multibeam(ObservationId{}, {bright_source()}, 7);
+  ASSERT_EQ(pointing.beams.size(), 7u);
+  EXPECT_FALSE(pointing.beams[0].truth.empty());
+  for (std::size_t b = 1; b < pointing.beams.size(); ++b) {
+    EXPECT_TRUE(pointing.beams[b].truth.empty()) << "beam " << b;
+  }
+}
+
+TEST(MultiBeam, BeamIdsAreSequential) {
+  SurveySimulator sim(SurveyConfig::fast_crafts(), 9);
+  ObservationId id;
+  id.beam = 3;
+  const MultiBeamObservation pointing = sim.simulate_multibeam(id, {}, 4);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(pointing.beams[b].data.id.beam, 3 + static_cast<int>(b));
+  }
+}
+
+TEST(MultiBeam, SharedRfiEntersMostBeams) {
+  SurveySimulator sim(SurveyConfig::ska_mid(), 11);
+  MultiBeamObservation pointing;
+  ObservationId id;
+  for (int i = 0; i < 8; ++i) {
+    id.mjd = 56000.0 + i;
+    pointing = sim.simulate_multibeam(id, {}, 8, /*shared_rfi_fraction=*/1.0);
+    if (!pointing.rfi_truth.empty()) break;
+  }
+  ASSERT_FALSE(pointing.rfi_truth.empty());
+  for (const RfiInstance& inst : pointing.rfi_truth) {
+    EXPECT_EQ(inst.beam, RfiInstance::kAllBeams);
+  }
+  // With 0.92 per-beam inclusion, nearly every beam sees the scenario.
+  std::size_t beams_seeing = 0;
+  for (const auto& beam : pointing.beams) {
+    beams_seeing += !beam.rfi_truth.empty();
+  }
+  EXPECT_GE(beams_seeing, pointing.beams.size() / 2);
+}
+
+TEST(MultiBeam, LocalRfiStaysInOneBeam) {
+  SurveySimulator sim(SurveyConfig::ska_mid(), 13);
+  MultiBeamObservation pointing;
+  ObservationId id;
+  for (int i = 0; i < 8; ++i) {
+    id.mjd = 56000.0 + i;
+    pointing = sim.simulate_multibeam(id, {}, 6, /*shared_rfi_fraction=*/0.0);
+    if (!pointing.rfi_truth.empty()) break;
+  }
+  ASSERT_FALSE(pointing.rfi_truth.empty());
+  for (const RfiInstance& inst : pointing.rfi_truth) {
+    ASSERT_LT(inst.beam, 6u);
+  }
+  // Each beam-local instance lands in exactly its owner's rfi_truth.
+  for (std::size_t b = 0; b < pointing.beams.size(); ++b) {
+    for (const RfiInstance& inst : pointing.beams[b].rfi_truth) {
+      EXPECT_EQ(inst.beam, b);
+    }
+  }
+}
+
+TEST(MultiBeam, ZeroBeamsThrows) {
+  SurveySimulator sim(SurveyConfig::ska_mid(), 1);
+  EXPECT_THROW(sim.simulate_multibeam(ObservationId{}, {}, 0),
+               std::invalid_argument);
+}
+
+// --- mitigation acceptance: recall and false positives ----------------------
+
+/// A small, dirty survey: structured RFI of all three families over a
+/// coarse filterbank, with bright injected sources for recall measurement.
+SurveyConfig dirty_config() {
+  SurveyConfig cfg = SurveyConfig::ska_mid();
+  cfg.name = "dirty-accept";
+  cfg.center_freq_mhz = 350.0;
+  cfg.bandwidth_mhz = 100.0;
+  cfg.periodic_broadband_per_observation = 3.0;
+  cfg.narrowband_carriers_per_observation = 3.0;
+  cfg.swept_chirps_per_observation = 1.0;
+  cfg.grid = std::make_shared<DmGrid>(DmGrid({{0.0, 80.0, 0.5}}));
+  return cfg;
+}
+
+std::vector<SyntheticSource> dirty_sources() {
+  std::vector<SyntheticSource> sources;
+  for (int i = 0; i < 3; ++i) {
+    SyntheticSource src = bright_source();
+    src.name = "J000" + std::to_string(i);
+    src.dm = 20.0 + 15.0 * i;
+    src.emission_rate = 1200.0;
+    sources.push_back(src);
+  }
+  return sources;
+}
+
+TEST(MitigationAcceptance, DirtySurveyRecallAndFalsePositives) {
+  const SurveyConfig cfg = dirty_config();
+  FilterbankSurveyOptions options;
+  options.num_channels = 32;
+  options.sample_time_ms = 2.0;
+  options.obs_length_s = 8.0;
+  options.keep_undetected_truth = true;
+  ObservationId id;
+  id.dataset = cfg.name;
+
+  std::size_t truth_total = 0, truth_detected = 0;
+  std::size_t fp_off = 0, fp_mitigated = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng_off(seed);
+    const SimulatedObservation off = simulate_filterbank_observation(
+        cfg, id, dirty_sources(), rng_off, options);
+    const DetectionEval eval_off = evaluate_detections(off, options);
+
+    FilterbankSurveyOptions mitigated = options;
+    mitigated.rfi.policy = MitigationPolicy::kBoth;
+    Rng rng_mit(seed);  // identical observation, mitigated sweep
+    const SimulatedObservation mit = simulate_filterbank_observation(
+        cfg, id, dirty_sources(), rng_mit, mitigated);
+    const DetectionEval eval_mit = evaluate_detections(mit, mitigated);
+
+    truth_total += eval_mit.truth_total;
+    truth_detected += eval_mit.truth_detected;
+    fp_off += eval_off.events_total - eval_off.events_matched;
+    fp_mitigated += eval_mit.events_total - eval_mit.events_matched;
+  }
+  ASSERT_GT(truth_total, 0u);
+  const double recall = static_cast<double>(truth_detected) /
+                        static_cast<double>(truth_total);
+  EXPECT_GE(recall, 0.9) << truth_detected << " of " << truth_total;
+  // The acceptance bar: mitigation measurably cuts false positives.
+  EXPECT_LT(fp_mitigated, fp_off) << "off=" << fp_off
+                                  << " mitigated=" << fp_mitigated;
+}
+
+TEST(MitigationAcceptance, CleanDataOffPolicyIsByteIdentical) {
+  // On a clean observation the rfi=off sweep must be unaffected by the
+  // mitigation stage existing at all (no rng perturbation, no data copy).
+  SurveyConfig cfg = SurveyConfig::gbt350drift();
+  cfg.grid = std::make_shared<DmGrid>(DmGrid({{0.0, 60.0, 0.5}}));
+  FilterbankSurveyOptions options;
+  options.num_channels = 32;
+  options.sample_time_ms = 2.0;
+  options.obs_length_s = 6.0;
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const auto a = simulate_filterbank_observation(cfg, ObservationId{},
+                                                 dirty_sources(), rng_a,
+                                                 options);
+  FilterbankSurveyOptions off = options;
+  off.rfi.policy = MitigationPolicy::kOff;
+  const auto b = simulate_filterbank_observation(cfg, ObservationId{},
+                                                 dirty_sources(), rng_b, off);
+  ASSERT_EQ(a.data.events.size(), b.data.events.size());
+  for (std::size_t i = 0; i < a.data.events.size(); ++i) {
+    EXPECT_EQ(a.data.events[i].dm, b.data.events[i].dm);
+    EXPECT_EQ(a.data.events[i].snr, b.data.events[i].snr);
+    EXPECT_EQ(a.data.events[i].time_s, b.data.events[i].time_s);
+  }
+}
+
+}  // namespace
+}  // namespace drapid

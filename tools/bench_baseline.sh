@@ -2,7 +2,7 @@
 # Records the micro-benchmark baseline bundle that the regression gate in
 # tools/check.sh (DRAPID_BENCH_CHECK=1) compares against.
 #
-# Runs the six micro suites at a pinned --seed/--scale so the measured work
+# Runs the micro suites at a pinned --seed/--scale so the measured work
 # is identical run to run, collects each tool's --json-out run report
 # (which carries one "time.<benchmark>" metric per benchmark, see
 # bench/micro_support.hpp), and bundles them into one file:
@@ -10,21 +10,21 @@
 #   {"schema_version": 1, "benches": {"bench_micro_dataflow": {...}, ...}}
 #
 # tools/report_diff understands the bundle via --bench <tool>, so the gate
-# diffs a fresh bundle against the committed BENCH_PR8.json per tool.
+# diffs a fresh bundle against the committed BENCH_PR9.json per tool.
 #
-# Usage: tools/bench_baseline.sh [out.json]   (default: BENCH_PR8.json)
+# Usage: tools/bench_baseline.sh [out.json]   (default: BENCH_PR9.json)
 # Env:   BUILD_DIR               build tree with the bench targets (build)
 #        DRAPID_BENCH_MIN_TIME   --benchmark_min_time per benchmark (0.2)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
-OUT="${1:-BENCH_PR8.json}"
+OUT="${1:-BENCH_PR9.json}"
 MIN_TIME="${DRAPID_BENCH_MIN_TIME:-0.2}"
 SEED=42
 SCALE=1.0
 BENCHES=(bench_micro_dataflow bench_micro_rapid bench_micro_dedisp
-         bench_micro_ml bench_micro_cv bench_serve)
+         bench_micro_ml bench_micro_cv bench_serve bench_rfi)
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT

@@ -22,19 +22,19 @@ ctest --test-dir build -j "$(nproc)" --output-on-failure
 # Timing-noise sensitive, so it runs only when asked for (CI runs it as a
 # non-blocking job; see .github/workflows/ci.yml).
 if [[ "${DRAPID_BENCH_CHECK:-0}" == "1" ]]; then
-  echo "=== micro-bench regression gate (vs BENCH_PR8.json) ==="
+  echo "=== micro-bench regression gate (vs BENCH_PR9.json) ==="
   cmake --build build -j "$(nproc)" --target bench_micro_dataflow \
     bench_micro_rapid bench_micro_dedisp bench_micro_ml bench_micro_cv \
-    bench_serve report_diff
+    bench_serve bench_rfi report_diff
   current="$(mktemp)"
   trap 'rm -f "$current"' EXIT
   tools/bench_baseline.sh "$current"
   bench_status=0
   for bench in bench_micro_dataflow bench_micro_rapid bench_micro_dedisp \
-               bench_micro_ml bench_micro_cv bench_serve; do
+               bench_micro_ml bench_micro_cv bench_serve bench_rfi; do
     echo "--- $bench ---"
     build/tools/report_diff --bench "$bench" --metrics-only 1 \
-      --tolerance 0.10 --a BENCH_PR8.json --b "$current" || bench_status=1
+      --tolerance 0.10 --a BENCH_PR9.json --b "$current" || bench_status=1
   done
   if [[ "$bench_status" != "0" ]]; then
     echo "check: micro-bench gate flagged >10% changes (see rows above)"
@@ -67,6 +67,9 @@ TSAN_TARGETS=(
   dedisp_streaming_test
   dedisp_subband_test
   dedisp_kernels_test
+  dedisp_rfi_mitigation_test
+  synth_rfi_test
+  clustering_coincidence_test
   serve_torture_test
   serve_service_test
 )

@@ -1,7 +1,10 @@
 // drapid — command-line front end to the library.
 //
-//   drapid simulate --survey gbt350|palfa --observations N --out DIR
-//       writes DIR/data.csv, DIR/clusters.csv and DIR/truth.csv
+//   drapid simulate --survey gbt350|palfa|fast_crafts|ska_mid
+//                   --observations N --out DIR
+//       writes DIR/data.csv, DIR/clusters.csv and DIR/truth.csv; the
+//       fast_crafts and ska_mid presets include structured RFI
+//       (burst trains, carriers, swept chirps) with ground-truth labels
 //   drapid search --data FILE --clusters FILE --out FILE [--executors N]
 //                 [--backend local|process] [--workers N]
 //                 [--fault-rate R] [--fault-seed S] [--max-attempts K]
@@ -15,13 +18,15 @@
 //   drapid classify --ml FILE [--scheme 2|4*|4|7|8] [--filter IG|GR|SU|Cor|1R]
 //                   [--learner RF|J48|PART|JRip|SMO|MPN] [--smote]
 //       5-fold cross-validates a labeled ML file and reports the scores
-//   drapid sweep [--fil FILE] [--survey gbt350|palfa] [--sweep exact|subband]
+//   drapid sweep [--fil FILE] [--survey gbt350|palfa|fast_crafts|ska_mid]
+//                [--sweep exact|subband] [--rfi off|zerodm|mask|both]
 //                [--groups N] [--threads N] [--snr X] [--stride N]
 //                [--dm-max X] [--out FILE]
 //       dedisperses a SIGPROC .fil file (or a synthesized demo observation)
 //       over the survey's DM grid and writes a PRESTO-style .singlepulse
 //       file; --sweep=subband runs the two-stage subband method, whose
-//       detected events are identical to the exact sweep
+//       detected events are identical to the exact sweep; --rfi selects the
+//       mitigation stage (zero-DM subtraction and/or robust channel masking)
 //
 // Every subcommand is deterministic for a given --seed.
 #include <fstream>
@@ -30,9 +35,12 @@
 
 #include "dataflow/cluster_model.hpp"
 #include "dedisp/kernels.hpp"
+#include "dedisp/rfi_mitigation.hpp"
 #include "dedisp/single_pulse_search.hpp"
 #include "drapid/pipeline.hpp"
 #include "exp/trial_runner.hpp"
+#include "synth/filterbank_survey.hpp"
+#include "synth/rfi.hpp"
 #include "spe/spe_io.hpp"
 #include "util/rng.hpp"
 #include "util/log.hpp"
@@ -57,6 +65,16 @@ void write_file(const std::string& path, const std::string& contents) {
   out << contents;
 }
 
+SurveyConfig survey_by_name(const std::string& name) {
+  if (name == "gbt350") return SurveyConfig::gbt350drift();
+  if (name == "palfa") return SurveyConfig::palfa();
+  if (name == "fast_crafts") return SurveyConfig::fast_crafts();
+  if (name == "ska_mid") return SurveyConfig::ska_mid();
+  throw std::runtime_error(
+      "unknown survey: " + name +
+      " (expected gbt350, palfa, fast_crafts, or ska_mid)");
+}
+
 int cmd_simulate(int argc, const char* const argv[]) {
   Options opts(argc, argv,
                {{"survey", "gbt350"},
@@ -72,8 +90,7 @@ int cmd_simulate(int argc, const char* const argv[]) {
     return 0;
   }
   PipelineConfig config;
-  config.survey = opts.str("survey") == "palfa" ? SurveyConfig::palfa()
-                                                : SurveyConfig::gbt350drift();
+  config.survey = survey_by_name(opts.str("survey"));
   config.num_observations =
       static_cast<std::size_t>(opts.integer("observations"));
   config.visibility = opts.number("visibility");
@@ -172,8 +189,7 @@ int cmd_search(int argc, const char* const argv[]) {
     engine_config.faults.node_fault_rate = fault_rate;
   }
   Engine engine(engine_config);
-  const DmGrid grid = opts.str("survey") == "palfa" ? DmGrid::palfa()
-                                                    : DmGrid::gbt350drift();
+  const DmGrid grid = *survey_by_name(opts.str("survey")).grid;
   auto result = run_drapid(engine, store, "data", "clusters", "ml", grid, {});
 
   // Optional ground truth (as written by `drapid simulate`): label the ML
@@ -308,6 +324,7 @@ int cmd_sweep(int argc, const char* const argv[]) {
   Options opts(argc, argv, {{"fil", ""},
                             {"survey", "gbt350"},
                             {"sweep", "exact"},
+                            {"rfi", "off"},
                             {"groups", "0"},
                             {"threads", "1"},
                             {"snr", "5"},
@@ -320,20 +337,27 @@ int cmd_sweep(int argc, const char* const argv[]) {
     std::cout << opts.usage(
         "drapid sweep",
         "Dedisperses --fil (SIGPROC format; without it, a synthesized demo "
-        "observation with a pulse at --dm) over the --survey DM grid up to "
+        "observation in the --survey band with a pulse at --dm, plus the "
+        "preset's structured-RFI scenario when it defines one) over the "
+        "--survey DM grid up to "
         "--dm-max (0 = the full grid) and writes the detected events as a "
         "PRESTO-style .singlepulse file. --sweep=subband selects the "
         "two-stage subband method (identical detected events, groups picked "
-        "by cost model unless --groups is set).");
+        "by cost model unless --groups is set). --rfi=zerodm|mask|both runs "
+        "the mitigation stage (zero-DM subtraction, robust channel masking) "
+        "before the sweep.");
     return 0;
   }
 
   Filterbank fb = [&] {
     if (!opts.str("fil").empty()) return Filterbank::read_fil(opts.str("fil"));
-    // Demo observation: band noise plus one dispersed pulse at --dm.
+    // Demo observation: the survey preset's band, noise, and one dispersed
+    // pulse at --dm. Presets with structured-RFI rates (fast_crafts/ska_mid)
+    // also get their scenario painted in, so --rfi has real work to do.
+    const SurveyConfig survey = survey_by_name(opts.str("survey"));
     FilterbankConfig cfg;
-    cfg.center_freq_mhz = 350.0;
-    cfg.bandwidth_mhz = 100.0;
+    cfg.center_freq_mhz = survey.center_freq_mhz;
+    cfg.bandwidth_mhz = survey.bandwidth_mhz;
     cfg.num_channels = 64;
     cfg.sample_time_ms = 2.0;
     cfg.obs_length_s = 10.0;
@@ -341,11 +365,19 @@ int cmd_sweep(int argc, const char* const argv[]) {
     Rng rng(static_cast<std::uint64_t>(opts.integer("seed")));
     demo.add_noise(rng, 1.0);
     demo.inject_pulse(3.0, opts.number("dm"), 3.0, 20.0);
+    if (survey.has_structured_rfi()) {
+      FilterbankSurveyOptions fopts;
+      fopts.num_channels = cfg.num_channels;
+      fopts.sample_time_ms = cfg.sample_time_ms;
+      fopts.obs_length_s = cfg.obs_length_s;
+      const RfiScenario scenario =
+          draw_rfi_scenario(survey, cfg.obs_length_s, rng);
+      render_rfi_filterbank(scenario, fopts, demo, rng);
+    }
     return demo;
   }();
 
-  DmGrid grid = opts.str("survey") == "palfa" ? DmGrid::palfa()
-                                              : DmGrid::gbt350drift();
+  DmGrid grid = *survey_by_name(opts.str("survey")).grid;
   if (opts.number("dm-max") > 0.0) grid = grid.prefix(opts.number("dm-max"));
 
   SinglePulseSearchParams params;
@@ -354,6 +386,7 @@ int cmd_sweep(int argc, const char* const argv[]) {
   params.threads = static_cast<std::size_t>(opts.integer("threads"));
   params.snr_threshold = opts.number("snr");
   params.dm_stride = static_cast<std::size_t>(opts.integer("stride"));
+  params.rfi.policy = parse_mitigation_policy(opts.str("rfi"));
 
   const auto events = single_pulse_search(fb, grid, params);
   std::ofstream out(opts.str("out"));
@@ -362,7 +395,8 @@ int cmd_sweep(int argc, const char* const argv[]) {
   std::cout << "swept " << fb.num_channels() << " channels x "
             << fb.num_samples() << " samples over " << grid.size()
             << " trial DMs (" << sweep_method_name(params.method)
-            << " sweep, " << kernels::dispatch_name() << " kernels, "
+            << " sweep, " << kernels::dispatch_name() << " kernels, rfi="
+            << mitigation_policy_name(params.rfi.policy) << ", "
             << params.threads << " thread(s))\n"
             << "wrote " << events.size() << " events to " << opts.str("out")
             << '\n';
