@@ -64,14 +64,14 @@ void BM_AggregateByKey(benchmark::State& state) {
 }
 BENCHMARK(BM_AggregateByKey)->Arg(10000)->Arg(100000);
 
-// The same shuffle through the process backend: per iteration the engine
-// forks workers, runs the hash stage in them, and ships the routing maps
-// back over checksummed socket frames. The gap to BM_PartitionBy is the
-// fork + IPC overhead a real multi-process deployment pays.
+// The same shuffle through the process backend's fork-per-stage path: per
+// iteration the engine forks workers, runs the hash stage in them, and
+// ships the routing maps back over checksummed socket frames. The gap to
+// BM_PartitionBy is the fork + IPC overhead fork-per-stage pays per stage.
 void BM_ProcessShuffle(benchmark::State& state) {
   EngineConfig cfg = bench_config();
   cfg.exec = ExecPolicy::process(
-      static_cast<std::size_t>(state.range(1)), 2);
+      static_cast<std::size_t>(state.range(1)), 2, PoolMode::kStage);
   Engine engine(cfg);
   const auto rdd = parallelize(
       engine, make_pairs(static_cast<std::size_t>(state.range(0)), 100), 8);
@@ -84,6 +84,32 @@ void BM_ProcessShuffle(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_ProcessShuffle)->Args({10000, 2})->Args({10000, 4});
+
+// The same shuffle through the job-lifetime worker pool, measured the way a
+// mid-job shuffle actually runs: the source partitions are already resident
+// in the workers (parked there by an earlier stage, outside the timed
+// loop), so each iteration pays neither the per-stage fork tax nor the
+// source bytes — only the genuinely shuffled segments cross the sockets.
+// The gap to BM_ProcessShuffle is the pool's reason to exist.
+void BM_PooledShuffle(benchmark::State& state) {
+  EngineConfig cfg = bench_config();
+  cfg.exec = ExecPolicy::process(
+      static_cast<std::size_t>(state.range(1)), 2, PoolMode::kJob);
+  Engine engine(cfg);
+  const auto rdd = parallelize(
+      engine, make_pairs(static_cast<std::size_t>(state.range(0)), 100), 8);
+  // Park the source in the pool: after this shuffle the partitions live in
+  // the workers and every timed iteration reads them in place.
+  const auto resident = partition_by(engine, rdd, HashPartitioner{8});
+  const HashPartitioner part{32};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_by(engine, resident, part));
+    engine.reset_metrics();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PooledShuffle)->Args({10000, 2})->Args({10000, 4});
 
 void BM_JoinCopartitioned(benchmark::State& state) {
   Engine engine(bench_config());

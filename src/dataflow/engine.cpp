@@ -88,7 +88,7 @@ std::string JobMetrics::summary() const {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"stage", "tasks", "records_in", "bytes_in", "shuffle_bytes",
                   "spill_bytes", "compute_cost", "retries", "stolen",
-                  "deaths", "ipc_bytes"});
+                  "deaths", "ipc_bytes", "pool_reuses", "resident_bytes"});
   for (const auto& s : stages) {
     rows.push_back({s.name, std::to_string(s.tasks.size()),
                     std::to_string(s.total_records_in()),
@@ -99,7 +99,9 @@ std::string JobMetrics::summary() const {
                     std::to_string(s.total_retries()),
                     std::to_string(s.tasks_stolen),
                     std::to_string(s.worker_deaths),
-                    std::to_string(s.ipc_bytes)});
+                    std::to_string(s.ipc_bytes),
+                    std::to_string(s.pool_reuses),
+                    std::to_string(s.resident_bytes)});
   }
   return render_table(rows);
 }
@@ -127,7 +129,8 @@ Engine::Engine(EngineConfig config)
   if (config_.exec.backend == ExecBackend::kProcess &&
       process_executor_supported()) {
     executor_ = std::make_unique<ProcessExecutor>(
-        *this, config_.exec.resolve_workers(config_.num_executors));
+        *this, config_.exec.resolve_workers(config_.num_executors),
+        config_.exec.pool);
   } else {
     // Local backend, or a sanitizer build where forking a multithreaded
     // process would deadlock the TSan runtime: run everything in-process.
@@ -163,13 +166,13 @@ StageMetrics& Engine::begin_stage(const std::string& name, std::size_t tasks) {
 
 void Engine::run_stage(StageMetrics& stage,
                        const std::function<void(TaskContext&)>& body,
-                       const StageIO& io) {
+                       const StageIO& io, PoolStagePlan* plan) {
   obs::ScopedSpan stage_span(tracer_, "stage", stage.name, "dataflow");
   stage_span.arg("tasks", static_cast<std::int64_t>(stage.tasks.size()));
   const SchedulerStats pool_before = pool_.stats();
   const auto wall_start = std::chrono::steady_clock::now();
   executor_->run_stage_tasks(
-      StageRun{stage, body, io.valid() ? &io : nullptr});
+      StageRun{stage, body, io.valid() ? &io : nullptr, plan});
   stage.wall_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

@@ -150,9 +150,18 @@ class Engine {
   /// `io` is the stage's output contract (see executor.hpp). Stages that
   /// pass one may run their bodies in worker processes under the process
   /// backend; stages that omit it always run in-process on every backend.
+  ///
+  /// `plan` is the stage's pool plan (PR 10), or nullptr when the stage
+  /// cannot ship by kernel+bytes. Only the job-pool backend reads it; on
+  /// success it fills plan->out with the stage's worker-resident output set.
   void run_stage(StageMetrics& stage,
                  const std::function<void(TaskContext&)>& body,
-                 const StageIO& io = {});
+                 const StageIO& io = {}, PoolStagePlan* plan = nullptr);
+
+  /// The residency surface of a job-pool backend, nullptr on every other
+  /// backend. Transformations probe this to decide whether building a
+  /// PoolStagePlan is worth anything.
+  PoolResidency* pool_residency() { return executor_->residency(); }
 
   /// The backend actually executing stage tasks (resolved from config().exec
   /// at construction; a TSan build downgrades process to local).
@@ -167,6 +176,7 @@ class Engine {
  private:
   friend class LocalExecutor;
   friend class ProcessExecutor;
+  friend class WorkerPool;
 
   EngineConfig config_;
   ThreadPool pool_;

@@ -25,8 +25,16 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <functional>
+#include <memory>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <vector>
+
+#include "dataflow/metrics.hpp"
 
 namespace drapid {
 
@@ -47,12 +55,118 @@ struct StageIO {
   bool valid() const { return serialize != nullptr && absorb != nullptr; }
 };
 
+// ---------------------------------------------------------------------------
+// Pool-mode stage plans (PR 10). A job-lifetime worker pool forks before most
+// of a job's closures and data exist, so — unlike the fork-per-stage path — a
+// pooled stage cannot run the body closure in the child. Instead the stage
+// ships *code by address* (a kernel function pointer, valid across fork
+// because parent and child are the same binary) plus *state by bytes* (a
+// trivially-copyable closure object and serialized input partitions), and the
+// worker keeps the serialized output resident for the next stage.
+
+/// Type-erased context a pool kernel runs under in the worker (or in the
+/// parent, when rebuilding a lost partition from lineage).
+struct PoolTaskCtx {
+  std::size_t partition = 0;  ///< task index within the stage
+  /// The stage's closure object as raw bytes (see pool_closure_bytes).
+  const std::string* closure = nullptr;
+  /// One serialized payload per declared input (kernels define the format;
+  /// data-plane kernels use ipc::encode_payload, the load kernel raw text).
+  std::vector<const std::string*> inputs;
+  TaskMetrics* metrics = nullptr;
+  /// Wide kernels: output partition count to route into.
+  std::size_t num_targets = 0;
+};
+
+/// A pooled stage kernel: consumes the ctx inputs, fills ctx.metrics exactly
+/// as the local body would, and returns the serialized output — one
+/// encode_payload for narrow stages, a per-target segment bundle (see
+/// dataflow/ipc/pool.hpp) for wide ones.
+using PoolKernelFn = std::string (*)(const PoolTaskCtx&);
+
+/// Reconstructs a trivially-copyable closure object from its shipped bytes.
+/// Lambdas with trivially-copyable captures are implicit-lifetime types, so
+/// memcpy into aligned storage legitimately starts the object's lifetime.
+template <typename Fn>
+const Fn& pool_closure_cast(const std::string& bytes,
+                            std::aligned_storage_t<sizeof(Fn), alignof(Fn)>&
+                                storage) {
+  static_assert(std::is_trivially_copyable_v<Fn>);
+  std::memcpy(&storage, bytes.data(), sizeof(Fn));
+  return *std::launder(reinterpret_cast<const Fn*>(&storage));
+}
+
+template <typename Fn>
+std::string pool_closure_bytes(const Fn& fn) {
+  static_assert(std::is_trivially_copyable_v<Fn>);
+  return std::string(reinterpret_cast<const char*>(&fn), sizeof(Fn));
+}
+
+class PoolRegistryCore;
+
+/// Handle to one worker-resident partition set. Rdds carry it via
+/// shared_ptr; lineage parents are kept alive through `upstream` so a lost
+/// partition can always be rebuilt. The destructor releases the set's
+/// worker-side bytes (through the registry, if it still exists).
+struct PoolSet {
+  std::uint64_t id = 0;
+  std::size_t partitions = 0;
+  std::weak_ptr<PoolRegistryCore> core;
+  std::vector<std::shared_ptr<PoolSet>> upstream;
+  ~PoolSet();
+};
+
+/// Fetches one partition of a resident set as serialized bytes, rebuilding
+/// from lineage if its owning worker died. Works without an Engine in hand
+/// (collect() on a resident Rdd), as long as the producing engine is alive.
+std::string pool_fetch(const std::shared_ptr<PoolSet>& set,
+                       std::size_t partition);
+/// Total resident payload bytes of the set (estimate for memory budgeting).
+std::size_t pool_set_bytes(const std::shared_ptr<PoolSet>& set);
+/// Records-out count of one partition as reported by the producing task.
+std::size_t pool_set_records(const std::shared_ptr<PoolSet>& set,
+                             std::size_t partition);
+
+/// Where one pooled task input comes from.
+struct PoolInputRef {
+  /// Resident set (owned partition `partition`), or nullptr for inline.
+  std::shared_ptr<PoolSet> set;
+  std::size_t partition = 0;
+  /// Inline payload, shipped down and recorded for lineage (chain heads).
+  std::string inline_bytes;
+};
+
+/// Everything the pool needs to run one stage without the body closure.
+struct PoolStagePlan {
+  enum class Kind { kNarrow, kWide };
+  Kind kind = Kind::kNarrow;
+  PoolKernelFn kernel = nullptr;
+  std::string closure;
+  /// Wide stages: output partition count (narrow: outputs mirror tasks).
+  std::size_t num_targets = 0;
+  /// Called once per task at dispatch to name its input partitions.
+  std::function<std::vector<PoolInputRef>(std::size_t task)> inputs;
+  /// Filled by the executor on success: the stage's resident output set.
+  std::shared_ptr<PoolSet> out;
+};
+
+/// Residency interface a pooled executor exposes; null on every other
+/// backend. Transformations use its presence to decide whether to build a
+/// PoolStagePlan at all.
+class PoolResidency {
+ public:
+  virtual ~PoolResidency() = default;
+};
+
 /// One stage execution handed from Engine::run_stage to the executor.
 struct StageRun {
   StageMetrics& stage;
   const std::function<void(TaskContext&)>& body;
   /// Output contract, or nullptr when the stage has none (in-process only).
   const StageIO* io = nullptr;
+  /// Pool plan, or nullptr when the stage cannot ship (non-trivially-
+  /// copyable closure, no contract). Only the job-pool backend reads it.
+  PoolStagePlan* plan = nullptr;
 };
 
 /// A stage execution backend. Implementations own task placement and the
@@ -71,6 +185,10 @@ class Executor {
   /// TaskFailure once any task exhausts the engine's attempt budget, or the
   /// first body exception otherwise.
   virtual void run_stage_tasks(StageRun run) = 0;
+
+  /// The partition-residency surface of a job-pool backend; nullptr
+  /// everywhere else (local backend, fork-per-stage mode, TSan fallback).
+  virtual PoolResidency* residency() { return nullptr; }
 };
 
 /// In-process backend: the pre-PR 7 execution path, verbatim. Tasks fan out

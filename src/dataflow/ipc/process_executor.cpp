@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dataflow/engine.hpp"
+#include "dataflow/ipc/pool.hpp"
 #include "dataflow/ipc/wire.hpp"
 
 namespace drapid {
@@ -78,12 +79,41 @@ std::string permanent_failure_message(const std::string& stage,
 
 }  // namespace
 
-ProcessExecutor::ProcessExecutor(Engine& engine, std::size_t workers)
+ProcessExecutor::ProcessExecutor(Engine& engine, std::size_t workers,
+                                 PoolMode pool)
     : engine_(engine),
       workers_(std::max<std::size_t>(1, workers)),
-      local_(engine) {}
+      mode_(pool),
+      local_(engine) {
+  if (mode_ == PoolMode::kJob) {
+    pool_ = std::make_unique<WorkerPool>(engine_, workers_);
+  }
+}
+
+ProcessExecutor::~ProcessExecutor() = default;
+
+PoolResidency* ProcessExecutor::residency() { return pool_.get(); }
 
 void ProcessExecutor::run_stage_tasks(StageRun run) {
+  if (mode_ == PoolMode::kJob) {
+    // Job pool: stages that shipped a plan run on the persistent workers;
+    // everything else (non-trivially-copyable closures, spill I/O, cache
+    // bookkeeping) runs in-process — the transformation layer has already
+    // localized any resident inputs such stages need. Fork-per-stage is not
+    // an option here: a fresh fork would inherit the pool's sockets and the
+    // stage closure would race the pool's resident state.
+    if (run.plan != nullptr && run.plan->kernel != nullptr &&
+        !run.stage.tasks.empty()) {
+      pool_->run_pooled_stage(run);
+    } else {
+      local_.run_stage_tasks(run);
+    }
+    return;
+  }
+  run_stage_tasks_forked(run);
+}
+
+void ProcessExecutor::run_stage_tasks_forked(StageRun run) {
   StageMetrics& stage = run.stage;
   // No output contract means the stage's effects cannot cross a process
   // boundary (spill I/O, in-memory bookkeeping): run it where they land.

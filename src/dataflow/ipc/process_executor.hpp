@@ -38,10 +38,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "dataflow/executor.hpp"
+#include "util/exec_policy.hpp"
 
 namespace drapid {
+
+class WorkerPool;
 
 /// False when the build cannot fork workers (thread sanitizer); the engine
 /// then silently downgrades a process policy to the local backend.
@@ -49,18 +53,28 @@ bool process_executor_supported();
 
 class ProcessExecutor : public Executor {
  public:
-  /// `workers` is clamped to at least 1; each stage forks at most
-  /// min(workers, tasks) children.
-  ProcessExecutor(Engine& engine, std::size_t workers);
+  /// `workers` is clamped to at least 1. In PoolMode::kStage each stage
+  /// forks at most min(workers, tasks) children (PR 7 fork-per-stage,
+  /// preserved verbatim as the comparison oracle). In PoolMode::kJob (the
+  /// default) a job-lifetime WorkerPool of exactly `workers` processes is
+  /// forked at the first pooled stage and reused until destruction.
+  ProcessExecutor(Engine& engine, std::size_t workers,
+                  PoolMode pool = PoolMode::kJob);
+  ~ProcessExecutor() override;
 
   const char* name() const override { return "process"; }
   std::size_t workers() const override { return workers_; }
   void run_stage_tasks(StageRun run) override;
+  PoolResidency* residency() override;
 
  private:
+  void run_stage_tasks_forked(StageRun run);  ///< PR 7 fork-per-stage path
+
   Engine& engine_;
   std::size_t workers_;
+  PoolMode mode_;
   LocalExecutor local_;  ///< fallback for stages without a StageIO contract
+  std::unique_ptr<WorkerPool> pool_;  ///< kJob only; forks lazily
 };
 
 }  // namespace drapid

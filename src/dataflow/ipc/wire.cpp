@@ -19,8 +19,10 @@ std::uint64_t read_u64(const char* data) {
 
 }  // namespace
 
-std::string encode_frame(const TaskFrame& frame) {
-  WireWriter w;
+namespace {
+
+void put_header(WireWriter& w, const TaskFrame& frame,
+                std::uint64_t payload_len) {
   w.put_u64(kWireMagic);
   w.put_u64(static_cast<std::uint64_t>(frame.kind));
   w.put_u64(frame.partition);
@@ -34,7 +36,14 @@ std::string encode_frame(const TaskFrame& frame) {
   w.put_u64(frame.metrics.compute_cost);
   w.put_u64(frame.metrics.attempts);
   w.put_u64(frame.metrics.retry_cost);
-  w.put_u64(frame.payload.size());
+  w.put_u64(payload_len);
+}
+
+}  // namespace
+
+std::string encode_frame(const TaskFrame& frame) {
+  WireWriter w;
+  put_header(w, frame, frame.payload.size());
   w.put_bytes(frame.payload.data(), frame.payload.size());
   // Checksum covers every byte after the magic: header words + payload.
   const std::string& bytes = w.buffer();
@@ -43,6 +52,28 @@ std::string encode_frame(const TaskFrame& frame) {
                     bytes.size() - sizeof(std::uint64_t));
   w.put_u64(checksum);
   return w.take();
+}
+
+FrameParts encode_frame_parts(const TaskFrame& frame, const FrameSpan* spans,
+                              std::size_t num_spans) {
+  std::uint64_t payload_len = 0;
+  for (std::size_t i = 0; i < num_spans; ++i) payload_len += spans[i].size;
+  WireWriter w;
+  put_header(w, frame, payload_len);
+  FrameParts parts;
+  parts.header = w.take();
+  // checksum_fold chains: folding the header tail, then each span in order,
+  // equals folding the equivalent contiguous frame in one call.
+  std::uint64_t checksum =
+      checksum_fold(kChecksumSeed, parts.header.data() + sizeof(std::uint64_t),
+                    parts.header.size() - sizeof(std::uint64_t));
+  for (std::size_t i = 0; i < num_spans; ++i) {
+    checksum = checksum_fold(checksum, spans[i].data, spans[i].size);
+  }
+  WireWriter t;
+  t.put_u64(checksum);
+  parts.trailer = t.take();
+  return parts;
 }
 
 DecodeStatus try_decode_frame(const char* data, std::size_t size,
@@ -57,7 +88,7 @@ DecodeStatus try_decode_frame(const char* data, std::size_t size,
       read_u64(data + (kHeaderWords - 1) * sizeof(std::uint64_t));
   // Reject absurd claims before waiting on them: a flipped length bit must
   // surface as corruption now, not as a coordinator hung on a read.
-  if (kind > static_cast<std::uint64_t>(FrameKind::kError) ||
+  if (kind > kMaxFrameKind ||
       error_kind > static_cast<std::uint64_t>(WireErrorKind::kTaskFailure) ||
       payload_len > kMaxWirePayload) {
     return DecodeStatus::kCorrupt;

@@ -46,7 +46,25 @@ struct WireError : std::runtime_error {
 enum class FrameKind : std::uint64_t {
   kResult = 0,  ///< task completed; payload = StageIO::serialize output
   kError = 1,   ///< body threw; payload = exception message
+
+  // Pool-mode frames (PR 10). The 14-word header layout is unchanged; any
+  // kind-specific metadata (set ids, source indices, stage names) rides
+  // inside the payload through the value codecs below.
+  kStageBegin = 2,   ///< parent -> worker: stage name, kind, kernel, closure
+  kTaskAssign = 3,   ///< parent -> worker: one task with resolved inputs
+  kShufflePush = 4,  ///< worker -> parent -> owner: one routed segment
+  kStageEnd = 5,     ///< parent -> worker: barrier; wide stages assemble now
+  kAck = 6,          ///< worker -> parent: stage-end barrier reply
+  kFetch = 7,        ///< parent -> worker: send resident partition bytes
+  kData = 8,         ///< worker -> parent: kFetch reply
+  kRelease = 9,      ///< parent -> worker: drop a resident set
+  kShutdown = 10,    ///< parent -> worker: drain and exit cleanly
 };
+
+/// Highest kind a well-formed frame may carry; greater values are corruption
+/// (a flipped bit), not a protocol from the future.
+inline constexpr std::uint64_t kMaxFrameKind =
+    static_cast<std::uint64_t>(FrameKind::kShutdown);
 
 /// Exception type carried by a kError frame, so the coordinator rethrows
 /// what the body actually threw.
@@ -72,6 +90,26 @@ enum class DecodeStatus {
 
 /// Serializes one frame (magic + header + payload + checksum).
 std::string encode_frame(const TaskFrame& frame);
+
+/// One span of payload bytes for the vectored send path.
+struct FrameSpan {
+  const char* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Header and trailer for a frame whose payload is supplied as spans, so a
+/// sender can writev([header][span...][trailer]) without first copying the
+/// payload into one contiguous buffer. `frame.payload` is ignored; the
+/// payload is the concatenation of the spans. The byte stream produced by
+/// writing header + spans + trailer is identical to encode_frame on a
+/// TaskFrame whose payload equals that concatenation (the checksum is folded
+/// across the spans in order — checksum_fold chains byte-for-byte).
+struct FrameParts {
+  std::string header;   ///< magic + 13 header words
+  std::string trailer;  ///< the 8-byte checksum word
+};
+FrameParts encode_frame_parts(const TaskFrame& frame, const FrameSpan* spans,
+                              std::size_t num_spans);
 
 /// Attempts to decode one frame from the front of `data`. On kOk fills
 /// `out` and sets `consumed` to the frame's full encoded size; otherwise

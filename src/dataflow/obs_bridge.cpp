@@ -41,12 +41,22 @@ obs::JobReport make_job_report(std::string label, const JobMetrics& metrics,
     row.workers_used = stage.workers_used;
     row.worker_deaths = stage.worker_deaths;
     row.ipc_bytes = stage.ipc_bytes;
+    row.pool_reuses = stage.pool_reuses;
+    row.resident_bytes = stage.resident_bytes;
+    row.worker_respawns = stage.worker_respawns;
     row.wall_seconds = stage.wall_seconds;
     if (stage.worker_deaths > 0) {
       obs::ObsEvent event;
       event.kind = "worker_death";
       event.stage = stage.name;
       event.count = static_cast<std::int64_t>(stage.worker_deaths);
+      job.events.push_back(std::move(event));
+    }
+    if (stage.worker_respawns > 0) {
+      obs::ObsEvent event;
+      event.kind = "worker_respawn";
+      event.stage = stage.name;
+      event.count = static_cast<std::int64_t>(stage.worker_respawns);
       job.events.push_back(std::move(event));
     }
     for (const TaskMetrics& task : stage.tasks) {

@@ -19,7 +19,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -136,14 +139,39 @@ struct Rdd {
   std::vector<std::vector<Pair>> partitions;
   /// id() of the HashPartitioner that laid this dataset out; 0 = unknown.
   std::uint64_t partitioner_id = 0;
+  /// Under the job-pool backend (PR 10) a transformation's output can stay
+  /// resident in the worker processes instead of being shipped back: this
+  /// handle names the worker-side partition set and the `partitions` vectors
+  /// above are empty placeholders (sized for num_partitions()). All read
+  /// paths below fetch through the handle; dropping the last Rdd that holds
+  /// it releases the worker memory.
+  std::shared_ptr<PoolSet> resident;
 
   std::size_t num_partitions() const { return partitions.size(); }
   std::size_t size() const {
+    if (resident) {
+      std::size_t total = 0;
+      for (std::size_t p = 0; p < partitions.size(); ++p) {
+        total += pool_set_records(resident, p);
+      }
+      return total;
+    }
     std::size_t total = 0;
     for (const auto& p : partitions) total += p.size();
     return total;
   }
   std::size_t estimated_bytes() const {
+    // Resident sets are decoded to run the exact same byte_size estimator
+    // the local backend uses: this number feeds cache/spill decisions that
+    // must not diverge between backends.
+    if (resident) {
+      std::size_t total = 0;
+      for (std::size_t p = 0; p < partitions.size(); ++p) {
+        const auto part = ipc::decode_payload<Pair>(pool_fetch(resident, p));
+        for (const auto& kv : part) total += byte_size(kv);
+      }
+      return total;
+    }
     std::size_t total = 0;
     for (const auto& p : partitions) {
       for (const auto& kv : p) total += byte_size(kv);
@@ -153,11 +181,33 @@ struct Rdd {
   /// All pairs, partition by partition (deterministic).
   std::vector<Pair> collect() const {
     std::vector<Pair> all;
+    if (resident) {
+      for (std::size_t p = 0; p < partitions.size(); ++p) {
+        auto part = ipc::decode_payload<Pair>(pool_fetch(resident, p));
+        all.insert(all.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+      }
+      return all;
+    }
     all.reserve(size());
     for (const auto& p : partitions) all.insert(all.end(), p.begin(), p.end());
     return all;
   }
 };
+
+/// Materializes a resident Rdd's partitions into the coordinator's memory
+/// and drops the residency handle (releasing the worker-side copy once no
+/// other Rdd shares it). No-op for already-local datasets. Call before code
+/// that indexes `partitions` directly.
+template <typename K, typename V>
+void ensure_local(Rdd<K, V>& rdd) {
+  if (!rdd.resident) return;
+  for (std::size_t p = 0; p < rdd.partitions.size(); ++p) {
+    rdd.partitions[p] =
+        ipc::decode_payload<std::pair<K, V>>(pool_fetch(rdd.resident, p));
+  }
+  rdd.resident.reset();
+}
 
 // --- Transformations ---------------------------------------------------------
 
@@ -214,6 +264,286 @@ void record_output(TaskMetrics& task,
   task.records_out = part.size();
   for (const auto& kv : part) task.bytes_out += byte_size(kv);
 }
+
+// --- Pooled stage kernels (PR 10) -------------------------------------------
+//
+// Under the job-pool process backend a stage cannot ship its body closure to
+// the workers (they forked before it existed), so each transformation also
+// compiles a *kernel*: a plain function that decodes its serialized inputs,
+// applies the trivially-copyable closure bytes from the ctx, and returns the
+// serialized output. Kernels travel by function pointer — parent and child
+// are the same binary — and MUST fill TaskMetrics with exactly the numbers
+// the local body records: the backends' stage reports are compared
+// byte-for-byte in tests. Every kernel here mirrors its body line by line.
+
+/// Returns `in` untouched when its partitions are locally materialized, or
+/// decodes every resident partition into `storage` and returns that. Local
+/// fallback paths read through this so bodies always see real vectors even
+/// when an upstream pooled stage left its output worker-resident.
+template <typename K, typename V>
+const Rdd<K, V>& localized(const Rdd<K, V>& in, Rdd<K, V>& storage) {
+  if (!in.resident) return in;
+  storage.partitions.resize(in.num_partitions());
+  storage.partitioner_id = in.partitioner_id;
+  for (std::size_t p = 0; p < in.num_partitions(); ++p) {
+    storage.partitions[p] =
+        ipc::decode_payload<std::pair<K, V>>(pool_fetch(in.resident, p));
+  }
+  return storage;
+}
+
+/// Names where task p's input partition lives: by residency handle when the
+/// upstream set is worker-resident (the zero-copy chain case), otherwise as
+/// inline bytes (chain heads), recorded by the pool for lineage. Tasks past
+/// the source count (partition_by's >= 1 source clamp) get an empty payload.
+template <typename K, typename V>
+void fill_pool_input(PoolInputRef& ref, const Rdd<K, V>& in, std::size_t p) {
+  if (in.resident) {
+    ref.set = in.resident;
+    ref.partition = p;
+  } else if (p < in.num_partitions()) {
+    ref.inline_bytes = ipc::encode_payload(in.partitions[p]);
+  } else {
+    ref.inline_bytes = ipc::encode_payload(std::vector<std::pair<K, V>>{});
+  }
+}
+
+template <typename K, typename V>
+std::function<std::vector<PoolInputRef>(std::size_t)> pool_inputs(
+    const Rdd<K, V>& in) {
+  return [&in](std::size_t task) {
+    std::vector<PoolInputRef> refs(1);
+    fill_pool_input(refs[0], in, task);
+    return refs;
+  };
+}
+
+/// Body stub for plan-backed stages. The pool backend never invokes the
+/// body; any other backend reaching this indicates a mis-gated plan (plans
+/// are only built when pool_residency() is non-null), so fail loudly rather
+/// than silently producing empty partitions.
+inline std::function<void(TaskContext&)> unpooled_body() {
+  return [](TaskContext&) {
+    throw std::logic_error("pooled stage body must not execute");
+  };
+}
+
+template <typename K, typename V, typename OutPair, typename Fn>
+std::string map_pairs_kernel(const PoolTaskCtx& ctx) {
+  std::aligned_storage_t<sizeof(Fn), alignof(Fn)> storage;
+  const Fn& fn = pool_closure_cast<Fn>(*ctx.closure, storage);
+  const auto part = ipc::decode_payload<std::pair<K, V>>(*ctx.inputs.at(0));
+  auto& task = *ctx.metrics;
+  record_input(task, part);
+  std::vector<OutPair> out;
+  out.reserve(part.size());
+  for (const auto& kv : part) out.push_back(fn(kv));
+  record_output(task, out);
+  return ipc::encode_payload(out);
+}
+
+template <typename K, typename V, typename V2, typename Fn>
+std::string map_values_kernel(const PoolTaskCtx& ctx) {
+  std::aligned_storage_t<sizeof(Fn), alignof(Fn)> storage;
+  const Fn& fn = pool_closure_cast<Fn>(*ctx.closure, storage);
+  const auto part = ipc::decode_payload<std::pair<K, V>>(*ctx.inputs.at(0));
+  auto& task = *ctx.metrics;
+  record_input(task, part);
+  std::vector<std::pair<K, V2>> out;
+  out.reserve(part.size());
+  for (const auto& kv : part) out.emplace_back(kv.first, fn(kv.second));
+  record_output(task, out);
+  return ipc::encode_payload(out);
+}
+
+template <typename K, typename V, typename Pred>
+std::string filter_kernel(const PoolTaskCtx& ctx) {
+  std::aligned_storage_t<sizeof(Pred), alignof(Pred)> storage;
+  const Pred& pred = pool_closure_cast<Pred>(*ctx.closure, storage);
+  const auto part = ipc::decode_payload<std::pair<K, V>>(*ctx.inputs.at(0));
+  auto& task = *ctx.metrics;
+  record_input(task, part);
+  std::vector<std::pair<K, V>> out;
+  for (const auto& kv : part) {
+    if (pred(kv)) out.push_back(kv);
+  }
+  record_output(task, out);
+  return ipc::encode_payload(out);
+}
+
+template <typename K, typename V, typename OutPair, typename Fn>
+std::string flat_map_kernel(const PoolTaskCtx& ctx) {
+  std::aligned_storage_t<sizeof(Fn), alignof(Fn)> storage;
+  const Fn& fn = pool_closure_cast<Fn>(*ctx.closure, storage);
+  const auto part = ipc::decode_payload<std::pair<K, V>>(*ctx.inputs.at(0));
+  auto& task = *ctx.metrics;
+  record_input(task, part);
+  task.compute_cost = 0;  // reported by fn instead of records_in
+  std::vector<OutPair> out;
+  for (const auto& kv : part) {
+    std::size_t cost = 0;
+    auto produced = fn(kv.first, kv.second, cost);
+    task.compute_cost += cost;
+    for (auto& item : produced) out.push_back(std::move(item));
+  }
+  record_output(task, out);
+  return ipc::encode_payload(out);
+}
+
+/// Trivially-copyable closure of the wide shuffle kernel.
+struct WideSpec {
+  HashPartitioner part;
+  std::uint64_t executors = 1;
+};
+
+/// Wide kernel: routes each record of source partition ctx.partition into
+/// per-target segments (the bundle format of dataflow/ipc/pool.hpp). The
+/// worker keeps its own slot's segments and pushes the rest; record bytes
+/// never pass through the coordinator.
+template <typename K, typename V>
+std::string partition_by_kernel(const PoolTaskCtx& ctx) {
+  std::aligned_storage_t<sizeof(WideSpec), alignof(WideSpec)> storage;
+  const WideSpec& spec = pool_closure_cast<WideSpec>(*ctx.closure, storage);
+  const auto records =
+      ipc::decode_payload<std::pair<K, V>>(*ctx.inputs.at(0));
+  auto& task = *ctx.metrics;
+  const std::size_t p = ctx.partition;
+  const std::size_t targets = ctx.num_targets;
+  task.records_in = records.size();
+  task.compute_cost = task.records_in / 4;
+  std::vector<ipc::WireWriter> segs(targets);
+  std::vector<std::uint64_t> counts(targets, 0);
+  for (const auto& kv : records) {
+    const std::size_t target = spec.part.of(kv.first);
+    const std::size_t bytes = byte_size(kv);
+    task.bytes_in += bytes;
+    if (target % spec.executors != p % spec.executors) {
+      task.shuffle_bytes += bytes;
+    }
+    ipc::encode_value(segs[target], kv);
+    ++counts[target];
+  }
+  task.records_out = task.records_in;
+  task.bytes_out = task.bytes_in;
+  ipc::WireWriter bundle;
+  bundle.put_u64(targets);
+  for (std::size_t t = 0; t < targets; ++t) {
+    bundle.put_u64(counts[t]);
+    bundle.put_u64(segs[t].buffer().size());
+    bundle.put_bytes(segs[t].buffer().data(), segs[t].buffer().size());
+  }
+  return bundle.take();
+}
+
+/// Trivially-copyable closure of the map-side combine kernel.
+template <typename Agg, typename Fold>
+struct CombineSpec {
+  Agg init;
+  Fold fold;
+};
+
+template <typename T, typename = void>
+inline constexpr bool eq_comparable_v = false;
+template <typename T>
+inline constexpr bool eq_comparable_v<
+    T, std::void_t<decltype(std::declval<const T&>() ==
+                            std::declval<const T&>())>> = true;
+
+template <typename K, typename V, typename Agg, typename Fold>
+std::string combine_kernel(const PoolTaskCtx& ctx) {
+  using Spec = CombineSpec<Agg, Fold>;
+  std::aligned_storage_t<sizeof(Spec), alignof(Spec)> storage;
+  const Spec& spec = pool_closure_cast<Spec>(*ctx.closure, storage);
+  const auto part = ipc::decode_payload<std::pair<K, V>>(*ctx.inputs.at(0));
+  auto& task = *ctx.metrics;
+  record_input(task, part);
+  task.compute_cost = task.records_in / 4;  // hash-fold per record
+  FlatHashMap<K, Agg> local;
+  local.reserve(part.size());
+  for (const auto& kv : part) {
+    auto [entry, inserted] = local.try_emplace(kv.first, spec.init);
+    spec.fold(entry->second, kv.second);
+  }
+  auto combined = local.take_entries();
+  record_output(task, combined);
+  return ipc::encode_payload(combined);
+}
+
+/// Combine kernel for accumulators that are not trivially copyable (e.g.
+/// std::string) but whose init value is default-constructed: only the fold
+/// closure ships, and the worker materializes `Agg{}` per key itself.
+template <typename K, typename V, typename Agg, typename Fold>
+std::string combine_default_kernel(const PoolTaskCtx& ctx) {
+  std::aligned_storage_t<sizeof(Fold), alignof(Fold)> storage;
+  const Fold& fold = pool_closure_cast<Fold>(*ctx.closure, storage);
+  const auto part = ipc::decode_payload<std::pair<K, V>>(*ctx.inputs.at(0));
+  auto& task = *ctx.metrics;
+  record_input(task, part);
+  task.compute_cost = task.records_in / 4;  // hash-fold per record
+  FlatHashMap<K, Agg> local;
+  local.reserve(part.size());
+  for (const auto& kv : part) {
+    auto [entry, inserted] = local.try_emplace(kv.first, Agg{});
+    fold(entry->second, kv.second);
+  }
+  auto combined = local.take_entries();
+  record_output(task, combined);
+  return ipc::encode_payload(combined);
+}
+
+template <typename K, typename Agg, typename Merge>
+std::string merge_kernel(const PoolTaskCtx& ctx) {
+  std::aligned_storage_t<sizeof(Merge), alignof(Merge)> storage;
+  const Merge& merge = pool_closure_cast<Merge>(*ctx.closure, storage);
+  auto part = ipc::decode_payload<std::pair<K, Agg>>(*ctx.inputs.at(0));
+  auto& task = *ctx.metrics;
+  record_input(task, part);
+  task.compute_cost = task.records_in / 4;  // hash-merge per record
+  FlatHashMap<K, Agg> local;
+  local.reserve(part.size());
+  for (auto& kv : part) {
+    auto [entry, inserted] =
+        local.try_emplace(kv.first, std::move(kv.second));
+    if (!inserted) merge(entry->second, std::move(kv.second));
+  }
+  auto out = local.take_entries();
+  record_output(task, out);
+  return ipc::encode_payload(out);
+}
+
+/// Join kernel: inputs.at(0) = left partition p, inputs.at(1) = right
+/// partition p (both already conforming to the join partitioner). Stateless
+/// — the plan ships an empty closure.
+template <typename K, typename V, typename W>
+std::string join_kernel(const PoolTaskCtx& ctx) {
+  const auto lhs = ipc::decode_payload<std::pair<K, V>>(*ctx.inputs.at(0));
+  const auto rhs = ipc::decode_payload<std::pair<K, W>>(*ctx.inputs.at(1));
+  auto& task = *ctx.metrics;
+  record_input(task, lhs);
+  FlatHashMultiMap<K, const W*> index;
+  index.reserve(rhs.size());
+  for (const auto& kv : rhs) {
+    index.emplace(kv.first, &kv.second);
+    task.bytes_in += byte_size(kv);
+  }
+  task.records_in += rhs.size();
+  std::vector<std::pair<K, std::pair<V, std::optional<W>>>> out;
+  out.reserve(lhs.size());
+  for (const auto& kv : lhs) {
+    const bool matched = index.for_each(kv.first, [&](const W* w) {
+      out.emplace_back(std::piecewise_construct,
+                       std::forward_as_tuple(kv.first),
+                       std::forward_as_tuple(kv.second, *w));
+    });
+    if (!matched) {
+      out.emplace_back(std::piecewise_construct,
+                       std::forward_as_tuple(kv.first),
+                       std::forward_as_tuple(kv.second, std::nullopt));
+    }
+  }
+  record_output(task, out);
+  return ipc::encode_payload(out);
+}
 }  // namespace detail
 
 /// 1:1 transformation of whole pairs. Set `preserves_partitioning` only when
@@ -223,16 +553,30 @@ auto map_pairs(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
                const std::string& name = "map_pairs",
                bool preserves_partitioning = false) {
   using OutPair = decltype(fn(std::declval<const std::pair<K, V>&>()));
+  using FnT = std::decay_t<Fn>;
   Rdd<typename OutPair::first_type, typename OutPair::second_type> out;
   out.partitions.resize(in.num_partitions());
   out.partitioner_id = preserves_partitioning ? in.partitioner_id : 0;
   auto& stage = engine.begin_stage(name, in.num_partitions());
+  if constexpr (std::is_trivially_copyable_v<FnT>) {
+    if (engine.pool_residency() != nullptr && in.num_partitions() > 0) {
+      PoolStagePlan plan;
+      plan.kernel = &detail::map_pairs_kernel<K, V, OutPair, FnT>;
+      plan.closure = pool_closure_bytes<FnT>(fn);
+      plan.inputs = detail::pool_inputs(in);
+      engine.run_stage(stage, detail::unpooled_body(), {}, &plan);
+      out.resident = std::move(plan.out);
+      return out;
+    }
+  }
+  Rdd<K, V> stor;
+  const Rdd<K, V>& src = detail::localized(in, stor);
   engine.run_stage(stage, [&](TaskContext& ctx) {
     const std::size_t p = ctx.partition();
     auto& task = ctx.metrics();
-    detail::record_input(task, in.partitions[p]);
-    out.partitions[p].reserve(in.partitions[p].size());
-    for (const auto& kv : in.partitions[p]) out.partitions[p].push_back(fn(kv));
+    detail::record_input(task, src.partitions[p]);
+    out.partitions[p].reserve(src.partitions[p].size());
+    for (const auto& kv : src.partitions[p]) out.partitions[p].push_back(fn(kv));
     detail::record_output(task, out.partitions[p]);
   }, detail::vector_io(out.partitions));
   return out;
@@ -243,16 +587,30 @@ template <typename K, typename V, typename Fn>
 auto map_values(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
                 const std::string& name = "map_values") {
   using V2 = decltype(fn(std::declval<const V&>()));
+  using FnT = std::decay_t<Fn>;
   Rdd<K, V2> out;
   out.partitions.resize(in.num_partitions());
   out.partitioner_id = in.partitioner_id;
   auto& stage = engine.begin_stage(name, in.num_partitions());
+  if constexpr (std::is_trivially_copyable_v<FnT>) {
+    if (engine.pool_residency() != nullptr && in.num_partitions() > 0) {
+      PoolStagePlan plan;
+      plan.kernel = &detail::map_values_kernel<K, V, V2, FnT>;
+      plan.closure = pool_closure_bytes<FnT>(fn);
+      plan.inputs = detail::pool_inputs(in);
+      engine.run_stage(stage, detail::unpooled_body(), {}, &plan);
+      out.resident = std::move(plan.out);
+      return out;
+    }
+  }
+  Rdd<K, V> stor;
+  const Rdd<K, V>& src = detail::localized(in, stor);
   engine.run_stage(stage, [&](TaskContext& ctx) {
     const std::size_t p = ctx.partition();
     auto& task = ctx.metrics();
-    detail::record_input(task, in.partitions[p]);
-    out.partitions[p].reserve(in.partitions[p].size());
-    for (const auto& kv : in.partitions[p]) {
+    detail::record_input(task, src.partitions[p]);
+    out.partitions[p].reserve(src.partitions[p].size());
+    for (const auto& kv : src.partitions[p]) {
       out.partitions[p].emplace_back(kv.first, fn(kv.second));
     }
     detail::record_output(task, out.partitions[p]);
@@ -264,15 +622,29 @@ auto map_values(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
 template <typename K, typename V, typename Pred>
 Rdd<K, V> filter_pairs(Engine& engine, const Rdd<K, V>& in, Pred&& pred,
                        const std::string& name = "filter") {
+  using PredT = std::decay_t<Pred>;
   Rdd<K, V> out;
   out.partitions.resize(in.num_partitions());
   out.partitioner_id = in.partitioner_id;
   auto& stage = engine.begin_stage(name, in.num_partitions());
+  if constexpr (std::is_trivially_copyable_v<PredT>) {
+    if (engine.pool_residency() != nullptr && in.num_partitions() > 0) {
+      PoolStagePlan plan;
+      plan.kernel = &detail::filter_kernel<K, V, PredT>;
+      plan.closure = pool_closure_bytes<PredT>(pred);
+      plan.inputs = detail::pool_inputs(in);
+      engine.run_stage(stage, detail::unpooled_body(), {}, &plan);
+      out.resident = std::move(plan.out);
+      return out;
+    }
+  }
+  Rdd<K, V> stor;
+  const Rdd<K, V>& src = detail::localized(in, stor);
   engine.run_stage(stage, [&](TaskContext& ctx) {
     const std::size_t p = ctx.partition();
     auto& task = ctx.metrics();
-    detail::record_input(task, in.partitions[p]);
-    for (const auto& kv : in.partitions[p]) {
+    detail::record_input(task, src.partitions[p]);
+    for (const auto& kv : src.partitions[p]) {
       if (pred(kv)) out.partitions[p].push_back(kv);
     }
     detail::record_output(task, out.partitions[p]);
@@ -288,15 +660,29 @@ auto flat_map_metered(Engine& engine, const Rdd<K, V>& in, Fn&& fn,
   using OutVec = decltype(fn(std::declval<const K&>(), std::declval<const V&>(),
                              std::declval<std::size_t&>()));
   using OutPair = typename OutVec::value_type;
+  using FnT = std::decay_t<Fn>;
   Rdd<typename OutPair::first_type, typename OutPair::second_type> out;
   out.partitions.resize(in.num_partitions());
   auto& stage = engine.begin_stage(name, in.num_partitions());
+  if constexpr (std::is_trivially_copyable_v<FnT>) {
+    if (engine.pool_residency() != nullptr && in.num_partitions() > 0) {
+      PoolStagePlan plan;
+      plan.kernel = &detail::flat_map_kernel<K, V, OutPair, FnT>;
+      plan.closure = pool_closure_bytes<FnT>(fn);
+      plan.inputs = detail::pool_inputs(in);
+      engine.run_stage(stage, detail::unpooled_body(), {}, &plan);
+      out.resident = std::move(plan.out);
+      return out;
+    }
+  }
+  Rdd<K, V> stor;
+  const Rdd<K, V>& src = detail::localized(in, stor);
   engine.run_stage(stage, [&](TaskContext& ctx) {
     const std::size_t p = ctx.partition();
     auto& task = ctx.metrics();
-    detail::record_input(task, in.partitions[p]);
+    detail::record_input(task, src.partitions[p]);
     task.compute_cost = 0;  // reported by fn instead of records_in
-    for (const auto& kv : in.partitions[p]) {
+    for (const auto& kv : src.partitions[p]) {
       std::size_t cost = 0;
       auto produced = fn(kv.first, kv.second, cost);
       task.compute_cost += cost;
@@ -324,6 +710,26 @@ Rdd<K, V> partition_by(Engine& engine, const Rdd<K, V>& in,
   out.partitions.resize(targets);
   out.partitioner_id = partitioner.id();
 
+  if (engine.pool_residency() != nullptr) {
+    // Worker-routed shuffle: each source task runs the wide kernel, keeps
+    // the segments owned by its own worker slot and pushes the rest
+    // worker-to-worker through the parent. The shuffled records never enter
+    // the coordinator; the output stays resident.
+    auto& stage = engine.begin_stage(name, sources);
+    PoolStagePlan plan;
+    plan.kind = PoolStagePlan::Kind::kWide;
+    plan.kernel = &detail::partition_by_kernel<K, V>;
+    detail::WideSpec spec{partitioner, static_cast<std::uint64_t>(executors)};
+    plan.closure = pool_closure_bytes(spec);
+    plan.num_targets = targets;
+    plan.inputs = detail::pool_inputs(in);
+    engine.run_stage(stage, detail::unpooled_body(), {}, &plan);
+    out.resident = std::move(plan.out);
+    return out;
+  }
+  Rdd<K, V> stor;
+  const Rdd<K, V>& src = detail::localized(in, stor);
+
   // Two passes, no intermediate buckets: pass 1 hashes each record once,
   // remembering its target and counting per (source, target); pass 2 copies
   // every record directly into its final slot. Target partition t holds
@@ -335,9 +741,9 @@ Rdd<K, V> partition_by(Engine& engine, const Rdd<K, V>& in,
   auto& stage = engine.begin_stage(name, sources);
   engine.run_stage(stage, [&](TaskContext& ctx) {
     const std::size_t p = ctx.partition();
-    if (p >= in.num_partitions()) return;  // sources is clamped to >= 1
+    if (p >= src.num_partitions()) return;  // sources is clamped to >= 1
     auto& task = ctx.metrics();
-    const auto& records = in.partitions[p];
+    const auto& records = src.partitions[p];
     task.records_in = records.size();
     // Bucketing is a hash + copy per record — far cheaper than a parse or
     // search step; the bytes cost is paid at the network term.
@@ -391,8 +797,8 @@ Rdd<K, V> partition_by(Engine& engine, const Rdd<K, V>& in,
   // Sources write disjoint slices of each target, so this parallelizes
   // without synchronization.
   engine.pool().parallel_for(sources, [&](std::size_t s) {
-    if (s >= in.num_partitions()) return;
-    const auto& records = in.partitions[s];
+    if (s >= src.num_partitions()) return;
+    const auto& records = src.partitions[s];
     auto& cursor = offsets[s];
     for (std::size_t i = 0; i < records.size(); ++i) {
       const std::uint32_t t = target_of[s][i];
@@ -412,28 +818,62 @@ Rdd<K, Agg> aggregate_by_key(Engine& engine, const Rdd<K, V>& in,
                              const Agg& init, Fold&& fold, Merge&& merge,
                              const HashPartitioner& partitioner,
                              const std::string& name = "aggregate_by_key") {
+  using FoldT = std::decay_t<Fold>;
+  using MergeT = std::decay_t<Merge>;
   // Map-side combine per partition.
   Rdd<K, Agg> combined;
   combined.partitions.resize(in.num_partitions());
   combined.partitioner_id = in.partitioner_id;
   auto& stage = engine.begin_stage(name + ":combine", in.num_partitions());
-  engine.run_stage(stage, [&](TaskContext& ctx) {
-    const std::size_t p = ctx.partition();
-    auto& task = ctx.metrics();
-    detail::record_input(task, in.partitions[p]);
-    task.compute_cost = task.records_in / 4;  // hash-fold per record
-    // Accumulators live densely in the flat map in first-encounter order —
-    // a pure function of the partition's record sequence, so the emitted
-    // layout is identical across thread counts and hash-table capacities.
-    FlatHashMap<K, Agg> local;
-    local.reserve(in.partitions[p].size());
-    for (const auto& kv : in.partitions[p]) {
-      auto [entry, inserted] = local.try_emplace(kv.first, init);
-      fold(entry->second, kv.second);
+  bool pooled_combine = false;
+  if constexpr (std::is_trivially_copyable_v<detail::CombineSpec<Agg, FoldT>>) {
+    if (engine.pool_residency() != nullptr && in.num_partitions() > 0) {
+      PoolStagePlan plan;
+      plan.kernel = &detail::combine_kernel<K, V, Agg, FoldT>;
+      detail::CombineSpec<Agg, FoldT> spec{init, fold};
+      plan.closure = pool_closure_bytes(spec);
+      plan.inputs = detail::pool_inputs(in);
+      engine.run_stage(stage, detail::unpooled_body(), {}, &plan);
+      combined.resident = std::move(plan.out);
+      pooled_combine = true;
     }
-    combined.partitions[p] = local.take_entries();
-    detail::record_output(task, combined.partitions[p]);
-  }, detail::vector_io(combined.partitions));
+  } else if constexpr (std::is_trivially_copyable_v<FoldT> &&
+                       std::is_default_constructible_v<Agg> &&
+                       detail::eq_comparable_v<Agg>) {
+    // The accumulator itself can't ship by bytes, but when the caller's init
+    // is just a default-constructed value the worker can rebuild it locally.
+    if (engine.pool_residency() != nullptr && in.num_partitions() > 0 &&
+        init == Agg{}) {
+      PoolStagePlan plan;
+      plan.kernel = &detail::combine_default_kernel<K, V, Agg, FoldT>;
+      plan.closure = pool_closure_bytes<FoldT>(fold);
+      plan.inputs = detail::pool_inputs(in);
+      engine.run_stage(stage, detail::unpooled_body(), {}, &plan);
+      combined.resident = std::move(plan.out);
+      pooled_combine = true;
+    }
+  }
+  if (!pooled_combine) {
+    Rdd<K, V> stor;
+    const Rdd<K, V>& src = detail::localized(in, stor);
+    engine.run_stage(stage, [&](TaskContext& ctx) {
+      const std::size_t p = ctx.partition();
+      auto& task = ctx.metrics();
+      detail::record_input(task, src.partitions[p]);
+      task.compute_cost = task.records_in / 4;  // hash-fold per record
+      // Accumulators live densely in the flat map in first-encounter order —
+      // a pure function of the partition's record sequence, so the emitted
+      // layout is identical across thread counts and hash-table capacities.
+      FlatHashMap<K, Agg> local;
+      local.reserve(src.partitions[p].size());
+      for (const auto& kv : src.partitions[p]) {
+        auto [entry, inserted] = local.try_emplace(kv.first, init);
+        fold(entry->second, kv.second);
+      }
+      combined.partitions[p] = local.take_entries();
+      detail::record_output(task, combined.partitions[p]);
+    }, detail::vector_io(combined.partitions));
+  }
 
   const bool copartitioned =
       combined.partitioner_id == partitioner.id() &&
@@ -449,6 +889,18 @@ Rdd<K, Agg> aggregate_by_key(Engine& engine, const Rdd<K, V>& in,
   out.partitioner_id = partitioner.id();
   auto& merge_stage =
       engine.begin_stage(name + ":merge", shuffled.num_partitions());
+  if constexpr (std::is_trivially_copyable_v<MergeT>) {
+    if (engine.pool_residency() != nullptr && shuffled.num_partitions() > 0) {
+      PoolStagePlan plan;
+      plan.kernel = &detail::merge_kernel<K, Agg, MergeT>;
+      plan.closure = pool_closure_bytes<MergeT>(merge);
+      plan.inputs = detail::pool_inputs(shuffled);
+      engine.run_stage(merge_stage, detail::unpooled_body(), {}, &plan);
+      out.resident = std::move(plan.out);
+      return out;
+    }
+  }
+  ensure_local(shuffled);  // the merge body consumes its input by move
   engine.run_stage(merge_stage, [&](TaskContext& ctx) {
     const std::size_t p = ctx.partition();
     auto& task = ctx.metrics();
@@ -471,16 +923,19 @@ template <typename K, typename V, typename Reduce>
 Rdd<K, V> reduce_by_key(Engine& engine, const Rdd<K, V>& in, Reduce&& reduce,
                         const HashPartitioner& partitioner,
                         const std::string& name = "reduce_by_key") {
+  // `reduce` is captured by value so the fold/merge closures stay trivially
+  // copyable whenever it is — the property that lets the job-pool backend
+  // ship them to resident workers as raw bytes.
   auto wrapped = aggregate_by_key(
       engine, in, std::optional<V>{},
-      [&reduce](std::optional<V>& agg, const V& v) {
+      [reduce](std::optional<V>& agg, const V& v) {
         if (agg) {
           *agg = reduce(*agg, v);
         } else {
           agg = v;
         }
       },
-      [&reduce](std::optional<V>& agg, std::optional<V>&& other) {
+      [reduce](std::optional<V>& agg, std::optional<V>&& other) {
         if (agg && other) {
           *agg = reduce(*agg, *other);
         } else if (other) {
@@ -524,7 +979,27 @@ Rdd<K, std::pair<V, std::optional<W>>> left_outer_join(
   out.partitions.resize(partitioner.num_partitions);
   out.partitioner_id = partitioner.id();
   auto& stage = engine.begin_stage(name, partitioner.num_partitions);
-  engine.run_stage(stage, [&](TaskContext& ctx) {
+  if (engine.pool_residency() != nullptr && partitioner.num_partitions > 0) {
+    // Both sides conform to `partitioner` here, and conforming sets produced
+    // by the pool's wide stages place partition p on the same worker slot —
+    // so a co-partitioned join reads both inputs locally in the worker.
+    PoolStagePlan plan;
+    plan.kernel = &detail::join_kernel<K, V, W>;  // stateless: empty closure
+    plan.inputs = [&left = *lhs, &right = *rhs](std::size_t task) {
+      std::vector<PoolInputRef> refs(2);
+      detail::fill_pool_input(refs[0], left, task);
+      detail::fill_pool_input(refs[1], right, task);
+      return refs;
+    };
+    engine.run_stage(stage, detail::unpooled_body(), {}, &plan);
+    out.resident = std::move(plan.out);
+    return out;
+  }
+  Rdd<K, V> lstor;
+  Rdd<K, W> rstor;
+  const Rdd<K, V>* jl = &detail::localized(*lhs, lstor);
+  const Rdd<K, W>* jr = &detail::localized(*rhs, rstor);
+  engine.run_stage(stage, [&, lhs = jl, rhs = jr](TaskContext& ctx) {
     const std::size_t p = ctx.partition();
     auto& task = ctx.metrics();
     detail::record_input(task, lhs->partitions[p]);

@@ -64,11 +64,19 @@ CachedStringRdd::CachedStringRdd(Engine& engine, StringRdd rdd,
   if (bytes_ <= engine_.config().total_memory_bytes()) {
     in_memory_ = std::move(rdd);
     for (std::size_t p = 0; p < in_memory_.num_partitions(); ++p) {
-      stage.tasks[p].records_in = in_memory_.partitions[p].size();
+      // A worker-resident RDD is cached as-is (the pool keeps the bytes);
+      // the cache stage still records the counts the local backend sees.
+      stage.tasks[p].records_in =
+          in_memory_.resident ? pool_set_records(in_memory_.resident, p)
+                              : in_memory_.partitions[p].size();
     }
     return;
   }
   spilled_ = true;
+  // Spill writes walk the partitions directly, and the spill stage runs
+  // without a StageIO contract (in-process on every backend) — pull any
+  // worker-resident partitions back to the driver first.
+  ensure_local(rdd);
   files_.resize(rdd.num_partitions());
   engine_.run_stage(stage, [&](TaskContext& ctx) {
     const std::size_t p = ctx.partition();

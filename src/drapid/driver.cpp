@@ -1,6 +1,7 @@
 #include "drapid/driver.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
 #include <sstream>
 
@@ -31,6 +32,31 @@ std::pair<std::string, std::string> split_key_value(const std::string& line) {
   return {line.substr(0, pos), line.substr(pos + 1)};
 }
 
+/// Pooled load kernel: the task input is the raw chunk text (partition 0
+/// starts with the CSV header), the output the encoded key/value partition,
+/// which stays resident in the worker. Metrics mirror the local load body.
+std::string load_chunk_kernel(const PoolTaskCtx& ctx) {
+  const std::string& chunk = *ctx.inputs.at(0);
+  auto& task = *ctx.metrics;
+  task.bytes_in = chunk.size();
+  std::vector<std::pair<std::string, std::string>> records;
+  std::istringstream in(chunk);
+  std::string line;
+  bool first_line_of_file = (ctx.partition == 0);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first_line_of_file) {
+      first_line_of_file = false;  // drop the CSV header
+      continue;
+    }
+    records.push_back(split_key_value(line));
+    ++task.records_in;
+  }
+  task.compute_cost = task.records_in + task.bytes_in / 32;
+  detail::record_output(task, records);
+  return ipc::encode_payload(records);
+}
+
 /// Loads a keyed CSV file from the block store as one RDD partition per
 /// block chunk (data locality granularity), stripping the header.
 /// `stage_prefix` distinguishes lineage-recomputation reloads from the
@@ -43,6 +69,20 @@ StringRdd load_keyed_file(Engine& engine, BlockStore& store,
   rdd.partitions.resize(chunks.size());
   auto& stage =
       engine.begin_stage(stage_prefix + "load:" + name, chunks.size());
+  if (engine.pool_residency() != nullptr && !chunks.empty()) {
+    // Ship the raw chunk text to the pool; the parsed partitions never
+    // travel back — downstream stages consume them worker-resident.
+    PoolStagePlan plan;
+    plan.kernel = &load_chunk_kernel;
+    plan.inputs = [&chunks](std::size_t task) {
+      std::vector<PoolInputRef> refs(1);
+      refs[0].inline_bytes = chunks[task];
+      return refs;
+    };
+    engine.run_stage(stage, detail::unpooled_body(), {}, &plan);
+    rdd.resident = std::move(plan.out);
+    return rdd;
+  }
   engine.run_stage(stage, [&](TaskContext& ctx) {
     const std::size_t c = ctx.partition();
     auto& task = ctx.metrics();
@@ -165,6 +205,44 @@ std::vector<std::pair<std::string, std::string>> search_key(
   return out;
 }
 
+/// Pooled search kernel. The closure string carries RapidParams as raw bytes
+/// followed by the encoded DM plan; the worker rebuilds the grid (DmGrid
+/// construction from a plan is deterministic, so extracted features match
+/// the driver's grid bit for bit). Shipping the plan by value — never a
+/// pointer — keeps the kernel valid in workers forked before this grid
+/// existed. Metrics mirror flat_map_metered's local body.
+std::string search_stage_kernel(const PoolTaskCtx& ctx) {
+  RapidParams params;
+  std::memcpy(&params, ctx.closure->data(), sizeof(params));
+  ipc::WireReader reader(ctx.closure->data() + sizeof(params),
+                         ctx.closure->size() - sizeof(params));
+  std::vector<DmPlanSegment> plan;
+  ipc::decode_value(reader, plan);
+  const DmGrid grid(std::move(plan));
+
+  using JoinedPair =
+      std::pair<std::string,
+                std::pair<std::string, std::optional<std::string>>>;
+  const auto part = ipc::decode_payload<JoinedPair>(*ctx.inputs.at(0));
+  auto& task = *ctx.metrics;
+  detail::record_input(task, part);
+  task.compute_cost = 0;
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& kv : part) {
+    std::size_t cost = 0;
+    const auto& v = kv.second;
+    if (v.second && !v.second->empty() && !v.first.empty()) {
+      auto produced =
+          search_key(kv.first, split_lines(v.first), *v.second, grid, params,
+                     cost);
+      for (auto& item : produced) out.push_back(std::move(item));
+    }
+    task.compute_cost += cost;
+  }
+  detail::record_output(task, out);
+  return ipc::encode_payload(out);
+}
+
 }  // namespace
 
 DrapidResult run_drapid(Engine& engine, BlockStore& store,
@@ -222,7 +300,7 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
   phase.emplace(engine.tracer(), "phase", "aggregate", "driver");
   StringRdd data_agg =
       aggregate_lines(engine, data_kvp, upstream_part, "aggregate:data");
-  data_kvp.partitions.clear();
+  data_kvp = StringRdd{};  // drop local partitions and any pool residency
 
   StringRdd cluster_side =
       config.aggregate_before_join
@@ -248,6 +326,10 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
         }
         StringRdd agg = aggregate_lines(engine, kvp, upstream_part,
                                         "recompute:aggregate:data");
+        if (agg.resident) {
+          return ipc::decode_payload<std::pair<std::string, std::string>>(
+              pool_fetch(agg.resident, p));
+        }
         return std::move(agg.partitions.at(p));
       };
   phase.emplace(engine.tracer(), "phase", "cache", "driver");
@@ -266,19 +348,36 @@ DrapidResult run_drapid(Engine& engine, BlockStore& store,
   // Stage 3d: the search phase.
   phase.emplace(engine.tracer(), "phase", "search", "driver");
   const RapidParams rapid_params = config.rapid;
-  const DmGrid* grid_ptr = &grid;
-  auto ml_rows = flat_map_metered(
-      engine, joined,
-      [grid_ptr, &rapid_params](const std::string& key,
-                                const std::pair<std::string,
-                                                std::optional<std::string>>& v,
-                                std::size_t& cost)
-          -> std::vector<std::pair<std::string, std::string>> {
-        if (!v.second || v.second->empty() || v.first.empty()) return {};
-        return search_key(key, split_lines(v.first), *v.second, *grid_ptr,
-                          rapid_params, cost);
-      },
-      "search");
+  StringRdd ml_rows;
+  if (engine.pool_residency() != nullptr && joined.num_partitions() > 0) {
+    // The generic flat_map gate must not see this closure: it captures the
+    // grid by pointer, which a pool worker forked earlier cannot follow.
+    // Ship the grid's plan by value instead and rebuild it in the worker.
+    ml_rows.partitions.resize(joined.num_partitions());
+    auto& stage = engine.begin_stage("search", joined.num_partitions());
+    PoolStagePlan plan;
+    plan.kernel = &search_stage_kernel;
+    plan.closure.assign(reinterpret_cast<const char*>(&rapid_params),
+                        sizeof(rapid_params));
+    plan.closure += ipc::encode_payload(grid.plan());
+    plan.inputs = detail::pool_inputs(joined);
+    engine.run_stage(stage, detail::unpooled_body(), {}, &plan);
+    ml_rows.resident = std::move(plan.out);
+  } else {
+    const DmGrid* grid_ptr = &grid;
+    ml_rows = flat_map_metered(
+        engine, joined,
+        [grid_ptr, &rapid_params](
+            const std::string& key,
+            const std::pair<std::string, std::optional<std::string>>& v,
+            std::size_t& cost)
+            -> std::vector<std::pair<std::string, std::string>> {
+          if (!v.second || v.second->empty() || v.first.empty()) return {};
+          return search_key(key, split_lines(v.first), *v.second, *grid_ptr,
+                            rapid_params, cost);
+        },
+        "search");
+  }
 
   // Collect, order deterministically, and write the ML file back.
   phase.emplace(engine.tracer(), "phase", "collect", "driver");

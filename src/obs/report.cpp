@@ -25,7 +25,10 @@ constexpr StageField kStageFields[] = {
     {"tasks_stolen", false},  {"parks", false},
     {"fastpath_completions", false},
     {"workers_used", false},  {"worker_deaths", false},
-    {"ipc_bytes", false},     {"wall_seconds", true},
+    {"ipc_bytes", false},     {"pool_reuses", false},
+    {"resident_bytes", false},
+    {"worker_respawns", false},
+    {"wall_seconds", true},
 };
 
 double stage_field(const StageReport& s, const char* name) {
@@ -47,6 +50,9 @@ double stage_field(const StageReport& s, const char* name) {
   if (f == "workers_used") return static_cast<double>(s.workers_used);
   if (f == "worker_deaths") return static_cast<double>(s.worker_deaths);
   if (f == "ipc_bytes") return static_cast<double>(s.ipc_bytes);
+  if (f == "pool_reuses") return static_cast<double>(s.pool_reuses);
+  if (f == "resident_bytes") return static_cast<double>(s.resident_bytes);
+  if (f == "worker_respawns") return static_cast<double>(s.worker_respawns);
   if (f == "wall_seconds") return s.wall_seconds;
   return s.retry_cost;
 }
@@ -72,6 +78,9 @@ Json StageReport::to_json() const {
   row.set("workers_used", workers_used);
   row.set("worker_deaths", worker_deaths);
   row.set("ipc_bytes", ipc_bytes);
+  row.set("pool_reuses", pool_reuses);
+  row.set("resident_bytes", resident_bytes);
+  row.set("worker_respawns", worker_respawns);
   row.set("wall_seconds", wall_seconds);
   return row;
 }
@@ -234,7 +243,7 @@ std::string validate_run_report(const Json& report) {
       if (!kind || !kind->is_string()) return event_where + ": missing kind";
       const std::string& k = kind->as_string();
       if (k != "retry" && k != "recover" && k != "failover" &&
-          k != "worker_death") {
+          k != "worker_death" && k != "worker_respawn") {
         return event_where + ": unknown kind \"" + k + "\"";
       }
       const Json* count = event.find("count");

@@ -42,6 +42,12 @@ struct StageReport {
   std::uint64_t workers_used = 0;
   std::uint64_t worker_deaths = 0;
   std::uint64_t ipc_bytes = 0;
+  /// Job-lifetime pool activity (all zero under fork-per-stage or local):
+  /// tasks served by an already-forked worker, bytes of output partitions
+  /// left resident in workers, and replacement workers forked after deaths.
+  std::uint64_t pool_reuses = 0;
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t worker_respawns = 0;
   /// Measured wall-clock seconds of the stage's execution, as stamped by
   /// Engine::run_stage — what cluster-model makespans are validated against.
   double wall_seconds = 0.0;
@@ -53,7 +59,8 @@ struct StageReport {
 /// spill-partition lineage recovery, a block-store replica failover, or a
 /// worker-process death on the process backend.
 struct ObsEvent {
-  std::string kind;  ///< "retry" | "recover" | "failover" | "worker_death"
+  std::string kind;  ///< "retry" | "recover" | "failover" | "worker_death" |
+                     ///< "worker_respawn"
   std::string stage;      ///< stage name, or "" when not stage-scoped
   std::int64_t partition = -1;  ///< -1 when not partition-scoped
   std::int64_t count = 1;

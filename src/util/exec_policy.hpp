@@ -38,6 +38,24 @@ inline ExecBackend parse_exec_backend(const std::string& name) {
                            "' (expected local or process)");
 }
 
+/// Worker lifetime for the process backend.
+enum class PoolMode {
+  kJob,    ///< fork once, keep workers (and their partitions) across stages
+  kStage,  ///< fork-per-stage, ship every output up (the PR 7 oracle path)
+};
+
+inline const char* pool_mode_name(PoolMode mode) {
+  return mode == PoolMode::kStage ? "stage" : "job";
+}
+
+/// Parses "job" / "stage"; throws std::runtime_error on anything else.
+inline PoolMode parse_pool_mode(const std::string& name) {
+  if (name == "job") return PoolMode::kJob;
+  if (name == "stage") return PoolMode::kStage;
+  throw std::runtime_error("unknown worker pool mode: '" + name +
+                           "' (expected job or stage)");
+}
+
 struct ExecPolicy {
   ExecBackend backend = ExecBackend::kLocal;
   /// Worker processes for the process backend. 0 = derive from context
@@ -46,13 +64,17 @@ struct ExecPolicy {
   /// In-process pool threads per worker. 0 = defer to the legacy knob the
   /// call site used before ExecPolicy existed (its deprecation shim).
   std::size_t threads_per_worker = 0;
+  /// Process-backend worker lifetime: a job-lifetime pool holding partitions
+  /// resident across stages (default), or the fork-per-stage oracle.
+  PoolMode pool = PoolMode::kJob;
 
   static ExecPolicy local(std::size_t threads) {
-    return {ExecBackend::kLocal, 0, threads};
+    return {ExecBackend::kLocal, 0, threads, PoolMode::kJob};
   }
   static ExecPolicy process(std::size_t workers,
-                            std::size_t threads_per_worker = 0) {
-    return {ExecBackend::kProcess, workers, threads_per_worker};
+                            std::size_t threads_per_worker = 0,
+                            PoolMode pool = PoolMode::kJob) {
+    return {ExecBackend::kProcess, workers, threads_per_worker, pool};
   }
 
   /// The effective pool-thread count: this policy's threads_per_worker, or

@@ -19,6 +19,7 @@
 #include "dataflow/block_store.hpp"
 #include "dataflow/rdd.hpp"
 #include "drapid/pipeline.hpp"
+#include "obs/counters.hpp"
 #include "util/exec_policy.hpp"
 
 namespace drapid {
@@ -47,6 +48,20 @@ EngineConfig process_config(std::size_t workers) {
   return cfg;
 }
 
+// PR 7's fork-per-stage path, kept as the comparison oracle for the pool.
+EngineConfig stage_config(std::size_t workers) {
+  EngineConfig cfg = base_config();
+  cfg.exec = ExecPolicy::process(workers, 2, PoolMode::kStage);
+  return cfg;
+}
+
+double workers_alive_gauge() {
+  for (const auto& [name, value] : obs::global_counters().gauges_snapshot()) {
+    if (name == "engine.pool.workers_alive") return value;
+  }
+  return -1.0;
+}
+
 EngineConfig local_config() {
   EngineConfig cfg = base_config();
   cfg.exec = ExecPolicy::local(2);
@@ -65,8 +80,9 @@ std::vector<std::pair<std::string, std::string>> make_pairs(std::size_t n) {
 
 // The full shuffle pipeline (map → partition → aggregate → join) run under
 // one engine; used to compare backends end to end.
-std::vector<std::pair<std::string, std::string>> run_pipeline(Engine& engine) {
-  const auto rdd = parallelize(engine, make_pairs(600), 8);
+std::vector<std::pair<std::string, std::string>> run_pipeline(
+    Engine& engine, std::size_t pairs = 600) {
+  const auto rdd = parallelize(engine, make_pairs(pairs), 8);
   const auto upper = map_pairs(
       engine, rdd,
       [](const std::pair<std::string, std::string>& kv) {
@@ -252,6 +268,90 @@ TEST(ProcessExecutor, StagesWithoutCodecsRunInProcess) {
   EXPECT_EQ(stage.ipc_bytes, 0u);
 }
 
+// ----------------------------------------------------- job-lifetime pool
+
+TEST(WorkerPoolMode, JobAndStagePoolsMatchLocalByteForByte) {
+  DRAPID_REQUIRE_FORK();
+  // Large enough that data bytes dominate the pool's fixed control-frame
+  // overhead: fork-per-stage ships every stage's full output back, the pool
+  // ships the source in once, shuffles, and fetches only the final collect.
+  const std::size_t kPairs = 6000;
+  Engine local(local_config());
+  const auto expected = run_pipeline(local, kPairs);
+
+  Engine staged(stage_config(2));
+  const auto stage_out = run_pipeline(staged, kPairs);
+  EXPECT_EQ(stage_out, expected);
+
+  Engine pooled(process_config(2));
+  const auto job_out = run_pipeline(pooled, kPairs);
+  EXPECT_EQ(job_out, expected);
+
+  // The whole point of the pool: results stay resident in the workers, so
+  // far fewer bytes cross the sockets than under fork-per-stage.
+  const std::size_t stage_ipc = staged.metrics().total_ipc_bytes();
+  const std::size_t job_ipc = pooled.metrics().total_ipc_bytes();
+  EXPECT_GT(stage_ipc, 0u);
+  EXPECT_GT(job_ipc, 0u);
+  EXPECT_LT(job_ipc, stage_ipc);
+
+  std::size_t reuses = 0, resident = 0;
+  for (const auto& s : pooled.metrics().stages) {
+    reuses += s.pool_reuses;
+    resident += s.resident_bytes;
+  }
+  EXPECT_GT(reuses, 0u) << "later stages must reuse the forked workers";
+  EXPECT_GT(resident, 0u) << "outputs must stay worker-resident";
+  for (const auto& s : staged.metrics().stages) {
+    EXPECT_EQ(s.pool_reuses, 0u) << s.name;
+    EXPECT_EQ(s.resident_bytes, 0u) << s.name;
+  }
+}
+
+TEST(WorkerPoolMode, PoolForksOnceForTheWholeJob) {
+  DRAPID_REQUIRE_FORK();
+  Engine engine(process_config(2));
+  run_pipeline(engine);
+  // Exactly the two pool workers are ever forked: the first pooled stage
+  // spawns them (workers_used = 2) and every later stage reuses them
+  // (workers_used = 0). Fork-per-stage would charge every stage.
+  std::size_t forked = 0;
+  for (const auto& s : engine.metrics().stages) forked += s.workers_used;
+  EXPECT_EQ(forked, 2u);
+  EXPECT_EQ(engine.metrics().total_worker_deaths(), 0u);
+}
+
+TEST(WorkerPoolMode, KillMidJobRebuildsResidentPartitions) {
+  DRAPID_REQUIRE_FORK();
+  Engine local(local_config());
+  const auto expected = run_pipeline(local);
+
+  // By the aggregate stage the shuffled partitions live inside the workers;
+  // killing one destroys its resident state, and recovery must re-derive
+  // the lost partitions from lineage before the job can finish.
+  EngineConfig cfg = process_config(2);
+  cfg.faults.kill_workers.push_back({"aggregate_by_key", 0});
+  Engine engine(cfg);
+  const auto out = run_pipeline(engine);
+  EXPECT_EQ(out, expected) << "lost resident partitions must be rebuilt";
+  EXPECT_GE(engine.metrics().total_worker_deaths(), 1u);
+  std::size_t respawns = 0;
+  for (const auto& s : engine.metrics().stages) respawns += s.worker_respawns;
+  EXPECT_GE(respawns, 1u) << "a replacement worker must join the pool";
+}
+
+TEST(WorkerPoolMode, CleanShutdownDrainsThePool) {
+  DRAPID_REQUIRE_FORK();
+  {
+    Engine engine(process_config(2));
+    run_pipeline(engine);
+    EXPECT_EQ(workers_alive_gauge(), 2.0)
+        << "both pool workers alive while the engine lives";
+  }
+  // Engine destruction sends kShutdown and reaps every worker.
+  EXPECT_EQ(workers_alive_gauge(), 0.0);
+}
+
 // ------------------------------------------------ kill_worker plan semantics
 
 TEST(FaultInjectorKillWorker, FiresOncePerStagePrefixAndWorker) {
@@ -282,6 +382,15 @@ TEST(ExecPolicy, ShimsPreferNewKnobsOverLegacy) {
   EXPECT_EQ(parse_exec_backend("process"), ExecBackend::kProcess);
   EXPECT_THROW(parse_exec_backend("cloud"), std::runtime_error);
   EXPECT_EQ(std::string(exec_backend_name(ExecBackend::kProcess)), "process");
+}
+
+TEST(ExecPolicy, PoolModeParsesAndDefaultsToJob) {
+  EXPECT_EQ(ExecPolicy::process(2, 1).pool, PoolMode::kJob);
+  EXPECT_EQ(parse_pool_mode("job"), PoolMode::kJob);
+  EXPECT_EQ(parse_pool_mode("stage"), PoolMode::kStage);
+  EXPECT_THROW(parse_pool_mode("forever"), std::runtime_error);
+  EXPECT_EQ(std::string(pool_mode_name(PoolMode::kJob)), "job");
+  EXPECT_EQ(std::string(pool_mode_name(PoolMode::kStage)), "stage");
 }
 
 // ------------------------------------------------- end-to-end acceptance

@@ -10,16 +10,16 @@
 #   {"schema_version": 1, "benches": {"bench_micro_dataflow": {...}, ...}}
 #
 # tools/report_diff understands the bundle via --bench <tool>, so the gate
-# diffs a fresh bundle against the committed BENCH_PR9.json per tool.
+# diffs a fresh bundle against the committed BENCH_PR10.json per tool.
 #
-# Usage: tools/bench_baseline.sh [out.json]   (default: BENCH_PR9.json)
+# Usage: tools/bench_baseline.sh [out.json]   (default: BENCH_PR10.json)
 # Env:   BUILD_DIR               build tree with the bench targets (build)
 #        DRAPID_BENCH_MIN_TIME   --benchmark_min_time per benchmark (0.2)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 MIN_TIME="${DRAPID_BENCH_MIN_TIME:-0.2}"
 SEED=42
 SCALE=1.0

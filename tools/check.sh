@@ -22,7 +22,7 @@ ctest --test-dir build -j "$(nproc)" --output-on-failure
 # Timing-noise sensitive, so it runs only when asked for (CI runs it as a
 # non-blocking job; see .github/workflows/ci.yml).
 if [[ "${DRAPID_BENCH_CHECK:-0}" == "1" ]]; then
-  echo "=== micro-bench regression gate (vs BENCH_PR9.json) ==="
+  echo "=== micro-bench regression gate (vs BENCH_PR10.json) ==="
   cmake --build build -j "$(nproc)" --target bench_micro_dataflow \
     bench_micro_rapid bench_micro_dedisp bench_micro_ml bench_micro_cv \
     bench_serve bench_rfi report_diff
@@ -34,7 +34,7 @@ if [[ "${DRAPID_BENCH_CHECK:-0}" == "1" ]]; then
                bench_micro_ml bench_micro_cv bench_serve bench_rfi; do
     echo "--- $bench ---"
     build/tools/report_diff --bench "$bench" --metrics-only 1 \
-      --tolerance 0.10 --a BENCH_PR9.json --b "$current" || bench_status=1
+      --tolerance 0.10 --a BENCH_PR10.json --b "$current" || bench_status=1
   done
   if [[ "$bench_status" != "0" ]]; then
     echo "check: micro-bench gate flagged >10% changes (see rows above)"

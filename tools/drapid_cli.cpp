@@ -6,7 +6,7 @@
 //       fast_crafts and ska_mid presets include structured RFI
 //       (burst trains, carriers, swept chirps) with ground-truth labels
 //   drapid search --data FILE --clusters FILE --out FILE [--executors N]
-//                 [--backend local|process] [--workers N]
+//                 [--backend local|process] [--workers N] [--pool job|stage]
 //                 [--fault-rate R] [--fault-seed S] [--max-attempts K]
 //                 [--kill-worker STAGE:ID]
 //       runs the D-RAPID job on real files and writes the ML file;
@@ -135,6 +135,7 @@ int cmd_search(int argc, const char* const argv[]) {
                             {"threads", "2"},
                             {"backend", "local"},
                             {"workers", "0"},
+                            {"pool", "job"},
                             {"kill-worker", ""},
                             {"fault-rate", "0"},
                             {"fault-seed", "24077"},
@@ -144,7 +145,8 @@ int cmd_search(int argc, const char* const argv[]) {
         "drapid search",
         "Runs the D-RAPID dataflow job on --data and --clusters files and "
         "writes the ML file; --backend=process runs stages in --workers "
-        "forked worker processes (0 = one per executor); --fault-rate "
+        "forked worker processes (0 = one per executor) with --pool=job "
+        "keeping one pool alive for the whole job; --fault-rate "
         "injects recoverable faults and --kill-worker STAGE:ID SIGKILLs a "
         "process worker mid-stage.");
     return 0;
@@ -163,6 +165,10 @@ int cmd_search(int argc, const char* const argv[]) {
   engine_config.exec.backend = parse_exec_backend(opts.str("backend"));
   engine_config.exec.workers =
       static_cast<std::size_t>(opts.integer("workers"));
+  // --pool=job keeps one worker pool alive for the whole job with output
+  // partitions resident in the workers; --pool=stage is the PR 7
+  // fork-per-stage path, preserved as the comparison oracle.
+  engine_config.exec.pool = parse_pool_mode(opts.str("pool"));
   // --kill-worker STAGE:ID deterministically SIGKILLs process-backend worker
   // ID during the first stage whose name starts with STAGE (recovered via
   // the retry budget; the local backend ignores it).
